@@ -1,0 +1,66 @@
+"""Characterisation **bandwidth** — delivered vs raw link bandwidth.
+
+The paper motivates HMC with "available bandwidth capacity of up to
+320GB/s per device" (§III.A).  This bench measures the bandwidth the
+simulated device actually delivers under the random-access workload for
+each paper configuration, plus the request-size scaling curve (larger
+blocks amortise header FLITs).
+"""
+
+import pytest
+
+from repro.analysis import bandwidth as bw
+from repro.core.config import PAPER_CONFIGS
+from repro.core.simulator import HMCSim
+from repro.host.host import Host
+from repro.topology.builder import build_simple
+from repro.workloads.random_access import RandomAccessConfig, random_access_requests
+
+
+def _run_config(dev_cfg, n, request_bytes=64):
+    sim = build_simple(HMCSim(
+        num_devs=1, num_links=dev_cfg.num_links, num_banks=dev_cfg.num_banks,
+        capacity=dev_cfg.capacity))
+    host = Host(sim)
+    cfg = RandomAccessConfig(num_requests=n, request_bytes=request_bytes)
+    res = host.run(random_access_requests(dev_cfg.capacity_bytes, cfg))
+    return res, bw.measure(sim)
+
+
+@pytest.mark.benchmark(group="bandwidth-configs")
+@pytest.mark.parametrize("label", list(PAPER_CONFIGS))
+def test_bandwidth_per_config(benchmark, label, num_requests):
+    n = max(512, num_requests // 4)
+    res, report = benchmark.pedantic(
+        _run_config, args=(PAPER_CONFIGS[label], n), rounds=1, iterations=1)
+    print(f"\n{label}: delivered {report.delivered_gbs:7.1f} GB/s "
+          f"(raw {report.raw_capacity_gbs:.0f} GB/s), balance {report.balance:.3f}")
+    assert res.responses_received == n
+    assert report.balance > 0.7  # round-robin spreads traffic
+
+
+@pytest.mark.benchmark(group="bandwidth-scaling")
+def test_request_size_scaling(benchmark, num_requests):
+    """Bytes/cycle grows with request size: header FLITs amortise."""
+    n = max(256, num_requests // 8)
+    dev = PAPER_CONFIGS["4-Link; 8-Bank; 2GB"]
+
+    def sweep():
+        out = {}
+        for size in (16, 32, 64, 128):
+            res, report = _run_config(dev, n, request_bytes=size)
+            out[size] = report.total_bytes / max(res.cycles, 1)
+        return out
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for size, bpc in rates.items():
+        print(f"  {size:>3}-byte requests: {bpc:8.1f} wire bytes/cycle")
+    assert rates[128] > rates[16]
+
+
+@pytest.mark.benchmark(group="bandwidth-headline")
+def test_8link_raw_headline(benchmark):
+    """The 320 GB/s configuration exists and its raw capacity computes."""
+    value = benchmark(bw.raw_device_bandwidth_gbs, 8, 16, 10.0)
+    assert value == 320.0

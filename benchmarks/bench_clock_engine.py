@@ -1,0 +1,85 @@
+"""Experiment **fig3** — the six-sub-cycle clock engine.
+
+Figure 3 is the sub-cycle state diagram for single- and multi-device
+configurations; there is no number to match, so this bench characterises
+the engine itself: cycles/second for idle and saturated devices, single
+vs chained configurations, and the per-stage work distribution.
+"""
+
+import pytest
+
+from repro.core.simulator import HMCSim
+from repro.packets.commands import CMD
+from repro.packets.packet import build_memrequest
+from repro.topology.builder import build_chain, build_simple
+
+
+def _loaded_sim(num_devs=1):
+    if num_devs == 1:
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+    else:
+        sim = build_chain(HMCSim(num_devs=num_devs, num_links=4, num_banks=8, capacity=2))
+    # Pre-fill crossbar queues to saturate every stage.
+    for i in range(256):
+        pkt = build_memrequest(i % num_devs, (i * 977 % 4096) * 64, i % 512, CMD.RD64, link=0)
+        if not sim.try_send(pkt, dev=0, link=0):
+            break
+    return sim
+
+
+@pytest.mark.benchmark(group="fig3-clock")
+def test_idle_clock_throughput(benchmark):
+    """Cost of one clock cycle with empty queues (engine overhead)."""
+    sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+    benchmark(sim.clock)
+    assert sim.clock_value > 0
+
+
+@pytest.mark.benchmark(group="fig3-clock")
+def test_loaded_clock_throughput(benchmark):
+    """Cost of one clock cycle while queues drain real traffic."""
+    sim = _loaded_sim()
+
+    def cycle():
+        if sim.pending_packets == 0:
+            sim.recv_all()
+            for i in range(128):
+                if not sim.try_send(
+                    build_memrequest(0, (i * 977 % 4096) * 64, i, CMD.RD64, link=0)
+                ):
+                    break
+        sim.clock()
+
+    benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="fig3-clock")
+def test_chained_clock_throughput(benchmark):
+    """Cycle cost with four chained devices (stages 1 and 5 active)."""
+    sim = _loaded_sim(num_devs=4)
+    benchmark(sim.clock)
+
+
+@pytest.mark.benchmark(group="fig3-stages")
+def test_stage_work_distribution(benchmark):
+    """Run a full drain and report how much work each stage performed —
+    the dynamic counterpart of the Figure 3 state diagram."""
+    def run():
+        sim = _loaded_sim()
+        while sim.pending_packets:
+            sim.clock()
+            sim.recv_all()  # keep host-side response queues draining
+        return sim
+
+    sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    counts = sim.engine.stage_counts
+    names = [
+        "", "1:child-xbar", "2:root-xbar", "3:conflicts",
+        "4:vault-proc", "5:responses", "6:clock-update",
+    ]
+    print()
+    for i in range(1, 7):
+        print(f"  stage {names[i]:<15} {counts[i]:>8,}")
+    assert counts[2] > 0 and counts[4] > 0 and counts[5] > 0
+    assert counts[1] == 0  # no child devices in the simple topology
+    assert counts[6] == sim.clock_value

@@ -1,0 +1,64 @@
+"""Characterisation **energy** — first-order energy of the paper configs.
+
+HMC's motivation is a "very compact, power efficient package" (§III.A);
+this bench estimates run energy per configuration under the random
+workload and compares the open-row vs closed-page policies' activation
+energy — the dominant DRAM component.
+"""
+
+import pytest
+
+from repro.analysis.energy import EnergyCoefficients, estimate, render
+from repro.core.config import PAPER_CONFIGS
+from repro.packets.commands import CMD
+from repro.core.simulator import HMCSim
+from repro.host.host import Host
+from repro.topology.builder import build_simple
+from repro.workloads.random_access import RandomAccessConfig, random_access_requests
+from repro.workloads.stream import stream_requests
+
+
+def _run(dev_cfg, requests, **sim_kw):
+    sim = build_simple(HMCSim(
+        num_devs=1, num_links=dev_cfg.num_links, num_banks=dev_cfg.num_banks,
+        capacity=dev_cfg.capacity, **sim_kw))
+    Host(sim).run(list(requests))
+    return sim
+
+
+@pytest.mark.benchmark(group="energy-configs")
+@pytest.mark.parametrize("label", list(PAPER_CONFIGS))
+def test_energy_per_config(benchmark, label, num_requests):
+    n = max(512, num_requests // 4)
+    dev = PAPER_CONFIGS[label]
+
+    def run():
+        cfg = RandomAccessConfig(num_requests=n)
+        sim = _run(dev, random_access_requests(dev.capacity_bytes, cfg))
+        return estimate(sim)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{label}:")
+    print(render(report))
+    assert report.total_pj > 0
+    assert report.pj_per_bit < 1000  # sanity: within 2 orders of DDR3
+
+
+@pytest.mark.benchmark(group="energy-row-policy")
+def test_open_row_saves_activation_energy_on_streams(benchmark, num_requests):
+    """Row-local streams activate once per row under the open policy —
+    the row buffer's energy rationale."""
+    n = max(512, num_requests // 4)
+    dev = PAPER_CONFIGS["4-Link; 8-Bank; 2GB"]
+
+    def sweep():
+        # Repeated accesses cycling over 8 distinct row-local blocks.
+        local = [(CMD.RD64, (i % 8) * 64, None) for i in range(n)]
+        closed = estimate(_run(dev, local, row_policy="closed"))
+        opened = estimate(_run(dev, local, row_policy="open"))
+        return closed, opened
+
+    closed, opened = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nclosed-page activations: {closed.components['activations'] / 1e3:,.0f} nJ")
+    print(f"open-row   activations: {opened.components['activations'] / 1e3:,.0f} nJ")
+    assert opened.components["activations"] < closed.components["activations"] / 4

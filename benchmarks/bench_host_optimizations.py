@@ -1,0 +1,91 @@
+"""Characterisation **host-opt** — host-side prefetching and coalescing.
+
+Two classic host optimisations evaluated against the HMC model — the
+"early algorithm, system and application design" exploration the
+paper's conclusion motivates:
+
+* sequential prefetching hides the dependent-read round trip on
+  streaming access;
+* write combining turns atom-granular stores into block writes, saving
+  header/tail FLITs (the arithmetic behind the spec's configurable
+  maximum block size).
+"""
+
+import pytest
+
+from repro.core.simulator import HMCSim
+from repro.host.coalesce import WriteCombiner
+from repro.host.host import Host
+from repro.host.prefetch import SequentialPrefetcher
+from repro.topology.builder import build_simple
+
+
+def mk_host():
+    sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+    return sim, Host(sim)
+
+
+@pytest.mark.benchmark(group="host-opt-prefetch")
+@pytest.mark.parametrize("degree", (1, 2, 4, 8))
+def test_prefetch_degree_sweep(benchmark, degree):
+    """Cycles for a blocking sequential sweep vs prefetch degree."""
+    def run():
+        sim, host = mk_host()
+        pf = SequentialPrefetcher(host, degree=degree, buffer_blocks=32)
+        for i in range(128):
+            pf.read(i * 64)
+        pf.drain()
+        return sim.clock_value, pf.stats
+
+    cycles, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ndegree {degree}: {cycles:,} cycles, hit rate {stats.hit_rate:.2f}, "
+          f"accuracy {stats.accuracy:.2f}, wasted {stats.wasted}")
+    assert stats.demand_reads == 128
+
+
+@pytest.mark.benchmark(group="host-opt-prefetch-payoff")
+def test_prefetch_beats_demand_reads(benchmark):
+    def run(degree, disable=False):
+        sim, host = mk_host()
+        pf = SequentialPrefetcher(host, degree=degree, buffer_blocks=32)
+        if disable:
+            pf._issue_prefetches = lambda addr: None
+        for i in range(128):
+            pf.read(i * 64)
+        pf.drain()
+        return sim.clock_value
+
+    def sweep():
+        return run(8), run(1, disable=True)
+
+    with_pf, without = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nprefetching: {with_pf:,} cycles | demand-only: {without:,} cycles "
+          f"({without / with_pf:.2f}x)")
+    assert with_pf < without
+
+
+@pytest.mark.benchmark(group="host-opt-coalesce")
+def test_write_combining_flit_savings(benchmark):
+    """Atom stores vs combined block writes: wire traffic and cycles."""
+    def run(combine):
+        sim, host = mk_host()
+        wc = WriteCombiner(host, capacity_atoms=256)
+        if not combine:
+            wc.max_run = 16  # degenerate: every atom its own request
+        for i in range(256):
+            wc.write(i * 16, [i, i])
+        wc.drain()
+        return sim.clock_value, wc.stats
+
+    def sweep():
+        return run(True), run(False)
+
+    (c_cycles, c_stats), (n_cycles, n_stats) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1)
+    print(f"\ncombined : {c_stats.requests_out:>4} requests, "
+          f"{c_stats.flits_out:>4} FLITs, {c_cycles:,} cycles "
+          f"(savings {c_stats.flit_savings:.1%})")
+    print(f"per-atom : {n_stats.requests_out:>4} requests, "
+          f"{n_stats.flits_out:>4} FLITs, {n_cycles:,} cycles")
+    assert c_stats.flits_out < n_stats.flits_out
+    assert c_stats.requests_out == 256 // 4  # WR64 runs on a 64B-block device

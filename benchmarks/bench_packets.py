@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the packet hot path (encode/decode/CRC).
+
+Not a paper artifact — engineering telemetry for the simulator itself.
+Every host send/recv through the C-style facade round-trips the
+bit-level encoder, so its throughput bounds facade-driven simulations.
+"""
+
+import pytest
+
+from repro.packets.commands import CMD
+from repro.packets.crc import crc_words
+from repro.packets.packet import Packet, build_memrequest
+
+
+@pytest.mark.benchmark(group="packets")
+def test_encode_read_request(benchmark):
+    pkt = build_memrequest(0, 0x1000, 7, CMD.RD64, link=1)
+    words = benchmark(pkt.encode)
+    assert len(words) == 2
+
+
+@pytest.mark.benchmark(group="packets")
+def test_encode_write_128(benchmark):
+    pkt = build_memrequest(0, 0x1000, 7, CMD.WR128, payload=list(range(16)))
+    words = benchmark(pkt.encode)
+    assert len(words) == 18
+
+
+@pytest.mark.benchmark(group="packets")
+def test_decode_write_128(benchmark):
+    words = build_memrequest(0, 0x1000, 7, CMD.WR128, payload=list(range(16))).encode()
+    pkt = benchmark(Packet.decode, words)
+    assert pkt.cmd is CMD.WR128
+
+
+@pytest.mark.benchmark(group="packets")
+def test_decode_without_crc(benchmark):
+    words = build_memrequest(0, 0x1000, 7, CMD.RD16).encode()
+    benchmark(Packet.decode, words, False)
+
+
+@pytest.mark.benchmark(group="packets")
+def test_crc_max_packet(benchmark):
+    words = list(range(18))
+    benchmark(crc_words, words)
+
+
+@pytest.mark.benchmark(group="packets")
+def test_build_memrequest_cost(benchmark):
+    benchmark(build_memrequest, 0, 0x40, 1, CMD.WR64, [0] * 8, 0)

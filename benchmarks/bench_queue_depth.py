@@ -1,0 +1,70 @@
+"""Ablation **ablation-qdepth** — user-configurable queue depths.
+
+HMC-Sim deliberately leaves crossbar and vault queue depths to the user
+(paper §IV.3, "Flexible Queuing"); the paper's runs use 128/64.  This
+ablation sweeps both depths under the random-access workload to chart
+the latency/throughput trade-off that flexibility exposes: deeper
+queues absorb bursts (fewer send stalls) at the cost of queueing delay.
+"""
+
+import pytest
+
+from repro.core.config import DeviceConfig, SimConfig
+from repro.workloads.random_access import RandomAccessConfig, run_random_access
+
+VAULT_DEPTHS = (4, 16, 64, 256)
+XBAR_DEPTHS = (8, 32, 128, 512)
+
+
+def _run(queue_depth, xbar_depth, n):
+    dev = DeviceConfig(
+        num_links=4, num_banks=8, capacity=2,
+        queue_depth=queue_depth, xbar_depth=xbar_depth,
+    )
+    return run_random_access(dev, RandomAccessConfig(num_requests=n))
+
+
+@pytest.mark.benchmark(group="ablation-qdepth-vault")
+@pytest.mark.parametrize("depth", VAULT_DEPTHS)
+def test_vault_depth_sweep(benchmark, depth, num_requests):
+    n = max(512, num_requests // 4)
+    res = benchmark.pedantic(_run, args=(depth, 128, n), rounds=1, iterations=1)
+    print(
+        f"\nvault depth {depth:>4}: {res.cycles:,} cycles, "
+        f"mean latency {res.run.mean_latency:.1f}, "
+        f"p99 {res.run.p99_latency:.0f}, "
+        f"xbar stalls {res.sim_stats['xbar_stalls']:,}"
+    )
+    assert res.run.responses_received == n
+
+
+@pytest.mark.benchmark(group="ablation-qdepth-xbar")
+@pytest.mark.parametrize("depth", XBAR_DEPTHS)
+def test_xbar_depth_sweep(benchmark, depth, num_requests):
+    n = max(512, num_requests // 4)
+    res = benchmark.pedantic(_run, args=(64, depth, n), rounds=1, iterations=1)
+    print(
+        f"\nxbar depth {depth:>4}: {res.cycles:,} cycles, "
+        f"mean latency {res.run.mean_latency:.1f}, "
+        f"send stalls {res.sim_stats['send_stalls']:,}"
+    )
+    assert res.run.responses_received == n
+
+
+@pytest.mark.benchmark(group="ablation-qdepth-tradeoff")
+def test_depth_latency_tradeoff(benchmark, num_requests):
+    """Deeper vault queues must not raise throughput-workload cycle
+    counts, and shallow queues must raise stall pressure."""
+    n = max(512, num_requests // 4)
+
+    def sweep():
+        return {d: _run(d, 128, n) for d in (4, 64)}
+
+    res = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    shallow, deep = res[4], res[64]
+    print(
+        f"\nshallow(4): {shallow.cycles:,} cyc, stalls {shallow.sim_stats['xbar_stalls']:,}"
+        f" | deep(64): {deep.cycles:,} cyc, stalls {deep.sim_stats['xbar_stalls']:,}"
+    )
+    assert shallow.sim_stats["xbar_stalls"] >= deep.sim_stats["xbar_stalls"]
+    assert shallow.run.mean_latency <= deep.run.mean_latency * 1.5

@@ -1,0 +1,80 @@
+"""Ablation **row-policy** — constant-time vs open-row DRAM timing.
+
+The paper models vault accesses in "equivalent and constant time as
+long as their bank addressing does not conflict" (§IV.C.4) — a
+closed-page abstraction.  This ablation swaps in an open-row model
+(row-buffer hits cheap, row changes expensive) and measures how far the
+constant-time simplification strays for row-friendly vs row-hostile
+workloads — exactly the fidelity/flexibility trade the related-work
+section draws against cycle-accurate DRAM simulators (DRAMSim2 et al.).
+"""
+
+import pytest
+
+from repro.core.simulator import HMCSim
+from repro.host.host import Host
+from repro.packets.commands import CMD
+from repro.topology.builder import build_simple
+from repro.workloads.random_access import RandomAccessConfig, random_access_requests
+from repro.workloads.stream import stream_requests
+
+
+def _run(policy, requests):
+    sim = HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2,
+                 row_policy=policy, row_hit_cycles=3, row_miss_cycles=22)
+    build_simple(sim)
+    host = Host(sim)
+    res = host.run(list(requests))
+    dev = sim.devices[0]
+    hits = sum(b.row_hits for v in dev.vaults for b in v.banks)
+    misses = sum(b.row_misses for v in dev.vaults for b in v.banks)
+    return res, hits, misses
+
+
+WORKLOADS = {
+    "sequential": lambda n: stream_requests(2 << 30, n),
+    "random": lambda n: random_access_requests(
+        2 << 30, RandomAccessConfig(num_requests=n, read_fraction=1.0)),
+    "row-local": lambda n: iter([(CMD.RD64, (i % 8) * 64, None) for i in range(n)]),
+}
+
+
+@pytest.mark.benchmark(group="ablation-row-policy")
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+def test_open_vs_closed(benchmark, workload, num_requests):
+    n = max(512, num_requests // 4)
+
+    def sweep():
+        closed, _, _ = _run("closed", WORKLOADS[workload](n))
+        opened, hits, misses = _run("open", WORKLOADS[workload](n))
+        return closed, opened, hits, misses
+
+    closed, opened, hits, misses = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    hit_rate = hits / max(hits + misses, 1)
+    print(f"\n{workload:>10}: closed {closed.cycles:,} cyc | open "
+          f"{opened.cycles:,} cyc | row hit rate {hit_rate:.2f}")
+    assert closed.responses_received == opened.responses_received == n
+
+
+@pytest.mark.benchmark(group="ablation-row-policy-direction")
+def test_row_locality_determines_winner(benchmark, num_requests):
+    """Open-row wins on row-local traffic, loses on row-thrashing
+    traffic — the crossover the constant-time model cannot express."""
+    n = max(256, num_requests // 8)
+
+    def sweep():
+        local = [(CMD.RD64, (i % 4) * 64, None) for i in range(n)]
+        thrash = [(CMD.RD64, (i * 16 * 4096) % (1 << 30), None) for i in range(n)]
+        return (
+            _run("closed", local)[0].cycles,
+            _run("open", local)[0].cycles,
+            _run("closed", thrash)[0].cycles,
+            _run("open", thrash)[0].cycles,
+        )
+
+    c_local, o_local, c_thrash, o_thrash = benchmark.pedantic(
+        sweep, rounds=1, iterations=1)
+    print(f"\nrow-local : closed {c_local:,} -> open {o_local:,} cycles")
+    print(f"row-thrash: closed {c_thrash:,} -> open {o_thrash:,} cycles")
+    assert o_local < c_local        # hits are cheaper than the constant
+    assert o_thrash > c_thrash      # misses are dearer than the constant

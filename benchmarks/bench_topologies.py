@@ -1,0 +1,109 @@
+"""Experiment **fig1** — Figure 1: device topologies.
+
+The paper presents four potential topologies for the 4-link base
+configuration — simple, ring, mesh, 2-D torus — enabled by link chaining
+(§III.A).  There is no quantitative table in the paper; this bench
+characterises the topologies the figure depicts: structural properties
+(hop-count matrices, host distance) and end-to-end traffic latency to
+the farthest device under each shape.
+"""
+
+import pytest
+
+from repro.core.simulator import HMCSim
+from repro.host.host import Host
+from repro.packets.commands import CMD
+from repro.topology.builder import (
+    build_chain,
+    build_mesh,
+    build_ring,
+    build_simple,
+    build_torus_2d,
+)
+from repro.topology.route import hop_count_matrix, mean_host_distance
+from repro.topology.validate import diagnose
+
+TOPOLOGIES = {
+    "simple": lambda n: build_simple(_sim(1), host_links=4),
+    "chain": lambda n: build_chain(_sim(n)),
+    "ring": lambda n: build_ring(_sim(n)),
+    "mesh": lambda n: build_mesh(_sim(n), shape=(2, n // 2)),
+    "torus": lambda n: build_torus_2d(_sim(n), shape=(2, n // 2)),
+}
+
+
+def _sim(n):
+    return HMCSim(num_devs=n, num_links=4, num_banks=8, capacity=2)
+
+
+def _drive(sim, cub, requests=256):
+    host = Host(sim)
+    return host.run([(CMD.RD64, i * 64, None) for i in range(requests)], cub=cub)
+
+
+@pytest.mark.benchmark(group="fig1-topologies")
+@pytest.mark.parametrize("name", list(TOPOLOGIES))
+def test_topology_traffic(benchmark, name):
+    """Latency/throughput of read traffic to the farthest cube under
+    each Figure 1 topology."""
+    def run():
+        sim = TOPOLOGIES[name](6)
+        report = diagnose(sim)
+        target = len(sim.devices) - 1  # farthest cube by id
+        res = _drive(sim, target)
+        return sim, report, res, target
+
+    sim, report, res, target = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n{name:>7}: devices={report.num_devices} chain_links={report.chain_links} "
+        f"host_links={report.host_links} -> cube {target}: "
+        f"mean latency {res.mean_latency:.1f} cyc, "
+        f"{res.responses_received}/{res.requests_sent} completed"
+    )
+    assert res.errors_received == 0
+    assert res.responses_received == res.requests_sent
+
+
+@pytest.mark.benchmark(group="fig1-structure")
+def test_topology_structural_comparison(benchmark):
+    """Hop-count structure of the four chained topologies: torus beats
+    ring beats chain in mean host distance; mesh sits between."""
+    def build_all():
+        return {
+            "chain": build_chain(_sim(6)),
+            "ring": build_ring(_sim(6)),
+            "mesh": build_mesh(_sim(6), shape=(2, 3)),
+            "torus": build_torus_2d(_sim(6), shape=(2, 3)),
+        }
+
+    sims = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    dists = {}
+    print()
+    for name, sim in sims.items():
+        m = hop_count_matrix(sim)
+        dists[name] = mean_host_distance(sim)
+        print(
+            f"  {name:>6}: mean host distance {dists[name]:.2f}, "
+            f"max device-device hops {m.max()}"
+        )
+    assert dists["ring"] <= dists["chain"]
+    assert dists["torus"] <= dists["mesh"]
+
+
+@pytest.mark.benchmark(group="fig1-latency-vs-distance")
+def test_latency_grows_with_chain_depth(benchmark):
+    """Chained request latency grows with hop distance — the cost the
+    ring/torus wraparounds exist to bound."""
+    def run():
+        sim = build_chain(_sim(6))
+        out = {}
+        for cub in range(6):
+            res = _drive(sim, cub, requests=64)
+            out[cub] = res.mean_latency
+        return out
+
+    lat = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for cub, l in lat.items():
+        print(f"  cube {cub}: mean latency {l:.1f} cycles")
+    assert lat[5] > lat[0]

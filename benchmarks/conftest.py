@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark prints the paper-style table/series it regenerates, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
+runner behind EXPERIMENTS.md.  Request counts are scaled (the paper used
+2**25 requests; a pure-Python cycle simulator needs hours for that) —
+override with ``--repro-requests`` to run closer to paper scale.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-requests",
+        action="store",
+        type=int,
+        default=4096,
+        help="random-access requests per configuration (paper: 33554432)",
+    )
+
+
+@pytest.fixture(scope="session")
+def num_requests(request):
+    return request.config.getoption("--repro-requests")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Visualise vault congestion: occupancy heatmaps per workload.
+
+Samples every vault's request-queue occupancy each cycle and renders an
+ASCII heatmap (vaults × time).  Uniform random traffic lights all rows
+evenly; a vault-pinning stride lights exactly one — the congestion view
+behind the paper's bank/vault utilisation discussion (§VI.B).
+
+Usage::
+
+    python examples/congestion_heatmap.py [--requests N]
+"""
+
+import argparse
+import sys
+
+from repro.analysis.occupancy import sample_run
+from repro.core.simulator import HMCSim
+from repro.host.host import Host
+from repro.topology.builder import build_simple
+from repro.workloads.random_access import RandomAccessConfig, random_access_requests
+from repro.workloads.stride import stride_requests
+
+
+def fresh():
+    sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+    return sim, Host(sim)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=4096)
+    args = parser.parse_args(argv)
+
+    print("=== uniform random traffic ===")
+    sim, host = fresh()
+    res, sampler = sample_run(
+        sim, host,
+        random_access_requests(2 << 30, RandomAccessConfig(num_requests=args.requests)),
+    )
+    print(sampler.render_heatmap())
+    print(f"mean occupancy {sampler.mean_vault_occupancy():.1f}, "
+          f"hottest vault {sampler.hottest_vault()}, "
+          f"{res.cycles:,} cycles\n")
+
+    print("=== vault-pinning stride (stride = vaults x block) ===")
+    sim, host = fresh()
+    res, sampler = sample_run(
+        sim, host,
+        stride_requests(2 << 30, args.requests // 4, stride_bytes=16 * 64),
+    )
+    print(sampler.render_heatmap())
+    print(f"mean occupancy {sampler.mean_vault_occupancy():.1f}, "
+          f"hottest vault {sampler.hottest_vault()}, "
+          f"{res.cycles:,} cycles")
+    print("\nThe stride defeats the low-interleave map: every request "
+          "lands in one vault, serialising on its banks while fifteen "
+          "vaults idle.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure 4 calling sequence, both APIs.
+
+Runs the same tiny transaction flow twice:
+
+1. through the Pythonic :class:`repro.HMCSim` API, and
+2. through the C-style facade (``hmcsim_init`` / ``hmcsim_send`` / ...)
+   that transliterates the paper's Fig. 4 listing.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import CMD, HMCSim, build_memrequest
+from repro.core.api import (
+    hmcsim_build_memrequest,
+    hmcsim_clock,
+    hmcsim_decode_packet,
+    hmcsim_free,
+    hmcsim_init,
+    hmcsim_link_config,
+    hmcsim_recv,
+    hmcsim_send,
+    hmcsim_t,
+)
+from repro.core.errors import E_NODATA, E_OK
+
+
+def pythonic() -> None:
+    print("=== Pythonic API ===")
+    # Section A: init the device (4-link, 8 banks/vault, 2 GB).
+    sim = HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2)
+
+    # Section B: configure the link topology — all four links to the host.
+    for link in range(4):
+        sim.attach_host(dev=0, link=link)
+
+    # Section C: build and send a 64-byte write, then read it back.
+    payload = [0x1111 * (i + 1) for i in range(8)]
+    sim.send(build_memrequest(cub=0, addr=0x2_0000, tag=1, cmd=CMD.WR64,
+                              payload=payload, link=0))
+    sim.send(build_memrequest(cub=0, addr=0x2_0000, tag=2, cmd=CMD.RD64, link=1))
+
+    # Clock the sim until both responses arrive.
+    responses = []
+    while len(responses) < 2:
+        sim.clock()
+        responses += sim.recv_all()
+
+    for rsp in sorted(responses, key=lambda r: r.tag):
+        latency = rsp.completed_at - rsp.injected_at
+        print(f"  tag {rsp.tag}: {rsp.cmd.name:8} latency {latency} cycles "
+              f"payload={[hex(w) for w in rsp.payload[:2]]}...")
+    read = next(r for r in responses if r.tag == 2)
+    assert list(read.payload) == payload, "read data must match the write"
+    print(f"  stats: {sim.stats()}")
+
+    # Section A: free the devices.
+    sim.free()
+
+
+def c_style() -> None:
+    print("=== C-style facade (Fig. 4) ===")
+    # Section A. Init the devices.
+    hmc = hmcsim_t()
+    ret = hmcsim_init(hmc, num_devs=1, num_links=4, num_vaults=16,
+                      queue_depth=64, num_banks=8, num_drams=8,
+                      capacity=2, xbar_depth=128)
+    assert ret == E_OK
+
+    # Section B. Config the link topology.
+    for i in range(4):
+        ret = hmcsim_link_config(hmc, 0, i, hmc.sim.host_cub, 0, "host")
+        assert ret == E_OK
+
+    # Section C. Build a request packet.
+    payload = [0] * 8
+    ret, head, tail, packet = hmcsim_build_memrequest(
+        hmc, 0, 0x1000, 17, "RD_64", 0, payload)
+    assert ret == E_OK
+    print(f"  head=0x{head:016x} tail=0x{tail:016x} ({len(packet)} words)")
+
+    # Section C. Send the request.
+    ret = hmcsim_send(hmc, packet)
+    assert ret == E_OK
+
+    # Clock the sim until the response arrives.
+    while True:
+        hmcsim_clock(hmc)
+        ret, words = hmcsim_recv(hmc, 0, 0)
+        if ret != E_NODATA:
+            break
+    _, fields = hmcsim_decode_packet(words)
+    print(f"  response: cmd={fields['cmd']} tag={fields['tag']} "
+          f"flits={fields['flits']}")
+    assert fields["tag"] == 17
+
+    # Section A. Free the devices.
+    assert hmcsim_free(hmc) == E_OK
+
+
+if __name__ == "__main__":
+    pythonic()
+    print()
+    c_style()
+    print("\nquickstart OK")

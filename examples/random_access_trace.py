@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The paper's evaluation workload with full tracing (Figure 5 scenario).
+
+Runs the §VI.A random-access harness against one of the four paper
+device configurations with Figure-5 tracing enabled, prints the series
+summary (bank conflicts, reads, writes, crossbar stalls, latency
+penalties per cycle) and optionally dumps the bucketed series to CSV
+for plotting.
+
+Usage::
+
+    python examples/random_access_trace.py [--config 0..3] [--requests N]
+        [--csv out.csv] [--glibc-rand]
+"""
+
+import argparse
+import csv
+import sys
+
+from repro.analysis.figures import downsample, run_figure5
+from repro.analysis.report import render_figure5_summary
+from repro.core.config import paper_config_pairs
+from repro.workloads.random_access import RandomAccessConfig
+
+
+def main(argv=None) -> int:
+    configs = paper_config_pairs()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--config", type=int, default=0, choices=range(len(configs)),
+                        help="paper configuration index: "
+                        + "; ".join(f"{i}={label}" for i, (label, _) in enumerate(configs)))
+    parser.add_argument("--requests", type=int, default=8192,
+                        help="request count (paper: 33554432)")
+    parser.add_argument("--csv", type=str, default=None,
+                        help="write bucketed per-cycle series to this CSV")
+    parser.add_argument("--buckets", type=int, default=100)
+    parser.add_argument("--glibc-rand", action="store_true",
+                        help="use the bit-exact glibc random() stream")
+    args = parser.parse_args(argv)
+
+    label, device = configs[args.config]
+    print(f"running {args.requests:,} 64-byte requests (50/50 R/W) on {label}...")
+    cfg = RandomAccessConfig(num_requests=args.requests,
+                             use_glibc_rand=args.glibc_rand)
+    data = run_figure5(device, cfg)
+
+    print()
+    print(render_figure5_summary(data))
+    res = data.result
+    print(f"\nsimulated runtime: {res.cycles:,} cycles "
+          f"({res.requests_per_cycle:.2f} requests/cycle)")
+    print(f"host-observed mean latency: {res.run.mean_latency:.1f} cycles, "
+          f"p99 {res.run.p99_latency:.0f}")
+
+    if args.csv:
+        buckets = min(args.buckets, data.num_cycles)
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            names = list(data.series)
+            writer.writerow(["bucket"] + names)
+            cols = [downsample(data.series[n], buckets) for n in names]
+            for i in range(buckets):
+                writer.writerow([i] + [int(c[i]) for c in cols])
+        print(f"wrote {buckets}-bucket series to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""One-command reproduction of the paper's full evaluation (§VI).
+
+Runs Table I across the four device configurations, extracts the five
+Figure 5 trace series for each, computes the speedup aggregates the
+paper's text reports, and writes everything to a markdown report —
+measured-vs-paper, side by side.
+
+Usage::
+
+    python examples/reproduce_paper.py [--requests N] [--out report.md]
+
+The paper used 2^25 requests; the default here (2^14) preserves the
+steady-state cycles/request ratio that the speedups measure.  Expect
+~30 s at the default scale, hours at paper scale.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.figures import run_figure5
+from repro.analysis.report import render_figure5_summary
+from repro.analysis.tables import PAPER_SPEEDUPS, run_table1, speedups
+from repro.core.config import PAPER_CONFIGS, PAPER_TABLE1_CYCLES, PAPER_TABLE1_REQUESTS
+from repro.workloads.random_access import RandomAccessConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=1 << 14)
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the markdown report to this file")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    lines = ["# HMC-Sim paper reproduction report", ""]
+    lines.append(f"Requests per configuration: {args.requests:,} "
+                 f"(paper: {PAPER_TABLE1_REQUESTS:,}); 50/50 R/W, 64 B, "
+                 f"round-robin links.")
+    lines.append("")
+
+    # ---- Table I --------------------------------------------------------
+    print(f"running Table I ({args.requests:,} requests x 4 configs)...")
+    t0 = time.time()
+    rows = run_table1(num_requests=args.requests, seed=args.seed)
+    lines.append("## Table I — simulated runtime in clock cycles")
+    lines.append("")
+    lines.append("| configuration | paper cycles | paper req/cyc | "
+                 "measured cycles | measured req/cyc |")
+    lines.append("|---|---|---|---|---|")
+    for r in rows:
+        paper_rpc = PAPER_TABLE1_REQUESTS / r.paper_cycles
+        lines.append(
+            f"| {r.label} | {r.paper_cycles:,} | {paper_rpc:.2f} "
+            f"| {r.cycles:,} | {r.result.requests_per_cycle:.2f} |"
+        )
+    sp = speedups(rows)
+    lines.append("")
+    lines.append(f"- bank speedup: measured **{sp['bank_speedup']:.3f}x** "
+                 f"(paper {PAPER_SPEEDUPS['bank_speedup']}x)")
+    lines.append(f"- link speedup: measured **{sp['link_speedup']:.3f}x** "
+                 f"(paper {PAPER_SPEEDUPS['link_speedup']}x)")
+    cycles = {r.label: r.cycles for r in rows}
+    ordering_ok = (
+        cycles["4-Link; 8-Bank; 2GB"] == max(cycles.values())
+        and cycles["8-Link; 16-Bank; 8GB"] == min(cycles.values())
+    )
+    lines.append(f"- row ordering matches the paper: **{ordering_ok}**")
+    lines.append("")
+    print(f"  done in {time.time() - t0:.0f}s")
+
+    # ---- Figure 5 -------------------------------------------------------
+    fig_requests = max(1024, args.requests // 4)
+    lines.append("## Figure 5 — per-cycle trace series")
+    lines.append("")
+    for label, device in PAPER_CONFIGS.items():
+        print(f"running Figure 5 for {label}...")
+        data = run_figure5(device,
+                           RandomAccessConfig(num_requests=fig_requests,
+                                              seed=args.seed))
+        lines.append(f"### {label}")
+        lines.append("```")
+        lines.append(render_figure5_summary(data))
+        lines.append("```")
+        lines.append("")
+
+    report = "\n".join(lines)
+    print()
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"\nwrote {args.out}")
+    return 0 if ordering_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

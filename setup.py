@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without PEP 517 wheel support.
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` through the legacy setuptools code path.
+"""
+
+from setuptools import setup
+
+setup()

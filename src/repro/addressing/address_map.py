@@ -1,0 +1,248 @@
+"""Address map modes: decompose 34-bit physical addresses.
+
+A decoded address identifies, within one cube:
+
+* the **vault** (16 vaults on 4-link devices, 32 on 8-link devices);
+* the **bank** within the vault (8 or 16 memory layers);
+* the **DRAM row** — the remaining upper bits, addressing 16-byte blocks
+  within the bank;
+* the **block offset** — the low bits inside the maximum request block.
+
+The default modes follow the specification's low-interleave schema
+(paper §III.B): the least-significant field above the block offset is
+the vault id, immediately followed by the bank id, "in order to avoid
+bank conflicts" for sequential streams.  Alternative modes (bank-first,
+linear) are provided for the ablation experiments, and a fully custom
+field ordering can be supplied by the user.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: Width of the physical address field (paper §III.B).
+ADDRESS_FIELD_BITS = 34
+
+#: 16-byte minimum addressable block.
+ATOM_BITS = 4
+
+
+class AddressMapMode(enum.Enum):
+    """Built-in field orderings, lowest-significance field first."""
+
+    #: Default low-interleave: offset | vault | bank | dram.
+    VAULT_BANK = "vault_bank"
+    #: offset | bank | vault | dram — banks interleave first.
+    BANK_VAULT = "bank_vault"
+    #: offset | dram | bank | vault — contiguous ranges land in one vault.
+    LINEAR = "linear"
+
+
+def _log2_exact(value: int, name: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """The (vault, bank, dram row, block offset) tuple for one address."""
+
+    vault: int
+    bank: int
+    dram: int
+    offset: int
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        return (self.vault, self.bank, self.dram, self.offset)
+
+
+class AddressMap:
+    """Bidirectional physical-address ⇄ (vault, bank, dram, offset) map.
+
+    Parameters
+    ----------
+    num_vaults, num_banks:
+        Power-of-two structure counts for the target device.
+    block_size:
+        Maximum request block size in bytes (32, 64 or 128); its log2
+        gives the offset-field width, following the spec's default map
+        tables that "marry the physical vault and bank structure to the
+        desired maximum block request size".
+    capacity_bytes:
+        Total device capacity; bounds the dram field.
+    mode:
+        One of :class:`AddressMapMode`, or the string ``"custom"``
+        together with *field_order*.
+    field_order:
+        For custom maps: a permutation of ``("vault", "bank", "dram")``
+        ordered from least to most significant.
+    """
+
+    _MODE_ORDERS = {
+        AddressMapMode.VAULT_BANK: ("vault", "bank", "dram"),
+        AddressMapMode.BANK_VAULT: ("bank", "vault", "dram"),
+        AddressMapMode.LINEAR: ("dram", "bank", "vault"),
+    }
+
+    def __init__(
+        self,
+        num_vaults: int,
+        num_banks: int,
+        block_size: int = 64,
+        capacity_bytes: int = 2**31,
+        mode: AddressMapMode | str = AddressMapMode.VAULT_BANK,
+        field_order: Sequence[str] | None = None,
+    ) -> None:
+        self.num_vaults = num_vaults
+        self.num_banks = num_banks
+        self.block_size = block_size
+        self.capacity_bytes = capacity_bytes
+
+        self.vault_bits = _log2_exact(num_vaults, "num_vaults")
+        self.bank_bits = _log2_exact(num_banks, "num_banks")
+        self.offset_bits = _log2_exact(block_size, "block_size")
+        if self.offset_bits < ATOM_BITS:
+            raise ValueError(
+                f"block_size must be >= {1 << ATOM_BITS} bytes, got {block_size}"
+            )
+        total_bits = _log2_exact(capacity_bytes, "capacity_bytes")
+        self.dram_bits = total_bits - self.vault_bits - self.bank_bits - self.offset_bits
+        if self.dram_bits < 0:
+            raise ValueError(
+                "capacity too small for the vault/bank/offset structure: "
+                f"{capacity_bytes} bytes, {num_vaults} vaults x {num_banks} banks"
+            )
+        if total_bits > ADDRESS_FIELD_BITS:
+            raise ValueError(
+                f"capacity needs {total_bits} address bits; the HMC field is "
+                f"{ADDRESS_FIELD_BITS} bits"
+            )
+        self.total_bits = total_bits
+
+        if field_order is not None:
+            order = tuple(field_order)
+            if sorted(order) != ["bank", "dram", "vault"]:
+                raise ValueError(
+                    "field_order must be a permutation of ('vault','bank','dram'), "
+                    f"got {order}"
+                )
+            self.mode = "custom"
+        else:
+            mode = AddressMapMode(mode)
+            order = self._MODE_ORDERS[mode]
+            self.mode = mode
+        self.field_order = order
+
+        widths = {"vault": self.vault_bits, "bank": self.bank_bits, "dram": self.dram_bits}
+        shift = self.offset_bits
+        self._shifts = {}
+        for name in order:
+            self._shifts[name] = shift
+            shift += widths[name]
+        self._widths = widths
+        self._offset_mask = (1 << self.offset_bits) - 1
+        self._vault_mask = (1 << self.vault_bits) - 1
+        self._bank_mask = (1 << self.bank_bits) - 1
+        self._dram_mask = (1 << self.dram_bits) - 1 if self.dram_bits else 0
+        # Cache shifts as attributes for the hot decode path.
+        self._vs = self._shifts["vault"]
+        self._bs = self._shifts["bank"]
+        self._ds = self._shifts["dram"]
+
+    # -- hot-path decode ---------------------------------------------------
+
+    def decode(self, addr: int) -> DecodedAddress:
+        """Decode *addr* into its structured fields.
+
+        Addresses beyond the device capacity raise :class:`ValueError`
+        (the vault logic converts this into an INVALID_ADDRESS error
+        response rather than crashing the simulation).
+        """
+        if not 0 <= addr < self.capacity_bytes:
+            raise ValueError(f"address {addr:#x} outside capacity {self.capacity_bytes:#x}")
+        return DecodedAddress(
+            vault=(addr >> self._vs) & self._vault_mask,
+            bank=(addr >> self._bs) & self._bank_mask,
+            dram=(addr >> self._ds) & self._dram_mask,
+            offset=addr & self._offset_mask,
+        )
+
+    def vault_of(self, addr: int) -> int:
+        """Fast vault extraction (no bounds check; crossbar hot path)."""
+        return (addr >> self._vs) & self._vault_mask
+
+    def bank_of(self, addr: int) -> int:
+        """Fast bank extraction (no bounds check; conflict hot path)."""
+        return (addr >> self._bs) & self._bank_mask
+
+    def dram_of(self, addr: int) -> int:
+        """Fast DRAM-row extraction (no bounds check)."""
+        return (addr >> self._ds) & self._dram_mask
+
+    # -- inverse -------------------------------------------------------------
+
+    def encode(self, vault: int, bank: int, dram: int = 0, offset: int = 0) -> int:
+        """Compose a physical address from structured fields."""
+        if not 0 <= vault < self.num_vaults:
+            raise ValueError(f"vault {vault} out of range [0,{self.num_vaults})")
+        if not 0 <= bank < self.num_banks:
+            raise ValueError(f"bank {bank} out of range [0,{self.num_banks})")
+        if self.dram_bits == 0 and dram:
+            raise ValueError("device has no dram bits but dram != 0")
+        if self.dram_bits and not 0 <= dram < (1 << self.dram_bits):
+            raise ValueError(f"dram {dram} out of range")
+        if not 0 <= offset < self.block_size:
+            raise ValueError(f"offset {offset} out of range [0,{self.block_size})")
+        return (
+            (vault << self._vs)
+            | (bank << self._bs)
+            | (dram << self._ds)
+            | offset
+        )
+
+    def in_range(self, addr: int) -> bool:
+        """True iff *addr* falls inside the device capacity."""
+        return 0 <= addr < self.capacity_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"AddressMap(mode={self.mode}, vaults={self.num_vaults}, "
+            f"banks={self.num_banks}, block={self.block_size}B, "
+            f"capacity={self.capacity_bytes >> 30}GB, order={self.field_order})"
+        )
+
+
+def default_map(
+    num_links: int,
+    num_vaults: int,
+    num_banks: int,
+    capacity_bytes: int,
+    block_size: int = 64,
+) -> AddressMap:
+    """The spec's default low-interleave map for a device configuration.
+
+    Four-link devices use the lower 32 bits of the 34-bit field; eight-
+    link devices the lower 33 bits (paper §III.B).  The capacity is
+    checked against the field width for the link count.
+    """
+    if num_links == 4:
+        field_bits = 32
+    elif num_links == 8:
+        field_bits = 33
+    else:
+        raise ValueError(f"HMC devices have 4 or 8 links, got {num_links}")
+    if capacity_bytes > (1 << field_bits):
+        raise ValueError(
+            f"{num_links}-link devices address at most {1 << field_bits} bytes, "
+            f"got {capacity_bytes}"
+        )
+    return AddressMap(
+        num_vaults=num_vaults,
+        num_banks=num_banks,
+        block_size=block_size,
+        capacity_bytes=capacity_bytes,
+        mode=AddressMapMode.VAULT_BANK,
+    )

@@ -1,0 +1,29 @@
+"""Evaluation analysis: Table I and Figure 5 reproduction (paper §VI).
+
+:mod:`tables` sweeps the four paper device configurations through the
+random-access harness and computes the speedup ratios the paper reports
+(1.7× from doubling banks, 2.319× from doubling links);
+:mod:`figures` extracts the five Figure-5 per-cycle series;
+:mod:`report` renders both as paper-style text tables.
+"""
+
+from repro.analysis.tables import Table1Row, run_table1, speedups
+from repro.analysis.figures import Figure5Data, extract_figure5, downsample
+from repro.analysis.report import render_figure5_summary, render_table1
+from repro.analysis.bandwidth import BandwidthReport, measure, raw_device_bandwidth_gbs
+from repro.analysis.latency import LatencyDistribution
+
+__all__ = [
+    "BandwidthReport",
+    "Figure5Data",
+    "LatencyDistribution",
+    "Table1Row",
+    "downsample",
+    "extract_figure5",
+    "measure",
+    "raw_device_bandwidth_gbs",
+    "render_figure5_summary",
+    "render_table1",
+    "run_table1",
+    "speedups",
+]

@@ -1,0 +1,152 @@
+"""First-order energy model for simulated runs.
+
+A headline claim of the HMC technology is energy efficiency: the
+consortium's figures put HMC at roughly 10.5 pJ/bit of delivered data
+versus ~65 pJ/bit for DDR3 — the motivation behind the paper's "very
+compact, power efficient package" (§III.A).  This module estimates the
+energy of a simulated run from the engine's event counters, using
+per-event coefficients that default to literature-derived values and
+are fully overridable for sensitivity studies.
+
+Accounting sources (all maintained by the engine):
+
+* SERDES link traffic — FLITs counted per link (``Link.tx/rx_flits``);
+* crossbar traversals — packets routed per crossbar unit;
+* DRAM row activations — row misses under the open-row policy, or one
+  activation per access under the closed-page model;
+* DRAM column fetches — 32-byte column accesses per bank;
+* background/leakage — per device-cycle.
+
+This is a first-order model (no voltage/frequency scaling, no thermal
+coupling); its purpose is comparative — config A vs config B on the
+same workload — not absolute wattage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.simulator import HMCSim
+from repro.packets.flit import FLIT_BYTES
+
+#: DDR3 reference energy per delivered bit (pJ), for context lines.
+DDR3_PJ_PER_BIT = 65.0
+
+#: HMC headline figure (pJ per delivered bit).
+HMC_PJ_PER_BIT = 10.48
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-event energy costs in picojoules."""
+
+    #: SERDES transfer cost per bit crossing an external link.
+    link_pj_per_bit: float = 2.0
+    #: Crossbar traversal cost per routed packet.
+    xbar_pj_per_packet: float = 25.0
+    #: DRAM row activation (precharge + activate).
+    activate_pj: float = 900.0
+    #: One 32-byte column fetch.
+    column_pj: float = 160.0
+    #: Atomic ALU operation in the vault logic.
+    atomic_pj: float = 40.0
+    #: Background power per device per cycle (logic + refresh, averaged).
+    background_pj_per_cycle: float = 50.0
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown for one run."""
+
+    cycles: int
+    components: Dict[str, float] = field(default_factory=dict)
+    delivered_bits: int = 0
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def total_nj(self) -> float:
+        return self.total_pj / 1e3
+
+    @property
+    def pj_per_bit(self) -> float:
+        """Energy per *delivered* (host-visible payload) bit."""
+        return self.total_pj / self.delivered_bits if self.delivered_bits else float("inf")
+
+    def vs_ddr3(self) -> float:
+        """Efficiency ratio against the DDR3 reference (higher = better)."""
+        p = self.pj_per_bit
+        return DDR3_PJ_PER_BIT / p if p > 0 else float("inf")
+
+    def as_dict(self) -> Dict[str, float]:
+        d = dict(self.components)
+        d.update(
+            total_pj=self.total_pj,
+            pj_per_bit=self.pj_per_bit,
+            delivered_bits=self.delivered_bits,
+            cycles=self.cycles,
+        )
+        return d
+
+
+def estimate(
+    sim: HMCSim,
+    coeffs: EnergyCoefficients = EnergyCoefficients(),
+) -> EnergyReport:
+    """Estimate run energy from the simulator's counters."""
+    report = EnergyReport(cycles=sim.clock_value)
+    link_bits = 0
+    xbar_packets = 0
+    activations = 0
+    columns = 0
+    atomics = 0
+    open_policy = sim.config.row_policy == "open"
+    for dev in sim.devices:
+        for link in dev.links:
+            link_bits += (link.tx_flits + link.rx_flits) * FLIT_BYTES * 8
+        for xbar in dev.xbars:
+            xbar_packets += xbar.routed_local + xbar.routed_remote
+        for vault in dev.vaults:
+            for bank in vault.banks:
+                columns += bank.column_fetches
+                atomics += bank.atomics
+                if open_policy:
+                    activations += bank.row_misses
+                else:
+                    # Closed page: every access activates its row.
+                    activations += bank.total_accesses
+    report.components = {
+        "links": link_bits * coeffs.link_pj_per_bit,
+        "crossbars": xbar_packets * coeffs.xbar_pj_per_packet,
+        "activations": activations * coeffs.activate_pj,
+        "columns": columns * coeffs.column_pj,
+        "atomics": atomics * coeffs.atomic_pj,
+        "background": len(sim.devices) * sim.clock_value * coeffs.background_pj_per_cycle,
+    }
+    # Delivered bits: payload words of host-visible traffic — approximate
+    # as the host-link FLIT traffic minus one header/tail FLIT per packet.
+    header_flits = 0
+    payload_flits = 0
+    for dev_id, link_id in sim.host_links():
+        link = sim.devices[dev_id].links[link_id]
+        payload_flits += link.tx_flits + link.rx_flits
+        header_flits += link.tx_packets + link.rx_packets
+    report.delivered_bits = max(payload_flits - header_flits, 0) * FLIT_BYTES * 8
+    return report
+
+
+def render(report: EnergyReport) -> str:
+    """Text rendering of an energy report."""
+    lines = [f"energy over {report.cycles:,} cycles: {report.total_nj:,.1f} nJ"]
+    total = report.total_pj or 1.0
+    for name, pj in sorted(report.components.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<12} {pj / 1e3:10.1f} nJ  ({pj / total * 100:4.1f}%)")
+    lines.append(
+        f"  => {report.pj_per_bit:.2f} pJ per delivered bit "
+        f"(DDR3 ref {DDR3_PJ_PER_BIT:.0f}, HMC headline {HMC_PJ_PER_BIT:.2f}; "
+        f"{report.vs_ddr3():.1f}x vs DDR3)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Figure 5: per-cycle trace series from the random-access workload.
+
+"The graphs project the number of bank conflicts, read requests and
+write requests that occurred within each vault at each respective
+cycle.  The graph also plots the number of crossbar request stalls
+observed internal to the device and the number of events raised due to
+the potential routed latency penalties at each simulated clock cycle."
+(paper §VI.B)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import DeviceConfig
+from repro.trace.stats import CycleSeries, TraceStats
+from repro.workloads.random_access import (
+    RandomAccessConfig,
+    RandomAccessResult,
+    run_random_access,
+)
+
+#: The five Figure-5 series names, in the paper's order.
+SERIES_NAMES = (
+    "bank_conflicts",
+    "read_requests",
+    "write_requests",
+    "xbar_rqst_stalls",
+    "latency_penalties",
+)
+
+
+@dataclass
+class Figure5Data:
+    """The five per-cycle series for one device configuration."""
+
+    label: str
+    num_cycles: int
+    series: Dict[str, CycleSeries]
+    #: Per-vault total utilisation (reads+writes), for the per-vault view.
+    vault_utilization: np.ndarray
+    result: Optional[RandomAccessResult] = None
+
+    def totals(self) -> Dict[str, int]:
+        return {name: s.total for name, s in self.series.items()}
+
+    def peaks(self) -> Dict[str, int]:
+        return {name: s.peak for name, s in self.series.items()}
+
+    def means(self) -> Dict[str, float]:
+        return {
+            name: (s.total / self.num_cycles if self.num_cycles else 0.0)
+            for name, s in self.series.items()
+        }
+
+
+def extract_figure5(stats: TraceStats, label: str = "") -> Figure5Data:
+    """Build :class:`Figure5Data` from an aggregated trace."""
+    series = stats.figure5_series()
+    return Figure5Data(
+        label=label,
+        num_cycles=stats.num_cycles,
+        series=series,
+        vault_utilization=stats.vault_utilization(),
+    )
+
+
+def run_figure5(
+    device: DeviceConfig,
+    cfg: RandomAccessConfig = RandomAccessConfig(),
+) -> Figure5Data:
+    """Run the random-access workload with tracing and extract Figure 5."""
+    result = run_random_access(device, cfg, trace=True)
+    assert result.trace_stats is not None
+    data = extract_figure5(result.trace_stats, label=device.label())
+    data.result = result
+    return data
+
+
+def downsample(series: CycleSeries, buckets: int = 100) -> np.ndarray:
+    """Sum a per-cycle series into *buckets* equal windows (plot-scale).
+
+    The paper's figures plot millions of cycles; bucketed sums preserve
+    totals exactly while making the series printable/plottable.
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    v = series.values
+    if v.size == 0:
+        return np.zeros(buckets, dtype=np.int64)
+    edges = np.linspace(0, v.size, buckets + 1).astype(np.int64)
+    return np.add.reduceat(
+        np.concatenate([v, np.zeros(1, dtype=v.dtype)]), edges[:-1]
+    )[:buckets]

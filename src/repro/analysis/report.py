@@ -1,0 +1,97 @@
+"""Text rendering of the reproduced evaluation artifacts."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.figures import Figure5Data, SERIES_NAMES, downsample
+from repro.analysis.tables import PAPER_SPEEDUPS, Table1Row, speedups
+
+
+def render_table1(rows: Sequence[Table1Row], num_requests: Optional[int] = None) -> str:
+    """Render the reproduced Table I with paper-side context.
+
+    Absolute cycle counts are not comparable to the paper's (different
+    request count, simulator substrate); the cycles/request column and
+    the speedup aggregates are the reproduced shape.
+    """
+    lines = []
+    title = "TABLE I. SIMULATION RUNTIME IN CLOCK CYCLES (reproduction)"
+    if num_requests is not None:
+        title += f" — {num_requests:,} requests"
+    lines.append(title)
+    header = (
+        f"{'Device Configuration':<24}{'Cycles':>12}{'Cyc/req':>10}"
+        f"{'Paper cycles':>16}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        paper = f"{r.paper_cycles:,}" if r.paper_cycles else "-"
+        cpr = (
+            f"{r.cycles / r.result.cfg.num_requests:.3f}"
+            if r.result is not None
+            else "-"
+        )
+        lines.append(f"{r.label:<24}{r.cycles:>12,}{cpr:>10}{paper:>16}")
+    sp = speedups(rows)
+    lines.append("")
+    lines.append(
+        f"bank speedup (8->16 banks, same links): measured "
+        f"{sp.get('bank_speedup', float('nan')):.3f}x   paper {PAPER_SPEEDUPS['bank_speedup']:.3f}x"
+    )
+    lines.append(
+        f"link speedup (4->8 links, same banks):  measured "
+        f"{sp.get('link_speedup', float('nan')):.3f}x   paper {PAPER_SPEEDUPS['link_speedup']:.3f}x"
+    )
+    return "\n".join(lines)
+
+
+def render_figure5_summary(data: Figure5Data, buckets: int = 20) -> str:
+    """Render the five Figure-5 series as bucketed text sparklines."""
+    lines = [
+        f"Figure 5 (reproduction) — {data.label}, {data.num_cycles:,} cycles",
+        f"{'series':<20}{'total':>12}{'peak/cyc':>10}{'mean/cyc':>10}  bucketed series",
+    ]
+    means = data.means()
+    for name in SERIES_NAMES:
+        s = data.series[name]
+        b = downsample(s, buckets=min(buckets, max(1, data.num_cycles)))
+        spark = _sparkline(b)
+        lines.append(
+            f"{name:<20}{s.total:>12,}{s.peak:>10}{means[name]:>10.3f}  {spark}"
+        )
+    util = data.vault_utilization
+    if util.size:
+        lines.append(
+            f"vault utilisation: min={int(util.min())} max={int(util.max())} "
+            f"mean={float(util.mean()):.1f} requests/vault"
+        )
+    return "\n".join(lines)
+
+
+_BARS = " .:-=+*#%@"
+
+
+def _sparkline(values) -> str:
+    """Ten-level ASCII sparkline of a non-negative series."""
+    hi = max((int(v) for v in values), default=0)
+    if hi == 0:
+        return " " * len(values)
+    out = []
+    for v in values:
+        idx = int(v) * (len(_BARS) - 1) // hi
+        out.append(_BARS[idx])
+    return "".join(out)
+
+
+def render_dict(title: str, d: Dict[str, float]) -> str:
+    """Small helper for printing stat dictionaries in benchmarks."""
+    lines = [title]
+    width = max((len(k) for k in d), default=0)
+    for k, v in d.items():
+        if isinstance(v, float):
+            lines.append(f"  {k:<{width}} = {v:.4f}")
+        else:
+            lines.append(f"  {k:<{width}} = {v:,}")
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the evaluation harness and common utilities without writing any
+Python:
+
+* ``table1`` — regenerate Table I (scaled request count);
+* ``fig5`` — regenerate the Figure 5 series for one configuration;
+* ``topology`` — build and diagnose a Figure 1 topology;
+* ``bandwidth`` — delivered-vs-raw bandwidth for a random-access run;
+* ``faults`` — drive traffic through a noisy link and report recovery;
+* ``replay`` — replay a flat ``R/W <hex-addr> [size]`` address trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import bandwidth as bw
+from repro.analysis.figures import run_figure5
+from repro.analysis.latency import LatencyDistribution, render as render_latency
+from repro.analysis.report import render_figure5_summary, render_table1
+from repro.analysis.tables import run_table1
+from repro.core.config import DeviceConfig, PAPER_CONFIGS, paper_config_pairs
+from repro.core.simulator import HMCSim
+from repro.host.host import Host, LinkPolicy
+from repro.topology import builder as topo
+from repro.topology.route import host_distance
+from repro.topology.validate import diagnose
+from repro.workloads.random_access import RandomAccessConfig, random_access_requests
+
+
+def _device_from_args(args) -> DeviceConfig:
+    return DeviceConfig(
+        num_links=args.links, num_banks=args.banks, capacity=args.capacity
+    )
+
+
+def _add_device_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--links", type=int, default=4, choices=(4, 8))
+    p.add_argument("--banks", type=int, default=8, choices=(8, 16))
+    p.add_argument("--capacity", type=int, default=2, help="GB (power of two)")
+    p.add_argument("--requests", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--stats-json", type=str, default=None,
+                   help="write the full statistics tree to this file")
+
+
+def _maybe_dump(args, sim) -> None:
+    if getattr(args, "stats_json", None):
+        from repro.analysis.statdump import to_json
+
+        with open(args.stats_json, "w") as fh:
+            fh.write(to_json(sim))
+        print(f"wrote statistics tree to {args.stats_json}")
+
+
+def cmd_table1(args) -> int:
+    rows = run_table1(num_requests=args.requests, seed=args.seed)
+    print(render_table1(rows, num_requests=args.requests))
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    device = _device_from_args(args)
+    data = run_figure5(device, RandomAccessConfig(num_requests=args.requests,
+                                                  seed=args.seed))
+    print(render_figure5_summary(data))
+    res = data.result
+    print(f"\nsimulated runtime: {res.cycles:,} cycles "
+          f"({res.requests_per_cycle:.2f} req/cycle)")
+    return 0
+
+
+def cmd_topology(args) -> int:
+    builders = {
+        "simple": lambda s: topo.build_simple(s),
+        "chain": lambda s: topo.build_chain(s),
+        "ring": lambda s: topo.build_ring(s),
+        "mesh": lambda s: topo.build_mesh(s),
+        "torus": lambda s: topo.build_torus_2d(s),
+    }
+    sim = HMCSim(num_devs=args.devices, num_links=args.links,
+                 num_banks=args.banks, capacity=args.capacity)
+    builders[args.shape](sim)
+    rep = diagnose(sim)
+    print(f"{args.shape}: {rep.num_devices} devices, "
+          f"{rep.chain_links} chain links, {rep.host_links} host links, "
+          f"ok={rep.ok}")
+    for dev, dist in sorted(host_distance(sim).items()):
+        print(f"  cube {dev}: {dist} hop(s) from the host")
+    for warning in rep.warnings:
+        print(f"  warning: {warning}")
+    return 0 if rep.ok else 1
+
+
+def cmd_bandwidth(args) -> int:
+    device = _device_from_args(args)
+    sim = topo.build_simple(HMCSim(
+        num_devs=1, num_links=device.num_links,
+        num_banks=device.num_banks, capacity=device.capacity))
+    host = Host(sim)
+    cfg = RandomAccessConfig(num_requests=args.requests, seed=args.seed)
+    res = host.run(random_access_requests(device.capacity_bytes, cfg))
+    report = bw.measure(sim, cycle_ghz=args.ghz)
+    print(bw.render(report))
+    dist = LatencyDistribution.from_samples(res.latencies)
+    print(render_latency(dist))
+    from repro.analysis.energy import estimate, render as render_energy
+
+    print(render_energy(estimate(sim)))
+    _maybe_dump(args, sim)
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.faults.link_model import LinkFaultModel
+
+    sim = topo.build_simple(HMCSim(
+        num_devs=1, num_links=args.links, num_banks=args.banks,
+        capacity=args.capacity), host_links=1)
+    session = sim.attach_fault_model(
+        0, 0, LinkFaultModel(ber=args.ber, drop_rate=args.drop, seed=args.seed),
+        max_retries=args.max_retries)
+    host = Host(sim)
+    device = _device_from_args(args)
+    cfg = RandomAccessConfig(num_requests=args.requests, seed=args.seed)
+    res = host.run(random_access_requests(device.capacity_bytes, cfg))
+    print(f"requests: {res.requests_sent:,}  responses: {res.responses_received:,} "
+          f" errors: {res.errors_received}")
+    s = session.stats
+    print(f"link: {s.transmissions:,} transmissions, "
+          f"{s.crc_failures:,} CRC failures, {s.drops:,} drops, "
+          f"{s.recovered:,} packets recovered via retry, "
+          f"{s.failed} abandoned")
+    print(f"modelled recovery cost: {s.recovery_cycles:,} cycles")
+    _maybe_dump(args, sim)
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.workloads.trace_replay import replay_address_trace
+
+    device = _device_from_args(args)
+    sim = topo.build_simple(HMCSim(
+        num_devs=1, num_links=device.num_links,
+        num_banks=device.num_banks, capacity=device.capacity))
+    host = Host(sim)
+    with open(args.trace) as fh:
+        stream = list(replay_address_trace(fh, device.capacity_bytes))
+    res = host.run(stream)
+    print(f"replayed {res.requests_sent:,} trace records in {res.cycles:,} cycles "
+          f"({res.throughput:.2f} req/cycle), "
+          f"mean latency {res.mean_latency:.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    p.add_argument("--requests", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("fig5", help="regenerate the Figure 5 series")
+    _add_device_args(p)
+    p.set_defaults(func=cmd_fig5)
+
+    p = sub.add_parser("topology", help="build and diagnose a topology")
+    p.add_argument("shape", choices=("simple", "chain", "ring", "mesh", "torus"))
+    p.add_argument("--devices", type=int, default=4)
+    p.add_argument("--links", type=int, default=4, choices=(4, 8))
+    p.add_argument("--banks", type=int, default=8, choices=(8, 16))
+    p.add_argument("--capacity", type=int, default=2)
+    p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser("bandwidth", help="bandwidth/latency for a random run")
+    _add_device_args(p)
+    p.add_argument("--ghz", type=float, default=bw.DEFAULT_CYCLE_GHZ)
+    p.set_defaults(func=cmd_bandwidth)
+
+    p = sub.add_parser("faults", help="error-simulation run over a noisy link")
+    _add_device_args(p)
+    p.add_argument("--ber", type=float, default=1e-4)
+    p.add_argument("--drop", type=float, default=0.0)
+    p.add_argument("--max-retries", type=int, default=16)
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("replay", help="replay a flat R/W address trace file")
+    _add_device_args(p)
+    p.add_argument("trace", help="path to a 'R/W <hex-addr> [size]' trace file")
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Core HMC-Sim engine: device hierarchy, clocking, and the public API.
+
+The structure hierarchy follows the paper (§IV.A), organised from the
+highest level to the lowest:
+
+``HMCSim`` (one object = one independent clock domain / memory channel)
+→ ``HMCDevice`` → { ``Link``, ``CrossbarUnit``, ``QuadUnit`` } →
+``Vault`` → ``Bank`` → ``DRAM``, with a uniform ``PacketQueue``
+structure shared by every queueing point.
+"""
+
+from repro.core.config import DeviceConfig, SimConfig, PAPER_CONFIGS
+from repro.core.errors import (
+    E_INVAL,
+    E_NODATA,
+    E_STALL,
+    HMCError,
+    InitError,
+    StallError,
+    TopologyError,
+)
+from repro.core.queueing import PacketQueue, QueueSlot
+from repro.core.simulator import HMCSim
+
+__all__ = [
+    "DeviceConfig",
+    "E_INVAL",
+    "E_NODATA",
+    "E_STALL",
+    "HMCError",
+    "HMCSim",
+    "InitError",
+    "PacketQueue",
+    "PAPER_CONFIGS",
+    "QueueSlot",
+    "SimConfig",
+    "StallError",
+    "TopologyError",
+]

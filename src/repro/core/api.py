@@ -1,0 +1,265 @@
+"""C-style API facade (paper §V, Fig. 4).
+
+The original HMC-Sim is "implemented in ANSI-style C and packaged as a
+single library object"; this module provides a faithful function-level
+facade over the Pythonic :class:`~repro.core.simulator.HMCSim` so the
+sample calling sequence of Fig. 4 transliterates almost verbatim::
+
+    hmc = hmcsim_t()
+    ret = hmcsim_init(hmc, num_devs, num_links, num_vaults,
+                      queue_depth, num_banks, num_drams,
+                      capacity, xbar_depth)
+    for i in range(num_links):
+        ret = hmcsim_link_config(hmc, dev, i, src, dst, "host")
+    ret, head, tail, packet = hmcsim_build_memrequest(
+        hmc, 0, phy_address, tag, "RD64", link, payload)
+    ret = hmcsim_send(hmc, packet)
+    hmcsim_clock(hmc)
+    ret, packet = hmcsim_recv(hmc, dev, link)
+    hmcsim_free(hmc)
+
+Functions return 0 on success and the negative errno-style codes from
+:mod:`repro.core.errors` on failure; packets cross the facade boundary
+as lists of 64-bit words ``[head, data..., tail]``, exactly the wire
+format, so every send/recv round-trips the bit-level encoder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import DeviceConfig, SimConfig
+from repro.core.errors import (
+    E_INVAL,
+    E_NODATA,
+    E_OK,
+    E_STALL,
+    E_UNIMPL,
+    HMCError,
+    NoDataError,
+    StallError,
+)
+from repro.core.simulator import HMCSim
+from repro.packets.commands import CMD
+from repro.packets.packet import Packet, PacketDecodeError, build_memrequest
+
+
+class hmcsim_t:
+    """The opaque simulation handle (``struct hmcsim_t`` analogue)."""
+
+    def __init__(self) -> None:
+        self._sim: Optional[HMCSim] = None
+
+    @property
+    def sim(self) -> HMCSim:
+        """The underlying Pythonic simulator (escape hatch)."""
+        if self._sim is None:
+            raise HMCError("hmcsim_init has not been called on this handle")
+        return self._sim
+
+
+def _cmd_from(type_: Union[str, int, CMD]) -> CMD:
+    """Accept ``CMD`` members, raw encodings, or C-macro-style names
+    like ``"RD_64"`` / ``"RD64"`` / ``"WR_64"``."""
+    if isinstance(type_, CMD):
+        return type_
+    if isinstance(type_, int):
+        return CMD(type_)
+    name = type_.strip().upper().replace("_", "")
+    alias = {
+        f"{p}{n}": f"{p}{n}"
+        for p in ("RD", "WR")
+        for n in (16, 32, 48, 64, 80, 96, 112, 128)
+    }
+    # Normalised lookup over CMD names with underscores removed.
+    for member in CMD:
+        if member.name.replace("_", "") == name:
+            return member
+    raise ValueError(f"unknown request type {type_!r} (aliases: {sorted(alias)[:4]}...)")
+
+
+def hmcsim_init(
+    hmc: hmcsim_t,
+    num_devs: int,
+    num_links: int,
+    num_vaults: int,
+    queue_depth: int,
+    num_banks: int,
+    num_drams: int,
+    capacity: int,
+    xbar_depth: int,
+) -> int:
+    """Master initialisation: build and reset the devices (Fig. 4, A).
+
+    All devices are physically homogeneous and "initially configured
+    and reset to an identical state" (§V.A).
+    """
+    try:
+        device = DeviceConfig(
+            num_links=num_links,
+            num_vaults=num_vaults,
+            num_banks=num_banks,
+            num_drams=num_drams,
+            capacity=capacity,
+            queue_depth=queue_depth,
+            xbar_depth=xbar_depth,
+        )
+        hmc._sim = HMCSim(SimConfig(device=device, num_devs=num_devs))
+        return E_OK
+    except HMCError as exc:
+        return exc.errno
+    except (ValueError, TypeError):
+        return E_INVAL
+
+
+def hmcsim_link_config(
+    hmc: hmcsim_t,
+    dev: int,
+    link: int,
+    src_cub: int,
+    dst_cub: int,
+    link_type: str,
+) -> int:
+    """Configure one link endpoint pair (Fig. 4, B)."""
+    try:
+        hmc.sim.link_config(dev, link, src_cub, dst_cub, link_type)
+        return E_OK
+    except HMCError as exc:
+        return exc.errno
+
+
+def hmcsim_build_memrequest(
+    hmc: hmcsim_t,
+    cub: int,
+    addr: int,
+    tag: int,
+    type_: Union[str, int, CMD],
+    link: int,
+    payload: Optional[Sequence[int]] = None,
+) -> Tuple[int, int, int, List[int]]:
+    """Build a compliant request packet (Fig. 4, C).
+
+    Returns ``(ret, head, tail, words)`` where *words* is the full wire
+    encoding ``[head, data..., tail]`` ready for :func:`hmcsim_send`,
+    and head/tail are the packed 64-bit header and tail words the C API
+    hands back through pointer out-params.
+    """
+    try:
+        cmd = _cmd_from(type_)
+        pkt = build_memrequest(cub, addr, tag, cmd, payload=payload, link=link)
+        words = pkt.encode()
+        return (E_OK, words[0], words[-1], words)
+    except HMCError as exc:
+        return (exc.errno, 0, 0, [])
+    except (ValueError, TypeError):
+        return (E_INVAL, 0, 0, [])
+
+
+def hmcsim_send(hmc: hmcsim_t, words: Sequence[int]) -> int:
+    """Send a preformatted, fully formed, compliant request packet.
+
+    The interface "requires the application to have a preformatted,
+    fully formed, compliant" packet (§V.C) — malformed word sequences
+    are rejected with ``E_INVAL``; a full crossbar queue returns
+    ``E_STALL`` and the host should clock and retry.
+    """
+    try:
+        pkt = Packet.decode(words)
+    except PacketDecodeError:
+        return E_INVAL
+    try:
+        hmc.sim.send(pkt)
+        return E_OK
+    except StallError:
+        return E_STALL
+    except HMCError as exc:
+        return exc.errno
+
+
+def hmcsim_recv(hmc: hmcsim_t, dev: int, link: int) -> Tuple[int, List[int]]:
+    """Receive one response packet from (dev, link), wire-encoded.
+
+    Returns ``(ret, words)``; ``E_NODATA`` when the response queue is
+    empty.  Responses "may arrive out of order" — correlate by tag.
+    """
+    try:
+        pkt = hmc.sim.recv(dev=dev, link=link)
+        return (E_OK, pkt.encode())
+    except NoDataError:
+        return (E_NODATA, [])
+    except HMCError as exc:
+        return (exc.errno, [])
+
+
+def hmcsim_decode_packet(words: Sequence[int]) -> Tuple[int, dict]:
+    """Decode a packet into its fields (the response-decode helper §V.C).
+
+    Returns ``(ret, fields)`` with cmd/tag/cub/addr/errstat etc.
+    """
+    try:
+        pkt = Packet.decode(words)
+    except PacketDecodeError:
+        return (E_INVAL, {})
+    fields = {
+        "cmd": pkt.cmd.name,
+        "cub": pkt.cub,
+        "tag": pkt.tag,
+        "addr": pkt.addr,
+        "flits": pkt.num_flits,
+        "payload": list(pkt.payload),
+        "errstat": int(pkt.errstat),
+        "dinv": pkt.dinv,
+        "is_response": pkt.is_response,
+    }
+    return (E_OK, fields)
+
+
+def hmcsim_clock(hmc: hmcsim_t) -> int:
+    """Progress the devices by one clock cycle (§V.C)."""
+    try:
+        hmc.sim.clock()
+        return E_OK
+    except HMCError as exc:
+        return exc.errno
+
+
+def hmcsim_jtag_reg_read(hmc: hmcsim_t, dev: int, reg: int) -> Tuple[int, int]:
+    """Out-of-band register read; returns ``(ret, value)`` (§V.D)."""
+    try:
+        return (E_OK, hmc.sim.jtag_reg_read(dev, reg))
+    except HMCError as exc:
+        return (exc.errno, 0)
+    except IndexError:
+        return (E_INVAL, 0)
+
+
+def hmcsim_jtag_reg_write(hmc: hmcsim_t, dev: int, reg: int, value: int) -> int:
+    """Out-of-band register write (§V.D)."""
+    try:
+        hmc.sim.jtag_reg_write(dev, reg, value)
+        return E_OK
+    except HMCError as exc:
+        return exc.errno
+    except IndexError:
+        return E_INVAL
+
+
+def hmcsim_trace_level(hmc: hmcsim_t, mask: int) -> int:
+    """Set the tracing verbosity bitmask (§IV.E)."""
+    from repro.trace.events import EventType
+
+    try:
+        hmc.sim.set_trace_mask(EventType(mask))
+        return E_OK
+    except (HMCError, ValueError) as exc:
+        return getattr(exc, "errno", E_INVAL)
+
+
+def hmcsim_free(hmc: hmcsim_t) -> int:
+    """Tear down the simulation (Fig. 4, A)."""
+    try:
+        hmc.sim.free()
+        hmc._sim = None
+        return E_OK
+    except HMCError as exc:
+        return exc.errno

@@ -1,0 +1,248 @@
+"""Banks and DRAMs — the bottom of the structure hierarchy (paper §IV.A).
+
+Each bank is "physically nested within its respective vault such that
+I/O operations do not occur outside the respective vault queue
+structure"; each bank holds a block of DRAMs which provide "the
+designated data storage for all I/O operations".
+
+The vault controller addresses banks in 16-byte blocks ("1Mb blocks
+each addressing 16-bytes", §III.A) and performs column fetches in
+32-byte units.  Storage is sparse — untouched blocks read as zero — so
+multi-gigabyte devices cost memory proportional to the touched
+footprint, not the configured capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Addressable atom: one 16-byte block = two 64-bit words.
+ATOM_BYTES = 16
+ATOM_WORDS = 2
+
+#: Column fetch granularity: reads/writes touch banks 32 bytes at a time
+#: (paper §III.A: "Read or write requests to a target bank are always
+#: performed in 32-bytes for each column fetch").
+COLUMN_FETCH_BYTES = 32
+
+_MASK64 = (1 << 64) - 1
+
+
+class DRAM:
+    """One DRAM slice within a bank.
+
+    DRAMs are data-width slices of the bank storage; HMC-Sim keeps them
+    as structural leaves (locality bookkeeping, per-slice access counts)
+    while the bank implements the unified block store.
+    """
+
+    __slots__ = ("dram_id", "accesses")
+
+    def __init__(self, dram_id: int) -> None:
+        self.dram_id = dram_id
+        self.accesses = 0
+
+
+class Bank:
+    """A memory bank: sparse 16-byte-block storage plus busy tracking.
+
+    The busy window models the bank occupancy after a column access;
+    two requests addressing the same bank within the window conflict
+    (paper §IV.C.3/4) — the second cannot issue until the bank frees.
+    """
+
+    __slots__ = ("bank_id", "capacity_bytes", "drams", "_blocks",
+                 "busy_until", "reads", "writes", "atomics", "conflicts",
+                 "column_fetches", "open_row", "row_hits", "row_misses")
+
+    def __init__(self, bank_id: int, capacity_bytes: int, num_drams: int = 8) -> None:
+        if capacity_bytes <= 0 or capacity_bytes % ATOM_BYTES:
+            raise ValueError(
+                f"bank capacity must be a positive multiple of {ATOM_BYTES}, "
+                f"got {capacity_bytes}"
+            )
+        self.bank_id = bank_id
+        self.capacity_bytes = capacity_bytes
+        self.drams: List[DRAM] = [DRAM(i) for i in range(num_drams)]
+        # Sparse storage: atom index -> (word0, word1).
+        self._blocks: Dict[int, Tuple[int, int]] = {}
+        #: First cycle at which the bank is free again.
+        self.busy_until = 0
+        #: Currently open DRAM row (-1 = all rows closed).  Only used
+        #: under the open-row timing policy.
+        self.open_row = -1
+        self.row_hits = 0
+        self.row_misses = 0
+        self.reads = 0
+        self.writes = 0
+        self.atomics = 0
+        self.conflicts = 0
+        self.column_fetches = 0
+
+    # -- busy window ---------------------------------------------------------
+
+    def is_busy(self, cycle: int) -> bool:
+        """True iff an in-progress access occupies the bank at *cycle*."""
+        return cycle < self.busy_until
+
+    def occupy(self, cycle: int, busy_cycles: int) -> None:
+        """Mark the bank busy for *busy_cycles* starting at *cycle*."""
+        self.busy_until = cycle + busy_cycles
+
+    def access_busy_cycles(
+        self,
+        row: int,
+        closed_cycles: int,
+        open_policy: bool = False,
+        hit_cycles: int = 0,
+        miss_cycles: int = 0,
+    ) -> int:
+        """Busy window for an access to *row* under the timing policy.
+
+        Closed-page (the paper's constant-time model): every access
+        costs *closed_cycles*.  Open-page: an access to the currently
+        open row is a row-buffer hit (*hit_cycles*); any other row pays
+        the precharge + activate penalty (*miss_cycles*) and leaves its
+        row open.  Hit/miss statistics accumulate either way so the
+        ablation can report locality.
+        """
+        if not open_policy:
+            return closed_cycles
+        if row == self.open_row:
+            self.row_hits += 1
+            return hit_cycles
+        self.row_misses += 1
+        self.open_row = row
+        return miss_cycles
+
+    # -- data path ---------------------------------------------------------
+
+    def _check(self, byte_addr: int, nbytes: int) -> None:
+        if byte_addr < 0 or nbytes <= 0 or byte_addr + nbytes > self.capacity_bytes:
+            raise ValueError(
+                f"access [{byte_addr:#x}, +{nbytes}) outside bank capacity "
+                f"{self.capacity_bytes:#x}"
+            )
+        if byte_addr % ATOM_BYTES or nbytes % ATOM_BYTES:
+            raise ValueError(
+                f"accesses must be {ATOM_BYTES}-byte aligned blocks: "
+                f"addr={byte_addr:#x} nbytes={nbytes}"
+            )
+
+    def _count_fetches(self, nbytes: int) -> None:
+        # Each 32-byte column fetch services two atoms; odd atom counts
+        # still require a full fetch.
+        self.column_fetches += (nbytes + COLUMN_FETCH_BYTES - 1) // COLUMN_FETCH_BYTES
+
+    def _touch_drams(self, nbytes: int) -> None:
+        # All DRAM slices participate in every access (they form the
+        # data width of the bank).
+        for d in self.drams:
+            d.accesses += 1
+
+    def read(self, byte_addr: int, nbytes: int) -> List[int]:
+        """Read *nbytes* from bank-relative *byte_addr* as 64-bit words."""
+        self._check(byte_addr, nbytes)
+        self.reads += 1
+        self._count_fetches(nbytes)
+        self._touch_drams(nbytes)
+        out: List[int] = []
+        atom0 = byte_addr // ATOM_BYTES
+        for i in range(nbytes // ATOM_BYTES):
+            w0, w1 = self._blocks.get(atom0 + i, (0, 0))
+            out.append(w0)
+            out.append(w1)
+        return out
+
+    def write(self, byte_addr: int, words: List[int]) -> None:
+        """Write 64-bit *words* (two per atom) at bank-relative *byte_addr*."""
+        nbytes = len(words) * 8
+        self._check(byte_addr, nbytes)
+        if len(words) % ATOM_WORDS:
+            raise ValueError("write payload must be whole 16-byte atoms")
+        self.writes += 1
+        self._count_fetches(nbytes)
+        self._touch_drams(nbytes)
+        atom0 = byte_addr // ATOM_BYTES
+        for i in range(len(words) // ATOM_WORDS):
+            self._blocks[atom0 + i] = (
+                words[2 * i] & _MASK64,
+                words[2 * i + 1] & _MASK64,
+            )
+
+    def masked_write(self, byte_addr: int, data: int, byte_mask: int) -> None:
+        """BWR: byte-enabled write of one 8-byte word.
+
+        The HMC byte-write command carries 8 bytes of data plus a byte
+        mask in a single FLIT; only bytes whose mask bit is set are
+        written.  *byte_addr* must be 8-byte aligned; the containing
+        16-byte atom is read-modified-written.
+        """
+        if byte_addr % 8:
+            raise ValueError(f"BWR target must be 8-byte aligned: {byte_addr:#x}")
+        if byte_addr < 0 or byte_addr + 8 > self.capacity_bytes:
+            raise ValueError(f"BWR target {byte_addr:#x} outside bank capacity")
+        byte_mask &= 0xFF
+        atom = byte_addr // ATOM_BYTES
+        half = (byte_addr % ATOM_BYTES) // 8  # which 64-bit word of the atom
+        self.writes += 1
+        self._count_fetches(ATOM_BYTES)
+        self._touch_drams(ATOM_BYTES)
+        old = list(self._blocks.get(atom, (0, 0)))
+        word = old[half]
+        for b in range(8):
+            if byte_mask & (1 << b):
+                shift = 8 * b
+                word = (word & ~(0xFF << shift)) | (data & (0xFF << shift))
+        old[half] = word & _MASK64
+        self._blocks[atom] = (old[0], old[1])
+
+    def atomic_add16(self, byte_addr: int, operands: List[int]) -> List[int]:
+        """ADD16: add a 16-byte operand to the block, return the old value.
+
+        The HMC atomic commands are read-modify-write on a single atom;
+        both 64-bit halves are added independently with wraparound,
+        matching the dual-field immediate-add semantics.
+        """
+        self._check(byte_addr, ATOM_BYTES)
+        if len(operands) != ATOM_WORDS:
+            raise ValueError("ADD16 requires exactly one 16-byte operand")
+        self.atomics += 1
+        self._count_fetches(ATOM_BYTES)
+        self._touch_drams(ATOM_BYTES)
+        atom = byte_addr // ATOM_BYTES
+        old = self._blocks.get(atom, (0, 0))
+        self._blocks[atom] = (
+            (old[0] + operands[0]) & _MASK64,
+            (old[1] + operands[1]) & _MASK64,
+        )
+        return [old[0], old[1]]
+
+    def atomic_2add8(self, byte_addr: int, operands: List[int]) -> List[int]:
+        """TWOADD8: two independent 8-byte adds within one atom."""
+        # Same storage transformation as ADD16 in this word-granular
+        # model; kept separate for command accounting and future masking.
+        return self.atomic_add16(byte_addr, operands)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes of storage actually materialised."""
+        return len(self._blocks) * ATOM_BYTES
+
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes + self.atomics
+
+    def reset(self) -> None:
+        """Clear contents, busy state and statistics (device reset)."""
+        self._blocks.clear()
+        self.busy_until = 0
+        self.open_row = -1
+        self.row_hits = self.row_misses = 0
+        self.reads = self.writes = self.atomics = 0
+        self.conflicts = 0
+        self.column_fetches = 0
+        for d in self.drams:
+            d.accesses = 0

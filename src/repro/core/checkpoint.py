@@ -1,0 +1,84 @@
+"""Simulation checkpoint / restore.
+
+Long paper-scale runs (2^25 requests take hours in pure Python) benefit
+from checkpointing: snapshot the complete simulation state, resume
+later — or fork a state to explore two what-if continuations.  Because
+the engine is fully deterministic, a restored simulation continues
+bit-identically to the original.
+
+Snapshots serialise the :class:`~repro.core.simulator.HMCSim` object
+graph with :mod:`pickle`.  Tracer sinks may hold OS resources (open
+files), so snapshotting detaches the tracer (its mask is preserved,
+its sinks are not) — reattach sinks after restore.  Host-side objects
+(:class:`~repro.host.host.Host` etc.) hold a reference to the sim and
+must be checkpointed *with* it via :func:`snapshot_bundle` to keep the
+object graph consistent.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any, Tuple
+
+from repro.core.simulator import HMCSim
+from repro.trace.tracer import Tracer
+
+
+def snapshot(sim: HMCSim) -> bytes:
+    """Serialise *sim* (tracer sinks detached) to bytes."""
+    saved_tracer = sim.tracer
+    sim.tracer = Tracer(mask=saved_tracer.mask)  # sinkless stand-in
+    try:
+        return pickle.dumps(sim, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        sim.tracer = saved_tracer
+
+
+def restore(blob: bytes) -> HMCSim:
+    """Reconstruct a simulation from :func:`snapshot` bytes.
+
+    The restored object has a sinkless tracer with the original mask;
+    attach sinks with :meth:`HMCSim.add_trace_sink` as needed.
+    """
+    sim = pickle.loads(blob)
+    if not isinstance(sim, HMCSim):
+        raise TypeError(f"snapshot does not contain an HMCSim: {type(sim)!r}")
+    return sim
+
+
+def snapshot_bundle(sim: HMCSim, *extras: Any) -> bytes:
+    """Snapshot *sim* together with host-side objects referencing it.
+
+    Pickling them in one pass preserves shared references (a restored
+    Host still points at the restored HMCSim)::
+
+        blob = snapshot_bundle(sim, host)
+        sim2, (host2,) = restore_bundle(blob)
+    """
+    saved_tracer = sim.tracer
+    sim.tracer = Tracer(mask=saved_tracer.mask)
+    try:
+        return pickle.dumps((sim, tuple(extras)), protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        sim.tracer = saved_tracer
+
+
+def restore_bundle(blob: bytes) -> Tuple[HMCSim, tuple]:
+    """Inverse of :func:`snapshot_bundle`."""
+    sim, extras = pickle.loads(blob)
+    if not isinstance(sim, HMCSim):
+        raise TypeError(f"snapshot does not contain an HMCSim: {type(sim)!r}")
+    return sim, extras
+
+
+def save(sim: HMCSim, path: str) -> None:
+    """Write a snapshot to *path*."""
+    with open(path, "wb") as fh:
+        fh.write(snapshot(sim))
+
+
+def load(path: str) -> HMCSim:
+    """Read a snapshot from *path*."""
+    with open(path, "rb") as fh:
+        return restore(fh.read())

@@ -1,0 +1,283 @@
+"""The six-sub-cycle clock engine (paper §IV.C, Fig. 3).
+
+One call to the clock function "progresses the internal memory
+operations and device clock by a single leading and trailing clock edge,
+or one clock cycle".  Internally the cycle is broken into six sub-cycle
+operations executed in a strict order; "request and response packets are
+only progressed by a single internal stage per sub-cycle operation":
+
+1. process child-device link crossbar transactions;
+2. process root-device link crossbar request transactions;
+3. recognise bank conflicts on vault request queues (read-only);
+4. process vault-queue memory request transactions;
+5. register response packets with crossbar response queues —
+   root devices first, then children (avoids false congestion);
+6. update the internal 64-bit clock value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.core.device import HMCDevice
+from repro.trace.events import EventType
+from repro.packets.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import HMCSim
+
+
+class ClockEngine:
+    """Drives the sub-cycle stages over every device of one HMCSim."""
+
+    __slots__ = ("sim", "stage_counts")
+
+    def __init__(self, sim: "HMCSim") -> None:
+        self.sim = sim
+        #: Packets moved / processed per stage (1..6), lifetime totals.
+        self.stage_counts = [0] * 7
+
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Run one full clock cycle (all six sub-cycle stages)."""
+        sim = self.sim
+        cycle = sim.clock_value
+        tracer = sim.tracer
+        cfg = sim.config
+        roots = [d for d in sim.devices if d.is_root]
+        children = [d for d in sim.devices if not d.is_root]
+        mark = tracer.enabled_for(EventType.SUBCYCLE)
+
+        # Stage 1: child-device crossbars.
+        if mark:
+            tracer.event(EventType.SUBCYCLE, cycle, stage=1)
+        moved = 0
+        for dev in children:
+            moved += self._route_device_requests(dev, cycle)
+        self.stage_counts[1] += moved
+
+        # Stage 2: root-device crossbars.
+        if mark:
+            tracer.event(EventType.SUBCYCLE, cycle, stage=2)
+        moved = 0
+        for dev in roots:
+            moved += self._route_device_requests(dev, cycle)
+        self.stage_counts[2] += moved
+
+        # Optional DRAM refresh, staggered across vaults so the whole
+        # device never freezes at once (the paper's model has none;
+        # SimConfig.refresh_interval = 0 disables this).
+        if cfg.refresh_interval:
+            for dev in sim.devices:
+                for vault in dev.vaults:
+                    if (cycle + vault.vault_id) % cfg.refresh_interval == 0:
+                        vault.refresh(cycle, cfg.refresh_cycles)
+
+        # Stage 3: bank-conflict recognition (read-only trace pass).
+        if mark:
+            tracer.event(EventType.SUBCYCLE, cycle, stage=3)
+        conflicts = 0
+        for dev in sim.devices:
+            for vault in dev.vaults:
+                conflicts += vault.recognize_conflicts(
+                    cycle, dev.amap, cfg.conflict_window, tracer, dev.dev_id
+                )
+        self.stage_counts[3] += conflicts
+
+        # Stage 4: vault request processing.
+        if mark:
+            tracer.event(EventType.SUBCYCLE, cycle, stage=4)
+        issued = 0
+        row_timing = (
+            (cfg.row_hit_cycles, cfg.row_miss_cycles)
+            if cfg.row_policy == "open"
+            else None
+        )
+        for dev in sim.devices:
+            for vault in dev.vaults:
+                issued += vault.process_requests(
+                    cycle,
+                    dev.amap,
+                    cfg.vault_issue_width,
+                    cfg.bank_busy_cycles,
+                    tracer,
+                    dev.dev_id,
+                    row_timing=row_timing,
+                )
+        self.stage_counts[4] += issued
+
+        # Stage 5: response registration, roots first then children.
+        if mark:
+            tracer.event(EventType.SUBCYCLE, cycle, stage=5)
+        moved = 0
+        for dev in roots:
+            moved += self._register_device_responses(dev, cycle)
+        for dev in children:
+            moved += self._register_device_responses(dev, cycle)
+        self.stage_counts[5] += moved
+
+        # Stage 6: update the internal clock value.
+        if mark:
+            tracer.event(EventType.SUBCYCLE, cycle, stage=6)
+        for dev in sim.devices:
+            dev.regs.tick()
+            dev.regs.internal_write("STAT", cycle + 1)
+        sim.clock_value = cycle + 1
+        self.stage_counts[6] += 1
+
+    # ------------------------------------------------------------------
+    # Stage 1/2 helper.
+    # ------------------------------------------------------------------
+
+    def _route_device_requests(self, dev: HMCDevice, cycle: int) -> int:
+        moved = 0
+        cfg = self.sim.config
+        n = len(dev.xbars)
+        # Link service order: fixed priority, or per-cycle rotation for
+        # fair arbitration of contended vault queue slots.
+        start = cycle % n if cfg.xbar_arbitration == "rotating" else 0
+        for i in range(n):
+            xbar = dev.xbars[(start + i) % n]
+            moved += xbar.route_requests(
+                dev, self.sim, cycle, cfg.xbar_moves_per_cycle, self.sim.tracer
+            )
+        return moved
+
+    # ------------------------------------------------------------------
+    # Stage 5 helpers.
+    # ------------------------------------------------------------------
+
+    def _register_device_responses(self, dev: HMCDevice, cycle: int) -> int:
+        moved = self._cross_chain_responses(dev, cycle)
+        moved += self._drain_vault_responses(dev, cycle)
+        return moved
+
+    def _drain_vault_responses(self, dev: HMCDevice, cycle: int) -> int:
+        """Move vault response queues into crossbar response queues.
+
+        The route stack's top record names the link this response must
+        leave the device on (the request's ingress link, preserving the
+        link→bank stream association).
+        """
+        sim = self.sim
+        tracer = sim.tracer
+        per_vault = sim.config.xbar_moves_per_cycle
+        moved = 0
+        for vault in dev.vaults:
+            for _ in range(per_vault):
+                pkt = vault.rsp.peek()
+                if pkt is None:
+                    break
+                link_id = self._egress_link_for(pkt, dev)
+                if link_id is None:
+                    # No usable route record: unreachable response.  Drop
+                    # it (zombie prevention, §V.B) and record the event.
+                    vault.rsp.pop()
+                    sim.dropped_responses += 1
+                    tracer.event(
+                        EventType.PKT_EXPIRED,
+                        cycle,
+                        dev=dev.dev_id,
+                        vault=vault.vault_id,
+                        serial=pkt.serial,
+                    )
+                    continue
+                xbar = dev.xbars[link_id]
+                if xbar.rsp.is_full:
+                    tracer.event(
+                        EventType.XBAR_RSP_STALL,
+                        cycle,
+                        dev=dev.dev_id,
+                        link=link_id,
+                        vault=vault.vault_id,
+                        serial=pkt.serial,
+                    )
+                    break
+                vault.rsp.pop()
+                if pkt.route_stack and pkt.route_stack[-1][0] == dev.dev_id:
+                    pkt.route_stack.pop()
+                xbar.rsp.push(pkt, cycle)
+                moved += 1
+                tracer.event(
+                    EventType.RSP_REGISTERED,
+                    cycle,
+                    dev=dev.dev_id,
+                    link=link_id,
+                    vault=vault.vault_id,
+                    serial=pkt.serial,
+                )
+        return moved
+
+    def _egress_link_for(self, pkt: Packet, dev: HMCDevice) -> int | None:
+        """Link id a response should exit *dev* on, from its route stack."""
+        if pkt.route_stack:
+            rec_dev, rec_link = pkt.route_stack[-1]
+            if rec_dev == dev.dev_id and 0 <= rec_link < len(dev.links):
+                return rec_link
+            return None
+        # Stackless (e.g. internally generated) responses fall back to
+        # the recorded ingress link when it is valid.
+        if 0 <= pkt.ingress_link < len(dev.links):
+            return pkt.ingress_link
+        return None
+
+    def _cross_chain_responses(self, dev: HMCDevice, cycle: int) -> int:
+        """Move responses across chain links toward the host.
+
+        Responses sitting in a chain-link crossbar response queue hop to
+        the peer device, continuing along their recorded return path.
+        Host-link response queues are left alone — the host drains them
+        via ``recv``.
+        """
+        sim = self.sim
+        tracer = sim.tracer
+        moves = sim.config.xbar_moves_per_cycle
+        moved = 0
+        for xbar in dev.xbars:
+            link = dev.links[xbar.link_id]
+            if not link.is_chain_link:
+                continue
+            peer = sim.link_peer(dev.dev_id, xbar.link_id)
+            if peer is None or peer == "host":
+                continue
+            peer_dev_id, peer_link = peer
+            peer_dev = sim.devices[peer_dev_id]
+            for _ in range(moves):
+                pkt = xbar.rsp.peek()
+                if pkt is None:
+                    break
+                # One hop per cycle: leave same-cycle arrivals alone.
+                if sim.enforce_hop_limit and xbar.rsp.stamp_at(0) >= cycle:
+                    break
+                next_link = self._egress_link_for(pkt, peer_dev)
+                if next_link is None:
+                    xbar.rsp.pop()
+                    sim.dropped_responses += 1
+                    tracer.event(
+                        EventType.PKT_EXPIRED,
+                        cycle,
+                        dev=dev.dev_id,
+                        link=xbar.link_id,
+                        serial=pkt.serial,
+                    )
+                    continue
+                dest = peer_dev.xbars[next_link].rsp
+                if dest.is_full:
+                    tracer.event(
+                        EventType.XBAR_RSP_STALL,
+                        cycle,
+                        dev=dev.dev_id,
+                        link=xbar.link_id,
+                        serial=pkt.serial,
+                    )
+                    break
+                xbar.rsp.pop()
+                if pkt.route_stack and pkt.route_stack[-1][0] == peer_dev.dev_id:
+                    pkt.route_stack.pop()
+                pkt.hops += 1
+                link.count_tx(pkt.num_flits)
+                peer_dev.links[next_link].count_rx(pkt.num_flits)
+                dest.push(pkt, cycle)
+                moved += 1
+        return moved

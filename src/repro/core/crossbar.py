@@ -1,0 +1,290 @@
+"""Crossbar units — the first-level logic layer (paper §III.A, §IV.A).
+
+"Crossbar units are analogous to the first-level logic layer present in
+an HMC device.  They simulate the queuing mechanisms present in the
+crossbar unit between device links and device vault controllers.
+Crossbar units contain the request and response queues for the
+respective device that are accessible from the host."
+
+Each link owns one crossbar unit.  Per sub-cycle stage the unit walks
+its request queue and routes packets to local vaults or toward remote
+(chained) devices, raising trace events for misroutes, congestion stalls
+and locality (routed-latency) penalties — exactly the three conditions
+§IV.C.1/2 enumerates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.quad import closest_quad_of_link, quad_of_vault
+from repro.core.queueing import PacketQueue
+from repro.packets.commands import CommandClass
+from repro.packets.packet import ErrStat, Packet, build_response
+from repro.trace.events import EventType
+from repro.trace.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.device import HMCDevice
+    from repro.core.simulator import HMCSim
+
+
+class CrossbarUnit:
+    """Per-link crossbar arbitration queues plus the routing pass."""
+
+    __slots__ = (
+        "link_id", "rqst", "rsp",
+        "routed_local", "routed_remote", "stall_events",
+        "latency_events", "misroutes", "expired",
+    )
+
+    def __init__(self, link_id: int, depth: int, name_prefix: str = "") -> None:
+        self.link_id = link_id
+        self.rqst = PacketQueue(depth, name=f"{name_prefix}link{link_id}.xbar_rqst")
+        self.rsp = PacketQueue(depth, name=f"{name_prefix}link{link_id}.xbar_rsp")
+        self.routed_local = 0
+        self.routed_remote = 0
+        self.stall_events = 0
+        self.latency_events = 0
+        self.misroutes = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------------
+    # Stage 1 / 2: request routing.
+    # ------------------------------------------------------------------
+
+    def route_requests(
+        self,
+        device: "HMCDevice",
+        sim: "HMCSim",
+        cycle: int,
+        moves: int,
+        tracer: Tracer,
+    ) -> int:
+        """Walk the request queue and route up to *moves* packets.
+
+        Local packets (CUB == this device) go to their vault's request
+        queue; remote packets are forwarded one hop along the chain.
+        Weak ordering applies: a remote-destined packet "may pass those
+        waiting for local vault access" (§III.C), but local packets never
+        pass each other (preserving link→bank stream order).  Returns
+        the number of packets moved.
+        """
+        if self.rqst.is_empty or moves <= 0:
+            return 0
+        self._expire_zombies(device, sim, cycle, tracer)
+        hop_limit = sim is not None and sim.enforce_hop_limit
+        penalty = sim.config.nonlocal_penalty_cycles if sim is not None else 0
+        moved = 0
+        blocked_vaults = set()
+        i = 0
+        while i < len(self.rqst) and moved < moves:
+            pkt = self.rqst.peek(i)
+            age = cycle - self.rqst.stamp_at(i)
+            if pkt.cub == device.dev_id:
+                vault_id = self._target_vault(pkt, device)
+                # Transit time through the registered crossbar input:
+                # one cycle, plus the routed-latency penalty when the
+                # ingress link is not co-located with the target quad.
+                need = 1
+                local_quad = vault_id < len(device.vaults) and (
+                    quad_of_vault(vault_id) == closest_quad_of_link(self.link_id)
+                )
+                if not local_quad:
+                    need += penalty
+                if hop_limit and age < need:
+                    # Not ready: later same-vault packets must not pass.
+                    blocked_vaults.add(vault_id)
+                    i += 1
+                    continue
+                if vault_id in blocked_vaults:
+                    i += 1
+                    continue
+                if self._route_local(pkt, vault_id, local_quad, device,
+                                     cycle, tracer, blocked_vaults):
+                    self.rqst.pop_at(i)
+                    moved += 1
+                else:
+                    i += 1
+            else:
+                # One-hop-per-cycle for chained forwards.
+                if hop_limit and age < 1:
+                    i += 1
+                    continue
+                if self._route_remote(pkt, device, sim, cycle, tracer):
+                    self.rqst.pop_at(i)
+                    moved += 1
+                else:
+                    # Remote stall (peer queue full / no route handled
+                    # inside): leave in place, keep scanning.
+                    i += 1
+        return moved
+
+    def _target_vault(self, pkt: Packet, device: "HMCDevice") -> int:
+        """Vault a local packet must reach.
+
+        MODE packets carry a register index, not a memory address; they
+        are serviced by the vault closest to the ingress link's quad so
+        they still traverse the vault queue structures (§V.D in-band
+        register access consumes memory bandwidth).
+        """
+        if pkt.cls in (CommandClass.MODE_READ, CommandClass.MODE_WRITE):
+            return closest_quad_of_link(self.link_id) * 4
+        return device.amap.vault_of(pkt.addr)
+
+    def _route_local(
+        self,
+        pkt: Packet,
+        vault_id: int,
+        local_quad: bool,
+        device: "HMCDevice",
+        cycle: int,
+        tracer: Tracer,
+        blocked_vaults: set,
+    ) -> bool:
+        if vault_id >= len(device.vaults):
+            # Address decoded past the vault structure — deliberate
+            # misconfiguration; answer with an error response.
+            self._reject(pkt, device, cycle, tracer, ErrStat.INVALID_ADDRESS)
+            return True
+        vault = device.vaults[vault_id]
+        if vault.rqst.is_full:
+            self.stall_events += 1
+            blocked_vaults.add(vault_id)
+            tracer.event(
+                EventType.XBAR_RQST_STALL,
+                cycle,
+                dev=device.dev_id,
+                link=self.link_id,
+                vault=vault_id,
+                serial=pkt.serial,
+            )
+            return False
+        if not local_quad:
+            # "Higher latencies are detected due to the physical locality
+            # of the queue versus the destination vault" (§IV.C.2).
+            self.latency_events += 1
+            tracer.event(
+                EventType.LATENCY_PENALTY,
+                cycle,
+                dev=device.dev_id,
+                link=self.link_id,
+                quad=quad_of_vault(vault_id),
+                vault=vault_id,
+                serial=pkt.serial,
+            )
+        vault.rqst.push(pkt, cycle)
+        self.routed_local += 1
+        return True
+
+    def _route_remote(
+        self,
+        pkt: Packet,
+        device: "HMCDevice",
+        sim: "HMCSim",
+        cycle: int,
+        tracer: Tracer,
+    ) -> bool:
+        if sim is None:
+            self._reject(pkt, device, cycle, tracer, ErrStat.UNROUTABLE)
+            return True
+        hop = sim.next_hop(device.dev_id, pkt.cub)
+        if hop is None:
+            # Misroute: no path to the destination cube.  Per §IV.2 the
+            # user receives an error response rather than a crash.
+            self.misroutes += 1
+            tracer.event(
+                EventType.MISROUTE,
+                cycle,
+                dev=device.dev_id,
+                link=self.link_id,
+                serial=pkt.serial,
+                extra={"target_cub": pkt.cub},
+            )
+            self._reject(pkt, device, cycle, tracer, ErrStat.UNROUTABLE)
+            return True
+        egress_link, peer_dev_id, peer_link = hop
+        peer = sim.devices[peer_dev_id]
+        peer_xbar = peer.xbars[peer_link]
+        if peer_xbar.rqst.is_full:
+            self.stall_events += 1
+            tracer.event(
+                EventType.XBAR_RQST_STALL,
+                cycle,
+                dev=device.dev_id,
+                link=self.link_id,
+                serial=pkt.serial,
+                extra={"remote": True, "target_cub": pkt.cub},
+            )
+            return False
+        pkt.route_stack.append((peer_dev_id, peer_link))
+        pkt.hops += 1
+        pkt.ingress_link = peer_link
+        device.links[egress_link].count_tx(pkt.num_flits)
+        peer.links[peer_link].count_rx(pkt.num_flits)
+        peer_xbar.rqst.push(pkt, cycle)
+        self.routed_remote += 1
+        tracer.event(
+            EventType.CHAIN_HOP,
+            cycle,
+            dev=device.dev_id,
+            link=egress_link,
+            serial=pkt.serial,
+            extra={"to_dev": peer_dev_id, "to_link": peer_link},
+        )
+        return True
+
+    def _reject(
+        self,
+        pkt: Packet,
+        device: "HMCDevice",
+        cycle: int,
+        tracer: Tracer,
+        errstat: ErrStat,
+    ) -> None:
+        """Drop a request, answering with an error response when owed."""
+        if not pkt.expects_response:
+            return
+        rsp = build_response(pkt, errstat=errstat, dinv=1)
+        rsp.route_stack = list(pkt.route_stack)
+        rsp.injected_at = pkt.injected_at
+        # Error responses re-enter the response path at this crossbar; a
+        # full response queue drops the packet (zombie prevention).
+        if rsp.route_stack and rsp.route_stack[-1][0] == device.dev_id:
+            rsp.route_stack.pop()
+        self.rsp.push(rsp, cycle)
+
+    def _expire_zombies(
+        self, device: "HMCDevice", sim: "HMCSim", cycle: int, tracer: Tracer
+    ) -> None:
+        timeout = sim.config.queue_timeout if sim is not None else 0
+        if timeout <= 0:
+            return
+        for pkt in self.rqst.expire_older_than(cycle, timeout):
+            self.expired += 1
+            tracer.event(
+                EventType.PKT_EXPIRED,
+                cycle,
+                dev=device.dev_id,
+                link=self.link_id,
+                serial=pkt.serial,
+            )
+            self._reject(pkt, device, cycle, tracer, ErrStat.QUEUE_TIMEOUT)
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.rqst.reset()
+        self.rsp.reset()
+        self.routed_local = 0
+        self.routed_remote = 0
+        self.stall_events = 0
+        self.latency_events = 0
+        self.misroutes = 0
+        self.expired = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CrossbarUnit(link={self.link_id}, rqst={len(self.rqst)}/"
+            f"{self.rqst.depth}, rsp={len(self.rsp)}/{self.rsp.depth})"
+        )

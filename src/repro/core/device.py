@@ -1,0 +1,187 @@
+"""HMC device objects — one per physical cube package (paper §IV.A).
+
+"Devices are analogous to a single Hybrid Memory Cube device package...
+Each device structure contains three sub-structures: Links, Crossbar
+Units and Quad Units", plus the device-specific configuration registers.
+
+Mirroring the C implementation's "well-aligned internal memory
+allocation", every child structure (links, crossbars, quads, vaults,
+banks) is constructed as a single contiguous block at init time and
+cross-linked by reference; nothing is allocated on the packet hot path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.addressing.address_map import AddressMap, default_map
+from repro.core.config import DeviceConfig, VAULTS_PER_QUAD
+from repro.core.crossbar import CrossbarUnit
+from repro.core.link import EndpointType, Link
+from repro.core.quad import QuadUnit
+from repro.core.vault import Vault
+from repro.registers.jtag import JTAGInterface
+from repro.registers.regfile import RegisterFile
+
+
+class HMCDevice:
+    """One simulated HMC device: structure hierarchy + registers."""
+
+    __slots__ = ("dev_id", "config", "amap", "regs", "jtag",
+                 "links", "xbars", "quads", "vaults")
+
+    def __init__(self, dev_id: int, config: DeviceConfig) -> None:
+        self.dev_id = dev_id
+        self.config = config
+        self.amap: AddressMap = default_map(
+            num_links=config.num_links,
+            num_vaults=config.num_vaults,
+            num_banks=config.num_banks,
+            capacity_bytes=config.capacity_bytes,
+            block_size=config.block_size,
+        )
+        self.regs = RegisterFile()
+        self.jtag = JTAGInterface(self.regs)
+
+        lanes = 16 if config.num_links == 4 else 8
+        prefix = f"dev{dev_id}."
+        # Block-allocate the child structures (single list per type).
+        self.links: List[Link] = [
+            Link(link_id=i, quad_id=i, rate_gbps=config.link_rate_gbps, lanes=lanes)
+            for i in range(config.num_links)
+        ]
+        self.xbars: List[CrossbarUnit] = [
+            CrossbarUnit(i, config.xbar_depth, name_prefix=prefix)
+            for i in range(config.num_links)
+        ]
+        self.vaults: List[Vault] = [
+            Vault(
+                vault_id=v,
+                quad_id=v // VAULTS_PER_QUAD,
+                num_banks=config.num_banks,
+                bank_bytes=config.bank_bytes,
+                num_drams=config.num_drams,
+                queue_depth=config.queue_depth,
+                device=self,
+            )
+            for v in range(config.num_vaults)
+        ]
+        self.quads: List[QuadUnit] = [
+            QuadUnit(
+                quad_id=q,
+                link_id=q % config.num_links,
+                vaults=self.vaults[q * VAULTS_PER_QUAD : (q + 1) * VAULTS_PER_QUAD],
+            )
+            for q in range(config.num_quads)
+        ]
+
+    # -- topology-derived properties ------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        """True iff any link attaches to a host (a "root device")."""
+        return any(l.is_host_link for l in self.links)
+
+    def host_links(self) -> List[int]:
+        """Link ids attached to a host."""
+        return [l.link_id for l in self.links if l.is_host_link]
+
+    def chain_links(self) -> List[int]:
+        """Link ids chained to other devices."""
+        return [l.link_id for l in self.links if l.is_chain_link]
+
+    def configured_links(self) -> List[int]:
+        return [l.link_id for l in self.links if l.configured]
+
+    # -- aggregate statistics ----------------------------------------------------
+
+    @property
+    def total_requests_processed(self) -> int:
+        return sum(v.total_requests for v in self.vaults)
+
+    @property
+    def total_bank_conflicts(self) -> int:
+        return sum(v.conflict_count for v in self.vaults)
+
+    @property
+    def total_xbar_stalls(self) -> int:
+        return sum(x.stall_events for x in self.xbars)
+
+    @property
+    def total_latency_penalties(self) -> int:
+        return sum(x.latency_events for x in self.xbars)
+
+    def vault_occupancy(self) -> List[int]:
+        """Request-queue occupancy per vault (congestion snapshot)."""
+        return [len(v.rqst) for v in self.vaults]
+
+    def pending_packets(self) -> int:
+        """All packets currently queued anywhere in the device."""
+        n = 0
+        for x in self.xbars:
+            n += len(x.rqst) + len(x.rsp)
+        for v in self.vaults:
+            n += len(v.rqst) + len(v.rsp)
+        return n
+
+    # -- direct storage access (debug / test scaffolding) -----------------------
+
+    def poke(self, addr: int, words) -> None:
+        """Write 64-bit *words* directly into storage at *addr*.
+
+        Zero-time backdoor (no packets, no cycles) for test setup and
+        debuggers.  Decomposed atom-by-atom through the address map, so
+        consecutive atoms land in their correct vaults/banks.  Requires
+        16-byte alignment and whole atoms.
+        """
+        if addr % 16 or len(words) % 2:
+            raise ValueError("poke requires 16-byte alignment and whole atoms")
+        mask = (1 << 64) - 1
+        for i in range(len(words) // 2):
+            d = self.amap.decode(addr + 16 * i)
+            rel = d.dram * self.amap.block_size + d.offset
+            self.vaults[d.vault].banks[d.bank].write(
+                rel, [int(words[2 * i]) & mask, int(words[2 * i + 1]) & mask]
+            )
+
+    def peek(self, addr: int, nwords: int = 2) -> List[int]:
+        """Read *nwords* 64-bit words directly from storage at *addr*."""
+        if addr % 16 or nwords % 2:
+            raise ValueError("peek requires 16-byte alignment and whole atoms")
+        out: List[int] = []
+        for i in range(nwords // 2):
+            d = self.amap.decode(addr + 16 * i)
+            rel = d.dram * self.amap.block_size + d.offset
+            out += self.vaults[d.vault].banks[d.bank].read(rel, 16)
+        return out
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the device to its post-init reset state (paper §V.A).
+
+        Queue contents, bank storage, statistics and registers clear;
+        topology (link endpoint configuration) is preserved.
+        """
+        self.regs.reset()
+        for x in self.xbars:
+            x.reset()
+        for v in self.vaults:
+            v.reset()
+        for l in self.links:
+            l.tx_packets = l.rx_packets = 0
+            l.tx_flits = l.rx_flits = 0
+
+    def unlink(self) -> None:
+        """Clear link endpoint configuration (full re-topology)."""
+        for l in self.links:
+            l.src_cub = -1
+            l.dst_cub = -1
+            l.src_type = EndpointType.NONE
+            l.dst_type = EndpointType.NONE
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"HMCDevice({self.dev_id}, {self.config.label()}, "
+            f"root={self.is_root})"
+        )

@@ -1,0 +1,61 @@
+"""Error and errno model.
+
+The C library signals failures through integer return codes; stalls in
+particular are *expected* control flow (a full crossbar queue returns a
+stall so the host backs off, paper §VI.A).  The Python API raises typed
+exceptions, and the C-style facade in :mod:`repro.core.api` translates
+them back into the errno-style codes below.
+"""
+
+from __future__ import annotations
+
+#: Success.
+E_OK = 0
+#: Invalid argument / configuration.
+E_INVAL = -1
+#: Operation would stall (queue full / no tokens) — retry after a clock.
+E_STALL = -2
+#: No data available (hmcsim_recv with an empty response queue).
+E_NODATA = -3
+#: Unimplemented feature.
+E_UNIMPL = -4
+
+
+class HMCError(Exception):
+    """Base class for all simulator errors."""
+
+    errno = E_INVAL
+
+
+class InitError(HMCError):
+    """Invalid device configuration at initialisation time."""
+
+    errno = E_INVAL
+
+
+class TopologyError(HMCError):
+    """Illegal link/topology configuration (loopbacks, no host link...)."""
+
+    errno = E_INVAL
+
+
+class StallError(HMCError):
+    """The operation could not proceed this cycle; retry after clocking.
+
+    Matches the C API's stall return from ``hmcsim_send`` when "the
+    crossbar arbitration queues are full" (paper §VI.A).
+    """
+
+    errno = E_STALL
+
+
+class NoDataError(HMCError):
+    """``recv`` found no response packet pending on the polled link."""
+
+    errno = E_NODATA
+
+
+class RegisterAccessError(HMCError):
+    """Illegal register access (unknown index, write to RO, ...)."""
+
+    errno = E_INVAL

@@ -1,0 +1,64 @@
+"""Quad units — locality domains of four vaults (paper §III.A, §IV.A).
+
+"Quad units map directly to the notion of a quadrant, or locality
+domain...  Each quad unit is closely related to four vaults in both four
+and eight link configurations.  Each quad unit also contains a pointer
+to the closest vault unit structures."  Each link is loosely associated
+with the physically closest quad; hosts minimise latency by sending
+requests "to links whose associated quad unit is physically closest to
+the required vault".
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.core.config import VAULTS_PER_QUAD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.vault import Vault
+
+
+class QuadUnit:
+    """One quadrant: id, its closest link, and its four vault units."""
+
+    __slots__ = ("quad_id", "link_id", "vaults")
+
+    def __init__(self, quad_id: int, link_id: int, vaults: List["Vault"]) -> None:
+        if len(vaults) != VAULTS_PER_QUAD:
+            raise ValueError(
+                f"a quad unit owns exactly {VAULTS_PER_QUAD} vaults, got {len(vaults)}"
+            )
+        self.quad_id = quad_id
+        #: The physically closest link (link i <-> quad i).
+        self.link_id = link_id
+        self.vaults = list(vaults)
+
+    def vault_ids(self) -> List[int]:
+        return [v.vault_id for v in self.vaults]
+
+    def owns_vault(self, vault_id: int) -> bool:
+        """True iff *vault_id* lies in this locality domain."""
+        return quad_of_vault(vault_id) == self.quad_id
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"QuadUnit({self.quad_id}, link={self.link_id}, vaults={self.vault_ids()})"
+
+
+def quad_of_vault(vault_id: int) -> int:
+    """The quadrant a vault belongs to (4 vaults per quad)."""
+    return vault_id // VAULTS_PER_QUAD
+
+
+def closest_quad_of_link(link_id: int) -> int:
+    """The quad physically closest to a link (link i <-> quad i)."""
+    return link_id
+
+
+def is_local(link_id: int, vault_id: int) -> bool:
+    """True iff *vault_id* is in the quad closest to *link_id*.
+
+    A request arriving on a non-local link incurs the routed-latency
+    penalty the tracer records (paper §VI.B).
+    """
+    return closest_quad_of_link(link_id) == quad_of_vault(vault_id)

@@ -1,0 +1,558 @@
+"""The top-level simulation object (paper §IV–V).
+
+An :class:`HMCSim` instance owns one or more physically homogeneous HMC
+devices, a clock domain, a tracer, and the host-side send/recv
+interface.  "An application may contain more than one HMC-Sim object in
+order to simulate architectural characteristics such as non-uniform
+memory access" (§IV.A) — each object clocks independently, analogous to
+one memory channel.
+
+Typical usage mirrors the C calling sequence of Fig. 4::
+
+    sim = HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2)
+    sim.attach_host(dev=0, link=0)          # Section B: topology
+    pkt = build_memrequest(0, addr, tag, CMD.RD64, link=0)
+    sim.send(pkt)                           # Section C: request
+    sim.clock()                             # progress one cycle
+    rsp = sim.recv()                        # correlate via rsp.tag
+    sim.free()                              # Section A: teardown
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.clock import ClockEngine
+from repro.core.config import DeviceConfig, SimConfig
+from repro.core.device import HMCDevice
+from repro.core.errors import (
+    HMCError,
+    InitError,
+    NoDataError,
+    StallError,
+    TopologyError,
+)
+from repro.core.link import EndpointType
+from repro.packets.flow import LinkTokens
+from repro.packets.packet import Packet
+from repro.trace.events import EventType, TraceEvent
+from repro.trace.tracer import MemorySink, Sink, Tracer
+
+LinkPeer = Union[str, Tuple[int, int]]  # "host" or (dev_id, link_id)
+
+
+class HMCSim:
+    """One clock domain of simulated HMC devices plus the host API."""
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        *,
+        num_devs: int = 1,
+        num_links: int = 4,
+        num_vaults: int = -1,
+        queue_depth: int = 64,
+        num_banks: int = 8,
+        num_drams: int = 8,
+        capacity: int = 2,
+        xbar_depth: int = 128,
+        trace_mask: EventType = EventType.NONE,
+        **engine_kw,
+    ) -> None:
+        if config is None:
+            device = DeviceConfig(
+                num_links=num_links,
+                num_vaults=num_vaults,
+                num_banks=num_banks,
+                num_drams=num_drams,
+                capacity=capacity,
+                queue_depth=queue_depth,
+                xbar_depth=xbar_depth,
+            )
+            config = SimConfig(device=device, num_devs=num_devs, **engine_kw)
+        elif engine_kw:
+            raise InitError("pass engine options via SimConfig or kwargs, not both")
+        self.config = config
+        self.devices: List[HMCDevice] = [
+            HMCDevice(i, config.device) for i in range(config.num_devs)
+        ]
+        self.clock_value: int = 0
+        self.tracer = Tracer(mask=trace_mask)
+        self.engine = ClockEngine(self)
+        #: Enforce one structural hop per sub-cycle stage (paper §IV.C).
+        self.enforce_hop_limit = True
+
+        # Topology state.
+        self._link_peers: Dict[Tuple[int, int], LinkPeer] = {}
+        self._routes: Optional[Dict[int, Dict[int, Tuple[int, int, int]]]] = None
+        self._host_links: List[Tuple[int, int]] = []
+        self._recv_rotor = 0
+
+        # Flow control (enabled when link_token_flits > 0).
+        self._tokens: Dict[Tuple[int, int], LinkTokens] = {}
+        self._outstanding_flits: Dict[Tuple[int, int, int], int] = {}
+
+        # Link-error simulation: per-(dev, link) retry sessions.
+        self._retry_sessions: Dict[Tuple[int, int], object] = {}
+        self.link_errors_unrecovered = 0
+
+        # Host-side statistics.
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.send_stalls = 0
+        self.dropped_responses = 0
+        self._freed = False
+
+    # ==================================================================
+    # Topology initialisation (paper §V.B).
+    # ==================================================================
+
+    @property
+    def host_cub(self) -> int:
+        """The host's cube id: ``num_devices + 1`` (§V.B)."""
+        return self.config.host_cub
+
+    def attach_host(self, dev: int, link: int) -> None:
+        """Configure (dev, link) as a host connection.
+
+        "If the device link is connected to a host device, the source
+        link is always configured as the host-side connection."
+        """
+        self._check_dev_link(dev, link)
+        l = self.devices[dev].links[link]
+        if l.configured:
+            raise TopologyError(f"dev {dev} link {link} already configured")
+        l.src_cub = self.host_cub
+        l.src_type = EndpointType.HOST
+        l.dst_cub = dev
+        l.dst_type = EndpointType.DEVICE
+        self._link_peers[(dev, link)] = "host"
+        self._host_links.append((dev, link))
+        if self.config.link_token_flits > 0:
+            self._tokens[(dev, link)] = LinkTokens(self.config.link_token_flits)
+        self._routes = None
+
+    def connect(self, dev_a: int, link_a: int, dev_b: int, link_b: int) -> None:
+        """Chain two devices: dev_a.link_a <-> dev_b.link_b.
+
+        Loopbacks are rejected: they "have a high probability of
+        inducing zombie response requests that never reach a reasonable
+        destination" (§V.B).  Both devices must live in this HMCSim
+        object — cross-object links are unsupported by design.
+        """
+        self._check_dev_link(dev_a, link_a)
+        self._check_dev_link(dev_b, link_b)
+        if dev_a == dev_b:
+            raise TopologyError(f"loopback link on device {dev_a} is not permitted")
+        la = self.devices[dev_a].links[link_a]
+        lb = self.devices[dev_b].links[link_b]
+        if la.configured or lb.configured:
+            raise TopologyError("one of the link endpoints is already configured")
+        la.src_cub, la.src_type = dev_a, EndpointType.DEVICE
+        la.dst_cub, la.dst_type = dev_b, EndpointType.DEVICE
+        lb.src_cub, lb.src_type = dev_b, EndpointType.DEVICE
+        lb.dst_cub, lb.dst_type = dev_a, EndpointType.DEVICE
+        self._link_peers[(dev_a, link_a)] = (dev_b, link_b)
+        self._link_peers[(dev_b, link_b)] = (dev_a, link_a)
+        self._routes = None
+
+    def link_config(
+        self,
+        dev: int,
+        link: int,
+        src_cub: int,
+        dst_cub: int,
+        link_type: str = "host",
+    ) -> None:
+        """Low-level C-style per-link configuration (Fig. 4, Section B).
+
+        ``link_type`` is ``"host"`` (src is the host) or ``"device"``
+        (chain to device ``dst_cub``; the peer link on the far device
+        must be configured by a matching call and is paired by this
+        function when it already exists).
+        """
+        if link_type == "host":
+            if src_cub != self.host_cub:
+                raise TopologyError(
+                    f"host-side connections use cube id {self.host_cub} (num_devs+1), "
+                    f"got {src_cub}"
+                )
+            self.attach_host(dev, link)
+            return
+        if link_type != "device":
+            raise TopologyError(f"link_type must be 'host' or 'device', got {link_type!r}")
+        if not 0 <= dst_cub < len(self.devices):
+            raise TopologyError(f"dst_cub {dst_cub} is not a device in this object")
+        # Find an unconfigured link on the destination to pair with; the
+        # caller may also issue the mirrored call explicitly, which will
+        # then find this link already configured and verify the pairing.
+        self._check_dev_link(dev, link)
+        la = self.devices[dev].links[link]
+        if la.configured:
+            raise TopologyError(f"dev {dev} link {link} already configured")
+        peer = self.devices[dst_cub]
+        for pl in peer.links:
+            if not pl.configured:
+                self.connect(dev, link, dst_cub, pl.link_id)
+                return
+        raise TopologyError(f"device {dst_cub} has no free link to pair with")
+
+    def _check_dev_link(self, dev: int, link: int) -> None:
+        if not 0 <= dev < len(self.devices):
+            raise TopologyError(f"device id {dev} out of range")
+        if not 0 <= link < self.config.device.num_links:
+            raise TopologyError(f"link id {link} out of range")
+
+    def validate_topology(self) -> None:
+        """Check the invariants §V.B mandates.
+
+        At least one device must connect to a host link — "otherwise,
+        the host will have no access to main memory."  (Unreachable
+        devices are permitted: deliberately broken topologies simulate
+        with error responses rather than failing here.)
+        """
+        if not self._host_links:
+            raise TopologyError("no host link configured; the host has no memory access")
+
+    def host_links(self) -> List[Tuple[int, int]]:
+        """All (dev, link) pairs attached to the host."""
+        return list(self._host_links)
+
+    def link_peer(self, dev: int, link: int) -> Optional[LinkPeer]:
+        """The far end of (dev, link): "host", (dev, link), or None."""
+        return self._link_peers.get((dev, link))
+
+    # ==================================================================
+    # Routing.
+    # ==================================================================
+
+    def _build_routes(self) -> None:
+        """BFS next-hop tables over the chain-link graph.
+
+        ``routes[src_dev][target_dev] = (egress_link, peer_dev, peer_link)``.
+        """
+        routes: Dict[int, Dict[int, Tuple[int, int, int]]] = {}
+        adj: Dict[int, List[Tuple[int, int, int]]] = {d.dev_id: [] for d in self.devices}
+        for (dev, link), peer in self._link_peers.items():
+            if peer == "host":
+                continue
+            pd, pl = peer
+            adj[dev].append((link, pd, pl))
+        for src in adj:
+            table: Dict[int, Tuple[int, int, int]] = {}
+            # BFS from src; record first hop toward every reachable dev.
+            visited = {src}
+            frontier = deque()
+            for link, pd, pl in sorted(adj[src]):
+                if pd not in visited:
+                    visited.add(pd)
+                    table[pd] = (link, pd, pl)
+                    frontier.append((pd, (link, pd, pl)))
+            while frontier:
+                node, first_hop = frontier.popleft()
+                for _, pd, _ in sorted(adj[node]):
+                    if pd not in visited:
+                        visited.add(pd)
+                        table[pd] = first_hop
+                        frontier.append((pd, first_hop))
+            routes[src] = table
+        self._routes = routes
+
+    def next_hop(self, src_dev: int, target_cub: int) -> Optional[Tuple[int, int, int]]:
+        """First hop from *src_dev* toward *target_cub*, or None.
+
+        Returns ``(egress_link, peer_dev, peer_link)``.  Unknown cube
+        ids (including the host id used as a memory target) and
+        unreachable devices return None — the crossbar then raises a
+        misroute error response.
+        """
+        if self._routes is None:
+            self._build_routes()
+        if not 0 <= target_cub < len(self.devices):
+            return None
+        return self._routes.get(src_dev, {}).get(target_cub)
+
+    # ==================================================================
+    # Host interface: send / recv / clock (paper §V.C).
+    # ==================================================================
+
+    def send(self, pkt: Packet, dev: Optional[int] = None, link: Optional[int] = None) -> None:
+        """Inject a fully formed request packet at a host link.
+
+        The ingress link defaults to the packet's SLID field; the device
+        defaults to the (first) root device exposing that link to the
+        host.  Raises :class:`StallError` when the crossbar arbitration
+        queue is full or link tokens are exhausted — the host should
+        clock the simulation and retry (paper §VI.A).
+        """
+        self._check_alive()
+        if pkt.is_response:
+            raise HMCError("hosts send request packets; responses flow device->host")
+        if link is None:
+            link = pkt.slid
+        if dev is None:
+            dev = self._find_host_dev(link)
+        if (dev, link) not in self._link_peers or self._link_peers[(dev, link)] != "host":
+            raise TopologyError(f"dev {dev} link {link} is not attached to the host")
+        self.validate_topology()
+        device = self.devices[dev]
+        xbar = device.xbars[link]
+        if xbar.rqst.is_full:
+            self.send_stalls += 1
+            raise StallError(f"crossbar request queue full on dev {dev} link {link}")
+        session = self._retry_sessions.get((dev, link))
+        if session is not None:
+            # Error simulation: the packet crosses a faulty SERDES link
+            # under the link retry protocol; what arrives is whatever
+            # decoded cleanly at the receiver (bit-identical to the
+            # original once CRC passes).
+            from repro.faults.retry import LinkRetryExhausted
+
+            try:
+                pkt = session.transmit(pkt)
+            except LinkRetryExhausted as exc:
+                self.link_errors_unrecovered += 1
+                raise HMCError(str(exc)) from exc
+        tokens = self._tokens.get((dev, link))
+        flits = pkt.num_flits
+        if tokens is not None:
+            if not tokens.can_send(flits):
+                self.send_stalls += 1
+                raise StallError(f"link tokens exhausted on dev {dev} link {link}")
+            tokens.consume(flits)
+            if pkt.expects_response:
+                self._outstanding_flits[(dev, link, pkt.tag)] = flits
+            else:
+                # Posted traffic: credit returns when the device logically
+                # consumes the packet; approximated as immediate return.
+                tokens.restore(flits)
+        pkt.injected_at = self.clock_value
+        pkt.ingress_link = link
+        pkt.src_cub = self.host_cub
+        pkt.route_stack = [(dev, link)]
+        device.links[link].count_rx(flits)
+        xbar.rqst.push(pkt, self.clock_value)
+        self.packets_sent += 1
+
+    def try_send(self, pkt: Packet, dev: Optional[int] = None, link: Optional[int] = None) -> bool:
+        """Like :meth:`send` but returns False instead of raising on stall."""
+        try:
+            self.send(pkt, dev=dev, link=link)
+            return True
+        except StallError:
+            return False
+
+    def _find_host_dev(self, link: int) -> int:
+        for d, l in self._host_links:
+            if l == link:
+                return d
+        raise TopologyError(f"no host connection on link {link} of any device")
+
+    def can_send(self, dev: int, link: int, flits: int = 1) -> bool:
+        """True iff a *flits*-FLIT packet would be accepted right now."""
+        if self._link_peers.get((dev, link)) != "host":
+            return False
+        if self.devices[dev].xbars[link].rqst.is_full:
+            return False
+        tokens = self._tokens.get((dev, link))
+        if tokens is not None and not tokens.can_send(flits):
+            return False
+        return True
+
+    def recv(self, dev: Optional[int] = None, link: Optional[int] = None) -> Packet:
+        """Pop one response packet from a host-visible response queue.
+
+        With no (dev, link) given, host links are polled round-robin.
+        Responses "may arrive out of order.  It is up to the calling
+        application to decode and correlate the response packet
+        information" via the echoed tag (paper §V.C).  Raises
+        :class:`NoDataError` when nothing is pending.
+        """
+        self._check_alive()
+        if dev is not None or link is not None:
+            if dev is None or link is None:
+                raise HMCError("recv needs both dev and link, or neither")
+            pairs = [(dev, link)]
+        else:
+            n = len(self._host_links)
+            if n == 0:
+                raise TopologyError("no host link configured")
+            pairs = [
+                self._host_links[(self._recv_rotor + i) % n] for i in range(n)
+            ]
+            self._recv_rotor = (self._recv_rotor + 1) % n
+        for d, l in pairs:
+            if self._link_peers.get((d, l)) != "host":
+                raise TopologyError(f"dev {d} link {l} is not attached to the host")
+            xbar = self.devices[d].xbars[l]
+            if not xbar.rsp.is_empty:
+                pkt = xbar.rsp.pop()
+                pkt.completed_at = self.clock_value
+                pkt.delivered_from = (d, l)
+                self.devices[d].links[l].count_tx(pkt.num_flits)
+                self.packets_received += 1
+                tokens = self._tokens.get((d, l))
+                if tokens is not None:
+                    flits = self._outstanding_flits.pop((d, l, pkt.tag), 0)
+                    if flits:
+                        tokens.restore(flits)
+                self.tracer.event(
+                    EventType.RSP_DELIVERED,
+                    self.clock_value,
+                    dev=d,
+                    link=l,
+                    serial=pkt.serial,
+                )
+                return pkt
+        raise NoDataError("no response packets pending")
+
+    def recv_all(self) -> List[Packet]:
+        """Drain every pending host-visible response."""
+        out: List[Packet] = []
+        while True:
+            try:
+                out.append(self.recv())
+            except NoDataError:
+                return out
+
+    def clock(self, cycles: int = 1) -> None:
+        """Advance the clock domain by *cycles* full clock cycles.
+
+        "Without this call, external memory operations may progress
+        until appropriate stall signals are recognized.  However,
+        internal device operations will not progress" (§V.C).
+        """
+        self._check_alive()
+        self.validate_topology()
+        for _ in range(cycles):
+            self.engine.tick()
+
+    # ==================================================================
+    # Link-error simulation (paper §IV.5 "error simulation").
+    # ==================================================================
+
+    def attach_fault_model(
+        self,
+        dev: int,
+        link: int,
+        model,
+        max_retries: int = 8,
+        retry_delay: int = 4,
+    ):
+        """Attach a :class:`~repro.faults.link_model.LinkFaultModel` to a
+        host link; subsequent sends run the link retry protocol.
+
+        Returns the created :class:`~repro.faults.retry.RetrySession`
+        (its ``stats`` expose transmissions / CRC failures / replays).
+        """
+        from repro.faults.retry import RetrySession
+
+        if self._link_peers.get((dev, link)) != "host":
+            raise TopologyError(
+                f"dev {dev} link {link} is not a host link; fault models "
+                f"attach at the host boundary"
+            )
+        session = RetrySession(model, max_retries=max_retries, retry_delay=retry_delay)
+        self._retry_sessions[(dev, link)] = session
+        return session
+
+    def detach_fault_model(self, dev: int, link: int) -> None:
+        """Remove the fault model from (dev, link); sends become clean."""
+        self._retry_sessions.pop((dev, link), None)
+
+    def fault_stats(self) -> Dict[Tuple[int, int], dict]:
+        """Retry statistics per faulted link."""
+        return {
+            key: session.stats.as_dict()
+            for key, session in self._retry_sessions.items()
+        }
+
+    # ==================================================================
+    # Out-of-band register access (paper §V.D).
+    # ==================================================================
+
+    def jtag_reg_read(self, dev: int, phys: int) -> int:
+        """Side-band register read: no packets, no clock progression."""
+        self._check_alive()
+        return self.devices[dev].jtag.reg_read(phys)
+
+    def jtag_reg_write(self, dev: int, phys: int, value: int) -> None:
+        """Side-band register write (class rules still enforced)."""
+        self._check_alive()
+        self.devices[dev].jtag.reg_write(phys, value)
+
+    # ==================================================================
+    # Tracing configuration (paper §IV.E).
+    # ==================================================================
+
+    def set_trace_mask(self, mask: EventType) -> None:
+        """Set the tracing verbosity."""
+        self.tracer.mask = mask
+
+    def add_trace_sink(self, sink: Sink) -> Sink:
+        """Attach an output sink (memory, NDJSON, CSV, stats...)."""
+        return self.tracer.add_sink(sink)
+
+    def trace_to_memory(self, mask: EventType = EventType.STANDARD) -> MemorySink:
+        """Convenience: enable tracing into a fresh in-memory sink."""
+        self.tracer.mask = mask
+        return self.tracer.add_sink(MemorySink())
+
+    # ==================================================================
+    # Introspection / teardown.
+    # ==================================================================
+
+    @property
+    def pending_packets(self) -> int:
+        """Packets queued anywhere across all devices."""
+        return sum(d.pending_packets() for d in self.devices)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests sent but not yet received back (incl. posted)."""
+        return self.packets_sent - self.packets_received
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate counters across the simulation object."""
+        return {
+            "cycles": self.clock_value,
+            "packets_sent": self.packets_sent,
+            "packets_received": self.packets_received,
+            "send_stalls": self.send_stalls,
+            "dropped_responses": self.dropped_responses,
+            "bank_conflicts": sum(d.total_bank_conflicts for d in self.devices),
+            "xbar_stalls": sum(d.total_xbar_stalls for d in self.devices),
+            "latency_penalties": sum(d.total_latency_penalties for d in self.devices),
+            "requests_processed": sum(d.total_requests_processed for d in self.devices),
+        }
+
+    def reset(self) -> None:
+        """Reset devices and clock; topology is preserved (§V.A)."""
+        self._check_alive()
+        for d in self.devices:
+            d.reset()
+        self.clock_value = 0
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.send_stalls = 0
+        self.dropped_responses = 0
+        self._outstanding_flits.clear()
+        for t in self._tokens.values():
+            t.available = t.capacity
+
+    def free(self) -> None:
+        """Release the simulation (C-API parity); further use raises."""
+        self.tracer.close()
+        self.devices.clear()
+        self._freed = True
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise HMCError("simulation object has been freed")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"HMCSim({len(self.devices)} x {self.config.device.label()}, "
+            f"cycle={self.clock_value})"
+        )

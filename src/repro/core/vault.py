@@ -1,0 +1,410 @@
+"""Vault units — vertical memory stacks with their controllers (§IV.A).
+
+"The vault structure map[s] directly to the notion of a vertically
+stacked vault unit...  Each vault contains response and request queues
+whose respective depths are configured at initialization time in order
+to mimic the presence of a vault controller.  Each vault also contains a
+reference to a block of memory bank structures."
+
+The vault implements sub-cycle stages 3 and 4 of the clock engine:
+bank-conflict recognition (read-only trace pass) and FIFO request
+processing, where "all packets are currently processed in equivalent and
+constant time as long as their bank addressing does not conflict".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.addressing.address_map import AddressMap
+from repro.core.bank import Bank
+from repro.core.queueing import PacketQueue
+from repro.packets.commands import CMD, CommandClass
+from repro.packets.packet import ErrStat, Packet, build_response
+from repro.trace.events import EventType, TraceEvent
+from repro.trace.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.device import HMCDevice
+
+
+class Vault:
+    """One vault: request/response queues plus the bank stack."""
+
+    __slots__ = (
+        "vault_id", "quad_id", "device", "banks", "rqst", "rsp",
+        "rd_count", "wr_count", "atomic_count", "mode_count",
+        "conflict_count", "issue_stall_cycles", "rsp_stall_count",
+        "refresh_count",
+    )
+
+    def __init__(
+        self,
+        vault_id: int,
+        quad_id: int,
+        num_banks: int,
+        bank_bytes: int,
+        num_drams: int,
+        queue_depth: int,
+        device: Optional["HMCDevice"] = None,
+    ) -> None:
+        self.vault_id = vault_id
+        self.quad_id = quad_id
+        self.device = device
+        self.banks: List[Bank] = [
+            Bank(b, bank_bytes, num_drams) for b in range(num_banks)
+        ]
+        self.rqst = PacketQueue(queue_depth, name=f"vault{vault_id}.rqst")
+        self.rsp = PacketQueue(queue_depth, name=f"vault{vault_id}.rsp")
+        self.rd_count = 0
+        self.wr_count = 0
+        self.atomic_count = 0
+        self.mode_count = 0
+        self.conflict_count = 0
+        self.issue_stall_cycles = 0
+        self.rsp_stall_count = 0
+        self.refresh_count = 0
+
+    def refresh(self, cycle: int, refresh_cycles: int) -> None:
+        """DRAM refresh: take every bank of this vault busy at once."""
+        for bank in self.banks:
+            bank.occupy(cycle, refresh_cycles)
+        self.refresh_count += 1
+
+    # -- stage 3: bank-conflict recognition ---------------------------------
+
+    def recognize_conflicts(
+        self,
+        cycle: int,
+        amap: AddressMap,
+        window: int,
+        tracer: Tracer,
+        dev_id: int,
+    ) -> int:
+        """Trace potential bank conflicts in the queue's spatial window.
+
+        Read-only (paper §IV.C.3: "does not modify any internal data
+        representations").  A conflict exists when a queued packet inside
+        the window targets a bank that an earlier windowed packet also
+        targets, or a bank still busy from a previous access.  Returns
+        the number of conflicts recognised.
+        """
+        occupancy = len(self.rqst)
+        if occupancy == 0:
+            return 0
+        limit = min(window, occupancy)
+        seen_banks = set()
+        conflicts = 0
+        trace_on = tracer.enabled_for(EventType.BANK_CONFLICT)
+        for pkt in self.rqst.iter_first(limit):
+            cls = pkt.cls
+            if cls is CommandClass.FLOW or cls in (
+                CommandClass.MODE_READ,
+                CommandClass.MODE_WRITE,
+            ):
+                continue
+            bank = amap.bank_of(pkt.addr)
+            busy = self.banks[bank].is_busy(cycle)
+            if bank in seen_banks or busy:
+                conflicts += 1
+                self.banks[bank].conflicts += 1
+                if trace_on:
+                    tracer.emit(
+                        TraceEvent(
+                            type=EventType.BANK_CONFLICT,
+                            cycle=cycle,
+                            dev=dev_id,
+                            quad=self.quad_id,
+                            vault=self.vault_id,
+                            bank=bank,
+                            serial=pkt.serial,
+                            extra={"addr": pkt.addr, "busy": busy},
+                        )
+                    )
+            seen_banks.add(bank)
+        self.conflict_count += conflicts
+        return conflicts
+
+    # -- stage 4: request processing -----------------------------------------
+
+    def process_requests(
+        self,
+        cycle: int,
+        amap: AddressMap,
+        issue_width: int,
+        bank_busy_cycles: int,
+        tracer: Tracer,
+        dev_id: int,
+        row_timing: Optional[tuple] = None,
+    ) -> int:
+        """Retire up to *issue_width* requests this cycle.
+
+        The queue is traversed in FIFO order (§IV.C.4); a packet issues
+        when its bank is free *and* no earlier queued packet targets the
+        same bank (preserving the mandated link→bank stream order while
+        allowing non-conflicting packets to proceed in parallel across
+        banks).  Packets needing a response stall in place when the vault
+        response queue is full.  Returns the number retired.
+
+        *row_timing*, when given, is ``(hit_cycles, miss_cycles)`` and
+        switches the banks to the open-row timing policy; otherwise the
+        paper's constant-time closed model applies.
+        """
+        if self.rqst.is_empty or issue_width <= 0:
+            return 0
+        # Snapshot-and-rebuild: positional deque access is O(k) at
+        # position k, so the scan operates on list copies and installs
+        # the survivors in one pass (FIFO order preserved).
+        packets, stamps = self.rqst.snapshot()
+        keep_p: list = []
+        keep_s: list = []
+        issued = 0
+        blocked_banks = set()
+        banks = self.banks
+        for pkt, stamp in zip(packets, stamps):
+            if issued >= issue_width:
+                keep_p.append(pkt)
+                keep_s.append(stamp)
+                continue
+            cls = pkt.cls
+            # Flow packets carry no memory operation: consume silently.
+            if cls is CommandClass.FLOW:
+                continue
+            if cls in (CommandClass.MODE_READ, CommandClass.MODE_WRITE):
+                if self.rsp.is_full:
+                    self.rsp_stall_count += 1
+                    keep_p.append(pkt)
+                    keep_s.append(stamp)
+                    continue
+                self._do_mode(pkt, cycle, tracer, dev_id)
+                issued += 1
+                continue
+            bank_id = amap.bank_of(pkt.addr)
+            if bank_id in blocked_banks or banks[bank_id].is_busy(cycle):
+                # Conflict: this packet (and all later same-bank packets)
+                # must wait.
+                blocked_banks.add(bank_id)
+                keep_p.append(pkt)
+                keep_s.append(stamp)
+                continue
+            if pkt.expects_response and self.rsp.is_full:
+                self.rsp_stall_count += 1
+                tracer.event(
+                    EventType.VAULT_RSP_STALL,
+                    cycle,
+                    dev=dev_id,
+                    quad=self.quad_id,
+                    vault=self.vault_id,
+                    serial=pkt.serial,
+                )
+                # Preserve order: later same-bank packets may not pass.
+                blocked_banks.add(bank_id)
+                keep_p.append(pkt)
+                keep_s.append(stamp)
+                continue
+            self._execute(pkt, bank_id, cycle, amap, bank_busy_cycles,
+                          tracer, dev_id, row_timing)
+            blocked_banks.add(bank_id)  # one access per bank per cycle
+            issued += 1
+        self.rqst.replace_contents(keep_p, keep_s)
+        if issued == 0 and keep_p:
+            self.issue_stall_cycles += 1
+        return issued
+
+    # -- operation execution ----------------------------------------------------
+
+    def _bank_rel_addr(self, amap: AddressMap, addr: int) -> int:
+        d = amap.decode(addr)
+        return d.dram * amap.block_size + d.offset
+
+    def _push_response(self, rsp: Packet, request: Packet, cycle: int) -> None:
+        rsp.route_stack = list(request.route_stack)
+        rsp.injected_at = request.injected_at
+        rsp.ingress_link = request.ingress_link
+        rsp.hops = request.hops
+        ok = self.rsp.push(rsp, cycle)
+        # Callers check rsp fullness before executing; this cannot fail.
+        assert ok, "vault response queue overflow after capacity check"
+
+    def _error_response(
+        self, pkt: Packet, errstat: ErrStat, cycle: int, tracer: Tracer, dev_id: int
+    ) -> None:
+        """Generate an error response "following a failed read or write
+        operation" (§IV "error response packets")."""
+        if not pkt.expects_response:
+            return
+        rsp = build_response(pkt, errstat=errstat, dinv=1)
+        self._push_response(rsp, pkt, cycle)
+        tracer.event(
+            EventType.MISROUTE,
+            cycle,
+            dev=dev_id,
+            vault=self.vault_id,
+            serial=pkt.serial,
+            extra={"errstat": int(errstat), "addr": pkt.addr},
+        )
+
+    def _execute(
+        self,
+        pkt: Packet,
+        bank_id: int,
+        cycle: int,
+        amap: AddressMap,
+        bank_busy_cycles: int,
+        tracer: Tracer,
+        dev_id: int,
+        row_timing: Optional[tuple] = None,
+    ) -> None:
+        bank = self.banks[bank_id]
+        cls = pkt.cls
+        nbytes = max(pkt.data_bytes, 16)
+        if cls is CommandClass.READ:
+            from repro.packets.commands import REQUEST_DATA_BYTES
+
+            nbytes = REQUEST_DATA_BYTES[pkt.cmd]
+        rel = self._bank_rel_addr(amap, pkt.addr)
+        is_bwr = pkt.cmd in (CMD.BWR, CMD.P_BWR)
+        align = 8 if is_bwr else 16
+        # Requests larger than the residual bank range are failed reads/
+        # writes -> error response, not a crash (§IV.2 deliberate
+        # misconfiguration support).
+        if rel + (8 if is_bwr else nbytes) > bank.capacity_bytes or rel % align != 0:
+            self._error_response(pkt, ErrStat.INVALID_ADDRESS, cycle, tracer, dev_id)
+            return
+        if row_timing is None:
+            busy = bank_busy_cycles
+        else:
+            hit_cycles, miss_cycles = row_timing
+            busy = bank.access_busy_cycles(
+                row=amap.dram_of(pkt.addr),
+                closed_cycles=bank_busy_cycles,
+                open_policy=True,
+                hit_cycles=hit_cycles,
+                miss_cycles=miss_cycles,
+            )
+        bank.occupy(cycle, busy)
+        if is_bwr:
+            # BWR: one FLIT of [data word, byte-mask word]; only masked
+            # bytes of the addressed 8-byte word are written.
+            data = pkt.payload[0] if pkt.payload else 0
+            mask = (pkt.payload[1] if len(pkt.payload) > 1 else 0xFF) & 0xFF
+            bank.masked_write(rel, data, mask)
+            self.wr_count += 1
+            tracer.event(
+                EventType.RQST_WRITE,
+                cycle,
+                dev=dev_id,
+                quad=self.quad_id,
+                vault=self.vault_id,
+                bank=bank_id,
+                serial=pkt.serial,
+                extra={"addr": pkt.addr, "bwr": True},
+            )
+            if pkt.expects_response:
+                self._push_response(build_response(pkt), pkt, cycle)
+        elif cls is CommandClass.READ:
+            data = bank.read(rel, nbytes)
+            self.rd_count += 1
+            tracer.event(
+                EventType.RQST_READ,
+                cycle,
+                dev=dev_id,
+                quad=self.quad_id,
+                vault=self.vault_id,
+                bank=bank_id,
+                serial=pkt.serial,
+                extra={"addr": pkt.addr},
+            )
+            rsp = build_response(pkt, data=data)
+            self._push_response(rsp, pkt, cycle)
+        elif cls in (CommandClass.WRITE, CommandClass.POSTED_WRITE):
+            bank.write(rel, list(pkt.payload))
+            self.wr_count += 1
+            tracer.event(
+                EventType.RQST_WRITE,
+                cycle,
+                dev=dev_id,
+                quad=self.quad_id,
+                vault=self.vault_id,
+                bank=bank_id,
+                serial=pkt.serial,
+                extra={"addr": pkt.addr},
+            )
+            if pkt.expects_response:
+                rsp = build_response(pkt)
+                self._push_response(rsp, pkt, cycle)
+        elif cls in (CommandClass.ATOMIC, CommandClass.POSTED_ATOMIC):
+            ops = list(pkt.payload[:2]) if pkt.payload else [0, 0]
+            if pkt.cmd in (CMD.TWOADD8, CMD.P_2ADD8):
+                old = bank.atomic_2add8(rel, ops)
+            else:
+                old = bank.atomic_add16(rel, ops)
+            self.atomic_count += 1
+            tracer.event(
+                EventType.RQST_ATOMIC,
+                cycle,
+                dev=dev_id,
+                quad=self.quad_id,
+                vault=self.vault_id,
+                bank=bank_id,
+                serial=pkt.serial,
+                extra={"addr": pkt.addr},
+            )
+            if pkt.expects_response:
+                rsp = build_response(pkt, data=old)
+                self._push_response(rsp, pkt, cycle)
+        else:  # pragma: no cover - guarded by caller
+            self._error_response(pkt, ErrStat.INVALID_CMD, cycle, tracer, dev_id)
+
+    def _do_mode(self, pkt: Packet, cycle: int, tracer: Tracer, dev_id: int) -> None:
+        """Handle in-band MODE_READ / MODE_WRITE register packets (§V.D).
+
+        The sparse physical register index travels in the address field;
+        MODE_WRITE data rides in the first payload word.
+        """
+        from repro.core.errors import RegisterAccessError
+
+        regs = self.device.regs if self.device is not None else None
+        self.mode_count += 1
+        tracer.event(
+            EventType.MODE_ACCESS,
+            cycle,
+            dev=dev_id,
+            vault=self.vault_id,
+            serial=pkt.serial,
+            extra={"reg": pkt.addr, "write": pkt.cls is CommandClass.MODE_WRITE},
+        )
+        if regs is None:
+            self._error_response(pkt, ErrStat.DEVICE_CRITICAL, cycle, tracer, dev_id)
+            return
+        try:
+            if pkt.cls is CommandClass.MODE_READ:
+                value = regs.read_phys(pkt.addr)
+                rsp = build_response(pkt, data=[value, 0])
+            else:
+                regs.write_phys(pkt.addr, pkt.payload[0] if pkt.payload else 0)
+                rsp = build_response(pkt)
+        except RegisterAccessError:
+            self._error_response(pkt, ErrStat.INVALID_ADDRESS, cycle, tracer, dev_id)
+            return
+        self._push_response(rsp, pkt, cycle)
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        return self.rd_count + self.wr_count + self.atomic_count + self.mode_count
+
+    def reset(self) -> None:
+        self.rqst.reset()
+        self.rsp.reset()
+        for b in self.banks:
+            b.reset()
+        self.rd_count = self.wr_count = self.atomic_count = self.mode_count = 0
+        self.conflict_count = 0
+        self.issue_stall_cycles = 0
+        self.rsp_stall_count = 0
+        self.refresh_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Vault({self.vault_id}, quad={self.quad_id}, banks={len(self.banks)})"

@@ -1,0 +1,36 @@
+"""A Goblin-Core64-style multithreaded core front-end.
+
+HMC-Sim was built "to develop a system to support the massively
+parallel Goblin-Core64 processor and system architecture project"
+(paper §I): a heavily multithreaded core that hides memory latency by
+switching hardware thread contexts on every long-latency operation —
+the execution model stacked memory's parallelism exists to feed.
+
+This subpackage provides a faithful miniature of that consumer:
+
+* :mod:`repro.cpu.isa` — a small 64-bit RISC instruction set whose
+  memory operations map 1:1 onto HMC request commands (8-byte loads →
+  RD16, byte-masked stores → BWR, fetch-and-add → ADD16);
+* :mod:`repro.cpu.assembler` — a two-pass text assembler with labels;
+* :mod:`repro.cpu.core` — :class:`~repro.cpu.core.GoblinCore`, a
+  barrel-scheduled in-order core: one instruction per cycle from the
+  next ready hardware thread, with threads parking on outstanding
+  memory tags and the HMC clock advancing in lock-step;
+* :mod:`repro.cpu.programs` — kernel generators (memset, vector sum,
+  GUPS updates, pointer walks) used by tests, examples and benchmarks.
+"""
+
+from repro.cpu.assembler import AssemblyError, assemble
+from repro.cpu.core import CoreResult, GoblinCore, ThreadContext, ThreadState
+from repro.cpu.isa import Instruction, Op
+
+__all__ = [
+    "AssemblyError",
+    "CoreResult",
+    "GoblinCore",
+    "Instruction",
+    "Op",
+    "ThreadContext",
+    "ThreadState",
+    "assemble",
+]

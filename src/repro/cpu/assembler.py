@@ -1,0 +1,154 @@
+"""Two-pass text assembler for the miniature ISA.
+
+Syntax::
+
+    ; comments with ';' or '#'
+    loop:                       ; labels end with ':'
+        li   r1, 100            ; decimal, hex (0x...) or negative imms
+        ld   r2, 8(r3)          ; displacement(base) addressing
+        st   r2, 0(r4)
+        amoadd r5, 16(r6), r7
+        addi r1, r1, -1
+        bne  r1, r0, loop       ; branch targets are labels or indices
+        halt
+
+Pass one collects labels; pass two resolves them to absolute
+instruction indices.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.cpu.isa import BRANCH_OPS, Instruction, Op
+
+
+class AssemblyError(ValueError):
+    """Syntax or semantic error in assembly text (carries line number)."""
+
+
+_REG = re.compile(r"^r(\d+)$")
+_MEM = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(r(\d+)\)$")
+_LABEL = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+
+_ALU3 = {Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR}
+_ALUI = {Op.ADDI, Op.ANDI, Op.MULI}
+
+
+def _reg(tok: str, lineno: int) -> int:
+    m = _REG.match(tok)
+    if not m:
+        raise AssemblyError(f"line {lineno}: expected register, got {tok!r}")
+    r = int(m.group(1))
+    if r >= 32:
+        raise AssemblyError(f"line {lineno}: no such register {tok!r}")
+    return r
+
+
+def _imm(tok: str, lineno: int) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblyError(f"line {lineno}: expected immediate, got {tok!r}") from None
+
+
+def _mem(tok: str, lineno: int):
+    m = _MEM.match(tok)
+    if not m:
+        raise AssemblyError(
+            f"line {lineno}: expected displacement(base) operand, got {tok!r}"
+        )
+    return int(m.group(1), 0), int(m.group(2))
+
+
+def assemble(text: str) -> List[Instruction]:
+    """Assemble *text* into an instruction list with resolved branches."""
+    labels: Dict[str, int] = {}
+    parsed: List[tuple] = []  # (lineno, mnemonic, operands)
+
+    # Pass 1: strip comments, collect labels, tokenise.
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = re.split(r"[;#]", raw, 1)[0].strip()
+        if not line:
+            continue
+        m = _LABEL.match(line)
+        if m:
+            name = m.group(1)
+            if name in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {name!r}")
+            labels[name] = len(parsed)
+            continue
+        parts = line.replace(",", " ").split()
+        parsed.append((lineno, parts[0].lower(), parts[1:]))
+
+    # Pass 2: encode.
+    program: List[Instruction] = []
+    for lineno, mnemonic, ops in parsed:
+        try:
+            op = Op(mnemonic)
+        except ValueError:
+            raise AssemblyError(f"line {lineno}: unknown mnemonic {mnemonic!r}") from None
+        try:
+            program.append(_encode(op, ops, lineno, labels))
+        except AssemblyError:
+            raise
+        except (ValueError, IndexError) as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from exc
+    return program
+
+
+def _target(tok: str, lineno: int, labels: Dict[str, int]) -> int:
+    if tok in labels:
+        return labels[tok]
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblyError(f"line {lineno}: unknown label {tok!r}") from None
+
+
+def _encode(op: Op, ops: List[str], lineno: int, labels: Dict[str, int]) -> Instruction:
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblyError(
+                f"line {lineno}: {op.value} takes {n} operand(s), got {len(ops)}"
+            )
+
+    if op in (Op.NOP, Op.HALT, Op.FENCE):
+        need(0)
+        return Instruction(op)
+    if op is Op.LI:
+        need(2)
+        return Instruction(op, rd=_reg(ops[0], lineno), imm=_imm(ops[1], lineno))
+    if op is Op.MOV:
+        need(2)
+        return Instruction(op, rd=_reg(ops[0], lineno), ra=_reg(ops[1], lineno))
+    if op in _ALU3:
+        need(3)
+        return Instruction(op, rd=_reg(ops[0], lineno), ra=_reg(ops[1], lineno),
+                           rb=_reg(ops[2], lineno))
+    if op in _ALUI:
+        need(3)
+        return Instruction(op, rd=_reg(ops[0], lineno), ra=_reg(ops[1], lineno),
+                           imm=_imm(ops[2], lineno))
+    if op is Op.JMP:
+        need(1)
+        return Instruction(op, imm=_target(ops[0], lineno, labels))
+    if op in BRANCH_OPS:  # beq/bne/blt
+        need(3)
+        return Instruction(op, ra=_reg(ops[0], lineno), rb=_reg(ops[1], lineno),
+                           imm=_target(ops[2], lineno, labels))
+    if op is Op.LD:
+        need(2)
+        disp, base = _mem(ops[1], lineno)
+        return Instruction(op, rd=_reg(ops[0], lineno), ra=base, imm=disp)
+    if op is Op.ST:
+        need(2)
+        disp, base = _mem(ops[1], lineno)
+        return Instruction(op, rb=_reg(ops[0], lineno), ra=base, imm=disp)
+    if op is Op.AMOADD:
+        need(3)
+        disp, base = _mem(ops[1], lineno)
+        return Instruction(op, rd=_reg(ops[0], lineno), ra=base, imm=disp,
+                           rb=_reg(ops[2], lineno))
+    raise AssemblyError(f"line {lineno}: unhandled opcode {op}")  # pragma: no cover

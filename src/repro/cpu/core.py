@@ -1,0 +1,336 @@
+"""The barrel-scheduled multithreaded core.
+
+Goblin-Core64's execution model is massive hardware multithreading: a
+core holds many thread contexts and issues one instruction per cycle
+from the next ready context, so threads parked on memory round-trips
+cost nothing — the memory system's parallelism (HMC vaults and banks)
+is what limits throughput.  :class:`GoblinCore` implements exactly
+that: an in-order, one-IPC barrel core whose memory operations are HMC
+request packets, clocked in lock-step with one
+:class:`~repro.core.simulator.HMCSim` object.
+
+Memory mapping: the core's 64-bit addresses are device physical
+addresses on cube ``cub``.  Loads issue RD16 on the containing 16-byte
+atom and select the addressed half; stores issue byte-masked BWR
+writes; ``amoadd`` issues ADD16 with the operand in the addressed half.
+Stores retire into a store buffer (the thread does not wait for WR_RS);
+loads and atomics park the thread until their response returns.  The
+host uses the locality link policy so same-address streams keep HMC's
+link→bank ordering guarantee.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.simulator import HMCSim
+from repro.cpu.isa import (
+    BRANCH_OPS,
+    Instruction,
+    NUM_REGS,
+    Op,
+    alu_eval,
+    signed,
+)
+from repro.host.host import Host, LinkPolicy
+from repro.packets.commands import CMD
+
+_MASK64 = (1 << 64) - 1
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    WAITING = "waiting"
+    HALTED = "halted"
+    FAULTED = "faulted"
+
+
+@dataclass
+class ThreadContext:
+    """One hardware thread: PC, register file, state, statistics."""
+
+    tid: int
+    pc: int = 0
+    regs: List[int] = field(default_factory=lambda: [0] * NUM_REGS)
+    state: ThreadState = ThreadState.READY
+    fault: Optional[str] = None
+    # Statistics.
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    amos: int = 0
+    fences: int = 0
+    send_stalls: int = 0
+    wait_cycles: int = 0
+    #: Stores issued but not yet acknowledged (fence gating).
+    outstanding_stores: int = 0
+    #: True while parked on a FENCE.
+    fenced: bool = False
+
+    def read(self, r: int) -> int:
+        return 0 if r == 0 else self.regs[r]
+
+    def write(self, r: int, value: int) -> None:
+        if r != 0:
+            self.regs[r] = value & _MASK64
+
+
+@dataclass
+class CoreResult:
+    """Outcome of :meth:`GoblinCore.run`."""
+
+    cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    amos: int
+    idle_cycles: int
+    threads: List[ThreadContext]
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def faulted(self) -> List[ThreadContext]:
+        return [t for t in self.threads if t.state is ThreadState.FAULTED]
+
+
+class GoblinCore:
+    """A barrel-scheduled core bound to one HMCSim object.
+
+    Parameters
+    ----------
+    sim:
+        The memory subsystem (host links must be configured).
+    program:
+        Shared instruction list every thread executes, or a list of
+        per-thread programs.
+    num_threads:
+        Hardware contexts (ignored when per-thread programs are given).
+    cub:
+        Target cube for all memory traffic.
+    """
+
+    def __init__(
+        self,
+        sim: HMCSim,
+        program: Sequence[Instruction] | Sequence[Sequence[Instruction]],
+        num_threads: int = 1,
+        cub: int = 0,
+        host: Optional[Host] = None,
+    ) -> None:
+        if not program:
+            raise ValueError("program must not be empty")
+        if isinstance(program[0], Instruction):
+            self.programs: List[List[Instruction]] = [list(program)] * num_threads
+        else:
+            self.programs = [list(p) for p in program]
+            num_threads = len(self.programs)
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        self.sim = sim
+        self.cub = cub
+        self.host = host or Host(sim, policy=LinkPolicy.LOCALITY)
+        self.threads = [ThreadContext(tid=i) for i in range(num_threads)]
+        self._rotor = 0
+        #: (dev, link, tag) -> (tid, kind, rd, half) for loads/atomics.
+        self._pending: Dict[Tuple[int, int, int], Tuple[int, str, int, int]] = {}
+        self.cycles = 0
+        self.idle_cycles = 0
+
+    # -- memory setup helpers (test/benchmark scaffolding) -----------------
+
+    def poke(self, addr: int, words: Sequence[int]) -> None:
+        """Write *words* directly into the cube's storage — zero-time
+        test setup, not simulated traffic (delegates to the device's
+        map-aware backdoor)."""
+        self.sim.devices[self.cub].poke(addr, words)
+
+    def peek(self, addr: int, nwords: int = 2) -> List[int]:
+        """Read device storage directly (verification helper)."""
+        return self.sim.devices[self.cub].peek(addr, nwords)
+
+    def peek_word(self, addr: int) -> int:
+        """Read one 8-byte word at an 8-aligned address."""
+        atom = addr & ~0xF
+        half = (addr >> 3) & 1
+        return self.peek(atom)[half]
+
+    # -- execution ------------------------------------------------------------
+
+    def _next_ready(self) -> Optional[ThreadContext]:
+        n = len(self.threads)
+        for i in range(n):
+            t = self.threads[(self._rotor + i) % n]
+            if t.state is ThreadState.READY:
+                self._rotor = (self._rotor + i + 1) % n
+                return t
+        return None
+
+    def _fault(self, t: ThreadContext, reason: str) -> None:
+        t.state = ThreadState.FAULTED
+        t.fault = reason
+
+    def _mem_addr(self, t: ThreadContext, ins: Instruction) -> Optional[int]:
+        addr = (t.read(ins.ra) + ins.imm) & _MASK64
+        if addr % 8:
+            self._fault(t, f"unaligned access {addr:#x} at pc {t.pc}")
+            return None
+        cap = self.sim.devices[self.cub].config.capacity_bytes
+        if addr + 8 > cap:
+            self._fault(t, f"access {addr:#x} beyond capacity at pc {t.pc}")
+            return None
+        return addr
+
+    def _issue_memory(self, t: ThreadContext, ins: Instruction) -> bool:
+        """Issue a memory op; returns False on a send stall (retry)."""
+        addr = self._mem_addr(t, ins)
+        if addr is None:
+            return True  # faulted: do not retry
+        atom = addr & ~0xF
+        half = (addr >> 3) & 1
+        if ins.op is Op.LD:
+            tag = self.host.send_request(CMD.RD16, atom, cub=self.cub)
+            if tag is None:
+                t.send_stalls += 1
+                return False
+            self._pending[self.host.last_send] = (t.tid, "ld", ins.rd, half)
+            t.state = ThreadState.WAITING
+            t.loads += 1
+        elif ins.op is Op.ST:
+            data = t.read(ins.rb)
+            tag = self.host.send_request(
+                CMD.BWR, addr, cub=self.cub, payload=[data, 0xFF]
+            )
+            if tag is None:
+                t.send_stalls += 1
+                return False
+            # Store buffer: the thread proceeds; the WR_RS ack retires
+            # the entry (tracked for FENCE).
+            self._pending[self.host.last_send] = (t.tid, "st", 0, 0)
+            t.outstanding_stores += 1
+            t.stores += 1
+        else:  # AMOADD
+            operand = t.read(ins.rb)
+            payload = [operand, 0] if half == 0 else [0, operand]
+            tag = self.host.send_request(CMD.ADD16, atom, cub=self.cub,
+                                         payload=payload)
+            if tag is None:
+                t.send_stalls += 1
+                return False
+            self._pending[self.host.last_send] = (t.tid, "amo", ins.rd, half)
+            t.state = ThreadState.WAITING
+            t.amos += 1
+        t.instructions += 1
+        t.pc += 1
+        return True
+
+    def _execute(self, t: ThreadContext) -> None:
+        prog = self.programs[t.tid]
+        if t.pc >= len(prog):
+            self._fault(t, f"pc {t.pc} ran off the program end")
+            return
+        ins = prog[t.pc]
+        op = ins.op
+        if op is Op.HALT:
+            t.state = ThreadState.HALTED
+            t.instructions += 1
+            return
+        if op is Op.FENCE:
+            t.instructions += 1
+            t.fences += 1
+            t.pc += 1
+            if t.outstanding_stores > 0:
+                t.fenced = True
+                t.state = ThreadState.WAITING
+            return
+        if ins.is_memory:
+            self._issue_memory(t, ins)
+            return
+        t.instructions += 1
+        if op is Op.NOP:
+            pass
+        elif op is Op.LI:
+            t.write(ins.rd, ins.imm)
+        elif op is Op.MOV:
+            t.write(ins.rd, t.read(ins.ra))
+        elif op in (Op.ADDI, Op.ANDI, Op.MULI):
+            t.write(ins.rd, alu_eval(op, t.read(ins.ra), ins.imm))
+        elif op in BRANCH_OPS:
+            a, b = t.read(ins.ra), t.read(ins.rb)
+            taken = (
+                op is Op.JMP
+                or (op is Op.BEQ and a == b)
+                or (op is Op.BNE and a != b)
+                or (op is Op.BLT and signed(a) < signed(b))
+            )
+            if taken:
+                if not 0 <= ins.imm <= len(prog):
+                    self._fault(t, f"branch target {ins.imm} out of range")
+                    return
+                t.pc = ins.imm
+                return
+        else:  # three-operand ALU
+            t.write(ins.rd, alu_eval(op, t.read(ins.ra), t.read(ins.rb)))
+        t.pc += 1
+
+    def _drain(self) -> None:
+        for rsp in self.host.drain_responses():
+            key = (*rsp.delivered_from, rsp.tag)
+            pend = self._pending.pop(key, None)
+            if pend is None:
+                continue
+            tid, kind, rd, half = pend
+            t = self.threads[tid]
+            if kind == "st":
+                t.outstanding_stores -= 1
+                if t.fenced and t.outstanding_stores == 0:
+                    t.fenced = False
+                    if t.state is ThreadState.WAITING:
+                        t.state = ThreadState.READY
+                continue
+            value = rsp.payload[half] if len(rsp.payload) > half else 0
+            t.write(rd, value)
+            if t.state is ThreadState.WAITING:
+                t.state = ThreadState.READY
+
+    @property
+    def done(self) -> bool:
+        return (
+            all(t.state in (ThreadState.HALTED, ThreadState.FAULTED)
+                for t in self.threads)
+            and self.host.outstanding == 0
+        )
+
+    def run(self, max_cycles: int = 1_000_000) -> CoreResult:
+        """Run to completion (all threads halted, memory drained)."""
+        start = self.cycles
+        while not self.done and self.cycles - start < max_cycles:
+            t = self._next_ready()
+            if t is None:
+                self.idle_cycles += 1
+                for th in self.threads:
+                    if th.state is ThreadState.WAITING:
+                        th.wait_cycles += 1
+            else:
+                self._execute(t)
+            self.sim.clock()
+            self._drain()
+            self.cycles += 1
+        if not self.done:
+            raise RuntimeError(
+                f"core did not finish within {max_cycles} cycles "
+                f"(states: {[t.state.value for t in self.threads]})"
+            )
+        return CoreResult(
+            cycles=self.cycles - start,
+            instructions=sum(t.instructions for t in self.threads),
+            loads=sum(t.loads for t in self.threads),
+            stores=sum(t.stores for t in self.threads),
+            amos=sum(t.amos for t in self.threads),
+            idle_cycles=self.idle_cycles,
+            threads=list(self.threads),
+        )

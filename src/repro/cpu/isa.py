@@ -1,0 +1,163 @@
+"""The miniature 64-bit RISC instruction set.
+
+Thirty-two 64-bit registers (``r0`` reads as zero and ignores writes),
+three-operand register arithmetic, immediate forms, conditional
+branches, and three memory operations sized to the HMC command set:
+
+=========  =======================  ==============================
+mnemonic   semantics                HMC mapping
+=========  =======================  ==============================
+``ld``     rd = mem64[ra + imm]     RD16 on the containing atom
+``st``     mem64[ra + imm] = rb     BWR (byte-masked 8-byte write)
+``amoadd`` rd = fetch_add(ra+imm,   ADD16 (read-modify-write)
+           rb)
+=========  =======================  ==============================
+
+All memory addresses must be 8-byte aligned; the core raises a fault
+(halts the offending thread) otherwise, mirroring an alignment trap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+NUM_REGS = 32
+_MASK64 = (1 << 64) - 1
+
+
+class Op(enum.Enum):
+    """Opcodes."""
+
+    NOP = "nop"
+    HALT = "halt"
+    #: Store fence: park until all of this thread's stores have been
+    #: acknowledged.  Required before releasing a lock, because stores
+    #: retire into a store buffer and different addresses may reach
+    #: memory out of order (relaxed model; see docs/cpu.md).
+    FENCE = "fence"
+
+    # Register / immediate moves.
+    LI = "li"        # li rd, imm
+    MOV = "mov"      # mov rd, ra
+
+    # Three-operand ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+
+    # Immediate ALU.
+    ADDI = "addi"    # addi rd, ra, imm
+    ANDI = "andi"
+    MULI = "muli"
+
+    # Control flow (target = absolute instruction index after assembly).
+    BEQ = "beq"      # beq ra, rb, target
+    BNE = "bne"
+    BLT = "blt"      # signed comparison
+    JMP = "jmp"      # jmp target
+
+    # Memory.
+    LD = "ld"        # ld rd, imm(ra)
+    ST = "st"        # st rb, imm(ra)
+    AMOADD = "amoadd"  # amoadd rd, imm(ra), rb
+
+
+#: Opcodes that access memory (park the thread / consume HMC bandwidth).
+MEMORY_OPS = frozenset({Op.LD, Op.ST, Op.AMOADD})
+
+#: Opcodes that read a branch target from ``imm``.
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.JMP})
+
+_ALU3 = {Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR}
+_ALUI = {Op.ADDI, Op.ANDI, Op.MULI}
+
+
+def _check_reg(r: int, name: str) -> None:
+    if not 0 <= r < NUM_REGS:
+        raise ValueError(f"{name} out of range: r{r}")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: Op
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    #: Unresolved label (assembler-internal; None once resolved).
+    label: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        _check_reg(self.rd, "rd")
+        _check_reg(self.ra, "ra")
+        _check_reg(self.rb, "rb")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        op = self.op.value
+        if self.op in (Op.NOP, Op.HALT):
+            return op
+        if self.op is Op.LI:
+            return f"{op} r{self.rd}, {self.imm}"
+        if self.op is Op.MOV:
+            return f"{op} r{self.rd}, r{self.ra}"
+        if self.op in _ALU3:
+            return f"{op} r{self.rd}, r{self.ra}, r{self.rb}"
+        if self.op in _ALUI:
+            return f"{op} r{self.rd}, r{self.ra}, {self.imm}"
+        if self.op is Op.JMP:
+            return f"{op} {self.label or self.imm}"
+        if self.op in BRANCH_OPS:
+            return f"{op} r{self.ra}, r{self.rb}, {self.label or self.imm}"
+        if self.op is Op.LD:
+            return f"{op} r{self.rd}, {self.imm}(r{self.ra})"
+        if self.op is Op.ST:
+            return f"{op} r{self.rb}, {self.imm}(r{self.ra})"
+        if self.op is Op.AMOADD:
+            return f"{op} r{self.rd}, {self.imm}(r{self.ra}), r{self.rb}"
+        return op
+
+
+def alu_eval(op: Op, a: int, b: int) -> int:
+    """Evaluate a 3-operand / immediate ALU op over 64-bit values."""
+    a &= _MASK64
+    b &= _MASK64
+    if op in (Op.ADD, Op.ADDI):
+        return (a + b) & _MASK64
+    if op is Op.SUB:
+        return (a - b) & _MASK64
+    if op in (Op.MUL, Op.MULI):
+        return (a * b) & _MASK64
+    if op in (Op.AND, Op.ANDI):
+        return a & b
+    if op is Op.OR:
+        return a | b
+    if op is Op.XOR:
+        return a ^ b
+    if op is Op.SHL:
+        return (a << (b & 63)) & _MASK64
+    if op is Op.SHR:
+        return a >> (b & 63)
+    raise ValueError(f"not an ALU op: {op}")
+
+
+def signed(value: int) -> int:
+    """Interpret a 64-bit value as signed (for BLT)."""
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value

@@ -1,0 +1,202 @@
+"""Kernel generators for the miniature core.
+
+Each generator returns assembly text (so the assembler is exercised)
+parameterised by base addresses and sizes.  Conventions: every kernel
+ends with ``halt``; per-thread variants take the thread's slice bounds
+so multithreaded runs partition the data.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import Instruction
+
+
+def memset_kernel(base: int, count: int, value: int, stride: int = 8) -> str:
+    """Store *value* to *count* consecutive 8-byte words from *base*."""
+    return f"""
+        li   r1, {base}          ; cursor
+        li   r2, {count}         ; remaining
+        li   r3, {value}
+        li   r4, {stride}
+    loop:
+        beq  r2, r0, done
+        st   r3, 0(r1)
+        add  r1, r1, r4
+        addi r2, r2, -1
+        jmp  loop
+    done:
+        halt
+    """
+
+
+def vector_sum_kernel(base: int, count: int, result_addr: int) -> str:
+    """Sum *count* 8-byte words from *base*; store the total."""
+    return f"""
+        li   r1, {base}
+        li   r2, {count}
+        li   r3, 0               ; accumulator
+        li   r4, 8
+    loop:
+        beq  r2, r0, done
+        ld   r5, 0(r1)
+        add  r3, r3, r5
+        add  r1, r1, r4
+        addi r2, r2, -1
+        jmp  loop
+    done:
+        li   r6, {result_addr}
+        st   r3, 0(r6)
+        halt
+    """
+
+
+def memcpy_kernel(src: int, dst: int, count: int) -> str:
+    """Copy *count* 8-byte words from *src* to *dst*."""
+    return f"""
+        li   r1, {src}
+        li   r2, {dst}
+        li   r3, {count}
+        li   r4, 8
+    loop:
+        beq  r3, r0, done
+        ld   r5, 0(r1)
+        st   r5, 0(r2)
+        add  r1, r1, r4
+        add  r2, r2, r4
+        addi r3, r3, -1
+        jmp  loop
+    done:
+        halt
+    """
+
+
+def gups_kernel(table_base: int, table_words: int, updates: int, seed: int) -> str:
+    """GUPS-style fetch-and-add updates at pseudo-random table slots.
+
+    Address randomisation runs on-core with an in-register LCG
+    (x = x*6364136223846793005 + 1442695040888963407, Knuth's MMIX
+    constants), indexing 16-byte-aligned slots so each ``amoadd`` maps
+    to one ADD16.
+    """
+    if table_words < 2 or table_words & (table_words - 1):
+        raise ValueError("table_words must be a power of two >= 2")
+    # Slots are atoms: index mask over (table_words // 2) slots.
+    slot_mask = (table_words // 2 - 1) << 4
+    return f"""
+        li   r1, {seed | 1}          ; lcg state
+        li   r2, {updates}
+        li   r3, {table_base}
+        li   r4, 6364136223846793005
+        li   r5, 1442695040888963407
+        li   r6, {slot_mask}
+        li   r9, 33
+    loop:
+        beq  r2, r0, done
+        mul  r1, r1, r4              ; lcg step
+        add  r1, r1, r5
+        shr  r7, r1, r9              ; use high bits
+        and  r7, r7, r6              ; slot offset (16-byte aligned)
+        add  r7, r7, r3
+        amoadd r8, 0(r7), r2         ; fetch-and-add the loop counter
+        addi r2, r2, -1
+        jmp  loop
+    done:
+        halt
+    """
+
+
+def pointer_walk_kernel(start_addr: int, hops: int) -> str:
+    """Follow a chain of pointers: each node's first word is the next
+    address.  Purely latency-bound (one dependent load at a time)."""
+    return f"""
+        li   r1, {start_addr}
+        li   r2, {hops}
+    loop:
+        beq  r2, r0, done
+        ld   r1, 0(r1)            ; next = *node
+        addi r2, r2, -1
+        jmp  loop
+    done:
+        halt
+    """
+
+
+def ticket_lock_kernel(lock_addr: int, counter_addr: int, iters: int) -> str:
+    """Ticket-lock mutual exclusion over HMC atomics.
+
+    Lock layout: the *ticket* counter lives at ``lock_addr`` and the
+    *serving* counter at ``lock_addr + 8`` — the same 16-byte atom, so
+    both sides of the lock share one bank and (under the locality link
+    policy) one link, giving the ordering the protocol needs.
+
+    Each iteration: take a ticket with ``amoadd``, spin on *serving*,
+    then increment the plain (non-atomic!) shared counter inside the
+    critical section, ``fence`` so the store is globally visible, and
+    release by bumping *serving* atomically.  With N threads × I
+    iterations the counter must read exactly N·I — any lost update
+    means mutual exclusion or the fence is broken.
+    """
+    if lock_addr % 16:
+        raise ValueError("lock must be 16-byte aligned (ticket+serving atom)")
+    return f"""
+        li   r1, {lock_addr}
+        li   r2, {counter_addr}
+        li   r3, {iters}
+        li   r4, 1
+    loop:
+        beq  r3, r0, done
+        amoadd r5, 0(r1), r4     ; my ticket = fetch_add(ticket, 1)
+    spin:
+        ld   r6, 8(r1)           ; now serving
+        bne  r6, r5, spin
+        ld   r7, 0(r2)           ; -- critical section --
+        add  r7, r7, r4
+        st   r7, 0(r2)
+        fence                    ; store visible before release
+        amoadd r8, 8(r1), r4     ; serving++
+        addi r3, r3, -1
+        jmp  loop
+    done:
+        halt
+    """
+
+
+def fib_kernel(n: int, result_addr: int) -> str:
+    """Register-only Fibonacci; stores fib(n) — core-correctness kernel."""
+    return f"""
+        li   r1, 0               ; fib(0)
+        li   r2, 1               ; fib(1)
+        li   r3, {n}
+    loop:
+        beq  r3, r0, done
+        add  r4, r1, r2
+        mov  r1, r2
+        mov  r2, r4
+        addi r3, r3, -1
+        jmp  loop
+    done:
+        li   r5, {result_addr}
+        st   r1, 0(r5)
+        halt
+    """
+
+
+def partitioned(kernel_fn, num_threads: int, total: int, *args, **kw) -> List[List[Instruction]]:
+    """Split *total* items across threads and assemble per-thread kernels.
+
+    ``kernel_fn(start_item, item_count, *args, **kw)`` is called once
+    per thread with its slice in **item** units; the caller's kernel_fn
+    converts items to byte addresses (e.g. ``lambda s, c: memset_kernel(
+    base + s * 8, c, value)``).
+    """
+    if num_threads <= 0:
+        raise ValueError("num_threads must be positive")
+    per = total // num_threads
+    programs = []
+    for tid in range(num_threads):
+        count = per if tid < num_threads - 1 else total - per * (num_threads - 1)
+        programs.append(assemble(kernel_fn(tid * per, count, *args, **kw)))
+    return programs

@@ -1,0 +1,37 @@
+"""Fault injection and link-error recovery (error simulation).
+
+HMC-Sim's stated goal includes "support for a wide array of simulation
+scenarios, including functional simulation, **error simulation** and
+performance simulation" (paper §IV.5).  This subpackage supplies the
+error-simulation half:
+
+* :mod:`repro.faults.injector` — deterministic bit-error injection into
+  packet word streams (BER-based or scheduled);
+* :mod:`repro.faults.link_model` — per-link fault models (corrupt /
+  drop / clean) that the simulator consults when packets cross a host
+  link;
+* :mod:`repro.faults.retry` — the link-level retry protocol: a
+  transmitter-side retry buffer keyed by FRP, CRC-based detection at
+  the receiver, IRTRY-triggered replay — modelled on the HMC 1.0 link
+  retry flow and built atop :mod:`repro.packets.flow`'s pointer state.
+
+Fault models attach to host links via
+:meth:`repro.core.simulator.HMCSim.attach_fault_model`; with one
+attached, ``send`` runs each packet through a
+:class:`~repro.faults.retry.RetrySession` so corrupted transmissions
+are detected (never silently accepted) and replayed transparently,
+while statistics record every injected and recovered error.
+"""
+
+from repro.faults.injector import BitErrorInjector, ScheduledInjector
+from repro.faults.link_model import FaultKind, LinkFaultModel
+from repro.faults.retry import RetrySession, RetryStats
+
+__all__ = [
+    "BitErrorInjector",
+    "FaultKind",
+    "LinkFaultModel",
+    "RetrySession",
+    "RetryStats",
+    "ScheduledInjector",
+]

@@ -1,0 +1,97 @@
+"""Deterministic bit-error injection into packet word streams.
+
+Two injectors cover the common scenarios:
+
+* :class:`BitErrorInjector` — a Bernoulli process per transmitted bit
+  (a classical BER model), driven by a seeded generator so runs are
+  reproducible;
+* :class:`ScheduledInjector` — corrupt exactly the Nth, Mth, ...
+  transmissions (regression tests and targeted what-if studies).
+
+Both corrupt *copies* of the wire words; the caller decides what the
+corrupted transmission means (usually: receiver CRC check fails and the
+link retry protocol replays).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+class BitErrorInjector:
+    """Flip each transmitted bit independently with probability *ber*.
+
+    A 64-bit word sequence of ``W`` words exposes ``64 * W`` bits per
+    transmission; for the small packets involved the exact Bernoulli
+    model is affordable and exactly reproducible under a fixed seed.
+    """
+
+    def __init__(self, ber: float, seed: int = 1) -> None:
+        if not 0.0 <= ber <= 1.0:
+            raise ValueError(f"bit error rate must be in [0, 1], got {ber}")
+        self.ber = ber
+        self._rng = np.random.default_rng(seed)
+        self.transmissions = 0
+        self.corrupted_transmissions = 0
+        self.bits_flipped = 0
+
+    def corrupt(self, words: Sequence[int]) -> List[int]:
+        """Return a possibly-corrupted copy of *words*."""
+        self.transmissions += 1
+        out = [int(w) & _MASK64 for w in words]
+        if self.ber == 0.0 or not out:
+            return out
+        nbits = 64 * len(out)
+        flips = self._rng.random(nbits) < self.ber
+        if not flips.any():
+            return out
+        self.corrupted_transmissions += 1
+        for bit in np.flatnonzero(flips):
+            word_i, bit_i = divmod(int(bit), 64)
+            out[word_i] ^= 1 << bit_i
+            self.bits_flipped += 1
+        return out
+
+    def would_corrupt(self) -> bool:  # pragma: no cover - convenience
+        """Peek-free estimate: True with probability ~1-(1-ber)^bits."""
+        return self.ber > 0.0
+
+
+class ScheduledInjector:
+    """Corrupt exactly the scheduled transmission ordinals (0-based).
+
+    ``ScheduledInjector({0, 2})`` corrupts the first and third packets
+    it sees and passes everything else through untouched — ideal for
+    deterministic protocol tests.  *bit* selects which bit to flip.
+    """
+
+    def __init__(self, ordinals: Iterable[int], bit: int = 17) -> None:
+        self._targets: Set[int] = {int(o) for o in ordinals}
+        if any(o < 0 for o in self._targets):
+            raise ValueError("ordinals must be non-negative")
+        if not 0 <= bit < 64:
+            raise ValueError("bit must be in [0, 64)")
+        self.bit = bit
+        self.transmissions = 0
+        self.corrupted_transmissions = 0
+
+    def corrupt(self, words: Sequence[int]) -> List[int]:
+        """Return *words*, corrupted iff this ordinal is scheduled."""
+        out = [int(w) & _MASK64 for w in words]
+        ordinal = self.transmissions
+        self.transmissions += 1
+        if ordinal in self._targets and out:
+            # Flip a bit in the middle word: survives header AND tail
+            # heuristics, caught only by the CRC.
+            out[len(out) // 2] ^= 1 << self.bit
+            self.corrupted_transmissions += 1
+        return out
+
+    @property
+    def remaining(self) -> int:
+        """Scheduled corruptions not yet delivered."""
+        return sum(1 for o in self._targets if o >= self.transmissions)

@@ -1,0 +1,213 @@
+"""Host-side sequential prefetcher.
+
+The paper's conclusion pitches HMC-Sim for "early algorithm, system and
+application design" on stacked memory.  A natural host-side question:
+does classic next-line prefetching pay off against an HMC, where
+round-trip latency is low but bank conflicts are real?
+
+:class:`SequentialPrefetcher` implements a stream-table next-N-lines
+prefetcher in front of a :class:`~repro.host.host.Host`: demand reads
+train per-stream state; on a detected ascending stride the prefetcher
+issues up to ``degree`` reads ahead; prefetched data is held in a small
+fully-associative buffer that subsequent demand reads hit without
+touching the memory system.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.host import Host
+from repro.packets.commands import CMD, READ_CMD_FOR_BYTES, REQUEST_DATA_BYTES
+
+
+@dataclass
+class PrefetchStats:
+    demand_reads: int = 0
+    prefetches_issued: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: Prefetched blocks evicted unused.
+    wasted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of issued prefetches that were eventually used."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.hits / self.prefetches_issued
+
+
+class SequentialPrefetcher:
+    """Next-N-lines prefetcher with a small prefetch buffer.
+
+    Parameters
+    ----------
+    host:
+        The underlying driver (its link policy applies to prefetches).
+    degree:
+        Lines fetched ahead once a stream is detected.
+    block_bytes:
+        Prefetch line size (an HMC request size: 16..128).
+    buffer_blocks:
+        Capacity of the prefetch data buffer (LRU).
+    streams:
+        Stream-table entries (concurrent sequential streams tracked).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        degree: int = 4,
+        block_bytes: int = 64,
+        buffer_blocks: int = 64,
+        streams: int = 8,
+        cub: int = 0,
+    ) -> None:
+        if block_bytes not in READ_CMD_FOR_BYTES:
+            raise ValueError(f"unsupported block size {block_bytes}")
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.host = host
+        self.sim = host.sim
+        self.degree = degree
+        self.block = block_bytes
+        self.cmd = READ_CMD_FOR_BYTES[block_bytes]
+        self.cub = cub
+        #: block-aligned addr -> data words (None while in flight).
+        self._buffer: "OrderedDict[int, Optional[List[int]]]" = OrderedDict()
+        self._buffer_cap = buffer_blocks
+        #: (dev, link, tag) -> block addr, for in-flight prefetches.
+        self._inflight: Dict[Tuple[int, int, int], int] = {}
+        #: stream table: last block addr per stream slot.
+        self._streams: "OrderedDict[int, int]" = OrderedDict()
+        self._streams_cap = streams
+        #: Demand responses drained while waiting (matched in read()).
+        self._pending_responses: List = []
+        self.stats = PrefetchStats()
+
+    # -- internals -----------------------------------------------------------
+
+    def _evict_to_cap(self) -> None:
+        while len(self._buffer) > self._buffer_cap:
+            addr, data = self._buffer.popitem(last=False)
+            if data is not None:
+                self.stats.wasted += 1
+
+    def _train(self, block_addr: int) -> bool:
+        """Update the stream table; True if this extends a stream."""
+        prev = block_addr - self.block
+        if prev in self._streams:
+            del self._streams[prev]
+            self._streams[block_addr] = block_addr
+            return True
+        self._streams[block_addr] = block_addr
+        while len(self._streams) > self._streams_cap:
+            self._streams.popitem(last=False)
+        return False
+
+    def _issue_prefetches(self, block_addr: int) -> None:
+        cap = self.sim.devices[self.cub].config.capacity_bytes
+        for i in range(1, self.degree + 1):
+            target = block_addr + i * self.block
+            if target + self.block > cap:
+                break
+            if target in self._buffer:
+                continue
+            tag = self.host.send_request(self.cmd, target, cub=self.cub)
+            if tag is None:
+                break  # stall / tags exhausted: stop prefetching
+            self._inflight[self.host.last_send] = target
+            self._buffer[target] = None  # reserved
+            self.stats.prefetches_issued += 1
+        self._evict_to_cap()
+
+    def absorb_responses(self, responses) -> List:
+        """Fill the buffer from prefetch responses; returns the rest."""
+        others = []
+        for rsp in responses:
+            key = (*rsp.delivered_from, rsp.tag)
+            addr = self._inflight.pop(key, None)
+            if addr is None:
+                others.append(rsp)
+                continue
+            if addr in self._buffer:
+                self._buffer[addr] = list(rsp.payload)
+        return others
+
+    # -- the read API -----------------------------------------------------------
+
+    def read(self, addr: int, max_cycles: int = 10_000) -> List[int]:
+        """Blocking demand read of one block (returns its data words).
+
+        Hits in the prefetch buffer return without memory traffic;
+        misses issue a demand read and wait.  Either way the stream
+        table trains and prefetches go out for detected streams.
+        """
+        if addr % self.block:
+            raise ValueError(f"read must be {self.block}-byte aligned")
+        self.stats.demand_reads += 1
+        is_stream = self._train(addr)
+
+        data = self._buffer.get(addr, "MISS")
+        if data == "MISS":
+            self.stats.misses += 1
+            tag = None
+            waited = 0
+            while tag is None:
+                tag = self.host.send_request(self.cmd, addr, cub=self.cub)
+                if tag is None:
+                    self._step()
+                    waited += 1
+                    if waited > max_cycles:
+                        raise RuntimeError("demand read could not inject")
+            key = self.host.last_send
+            result = None
+            for _ in range(max_cycles):
+                self._step()
+                for rsp in self._pending_responses:
+                    if (*rsp.delivered_from, rsp.tag) == key:
+                        result = list(rsp.payload)
+                self._pending_responses = [
+                    r for r in self._pending_responses
+                    if (*r.delivered_from, r.tag) != key
+                ]
+                if result is not None:
+                    break
+            if result is None:
+                raise RuntimeError("demand read response never arrived")
+        else:
+            # Hit — possibly on a still-in-flight prefetch: wait for it.
+            waited = 0
+            while data is None:
+                self._step()
+                data = self._buffer.get(addr)
+                waited += 1
+                if waited > max_cycles:
+                    raise RuntimeError("prefetch never completed")
+            self.stats.hits += 1
+            del self._buffer[addr]
+            result = data
+        if is_stream:
+            self._issue_prefetches(addr)
+        return result
+
+    def _step(self) -> None:
+        self.sim.clock()
+        responses = self.host.drain_responses()
+        self._pending_responses += self.absorb_responses(responses)
+
+    def drain(self, max_cycles: int = 10_000) -> None:
+        """Wait for all in-flight prefetches to land."""
+        for _ in range(max_cycles):
+            if not self._inflight:
+                return
+            self._step()
+        raise RuntimeError("prefetches never drained")

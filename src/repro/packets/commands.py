@@ -1,0 +1,391 @@
+"""HMC 1.0 command set.
+
+The Hybrid Memory Cube specification (rev. 1.0, January 2013) defines
+three packet classes — requests, responses and flow-control — all sharing
+a 6-bit CMD field in the packet header.  HMC-Sim "implements all possible
+device packet variations using all combinations of FLITs" (paper §IV.5);
+this module is the single source of truth for command encodings, their
+class, their direction (read / write / atomic / mode) and the FLIT-length
+rules each command imposes.
+
+Encodings follow the HMC 1.0 command table:
+
+======================  ======  ==========================================
+command                 CMD     notes
+======================  ======  ==========================================
+flow: NULL              0x00    single FLIT, discarded by receivers
+flow: PRET              0x01    packet return (token return only)
+flow: TRET              0x02    token return
+flow: IRTRY             0x03    init retry
+write: WR16..WR128      0x08–0x0F   1 FLIT of data per additional 16 B
+misc write: MD_WR       0x10    mode write (register access, 2 FLITs)
+misc write: BWR         0x11    byte-masked write (2 FLITs)
+atomic: TWOADD8         0x12    dual 8-byte add-immediate (2 FLITs)
+atomic: ADD16           0x13    single 16-byte add-immediate (2 FLITs)
+posted wr: P_WR16..128  0x18–0x1F   posted (no response) writes
+posted: P_BWR           0x21    posted byte-masked write
+posted: P_2ADD8         0x22    posted dual 8-byte add
+posted: P_ADD16         0x23    posted 16-byte add
+misc read: MD_RD        0x28    mode read (register access, 1 FLIT)
+read: RD16..RD128       0x30–0x37   always 1 FLIT
+response: RD_RS         0x38    read response (1 + data FLITs)
+response: WR_RS         0x39    write response (1 FLIT)
+response: MD_RD_RS      0x3A    mode-read response (2 FLITs)
+response: MD_WR_RS      0x3B    mode-write response (1 FLIT)
+response: ERROR         0x3E    error response (1 FLIT)
+======================  ======  ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class CMD(enum.IntEnum):
+    """6-bit packet command encodings from the HMC 1.0 specification."""
+
+    # Flow-control packets.
+    NULL = 0x00
+    PRET = 0x01
+    TRET = 0x02
+    IRTRY = 0x03
+
+    # Write requests (payload 16..128 bytes).
+    WR16 = 0x08
+    WR32 = 0x09
+    WR48 = 0x0A
+    WR64 = 0x0B
+    WR80 = 0x0C
+    WR96 = 0x0D
+    WR112 = 0x0E
+    WR128 = 0x0F
+
+    # Mode / masked writes and atomics.
+    MD_WR = 0x10
+    BWR = 0x11
+    TWOADD8 = 0x12
+    ADD16 = 0x13
+
+    # Posted (no-response) writes.
+    P_WR16 = 0x18
+    P_WR32 = 0x19
+    P_WR48 = 0x1A
+    P_WR64 = 0x1B
+    P_WR80 = 0x1C
+    P_WR96 = 0x1D
+    P_WR112 = 0x1E
+    P_WR128 = 0x1F
+
+    # Posted masked write / atomics.
+    P_BWR = 0x21
+    P_2ADD8 = 0x22
+    P_ADD16 = 0x23
+
+    # Mode read.
+    MD_RD = 0x28
+
+    # Read requests (payload 16..128 bytes; request itself is 1 FLIT).
+    RD16 = 0x30
+    RD32 = 0x31
+    RD48 = 0x32
+    RD64 = 0x33
+    RD80 = 0x34
+    RD96 = 0x35
+    RD112 = 0x36
+    RD128 = 0x37
+
+    # Responses.
+    RD_RS = 0x38
+    WR_RS = 0x39
+    MD_RD_RS = 0x3A
+    MD_WR_RS = 0x3B
+    ERROR = 0x3E
+
+
+class CommandClass(enum.Enum):
+    """Coarse classification used by the routing and vault logic."""
+
+    FLOW = "flow"
+    READ = "read"
+    WRITE = "write"
+    POSTED_WRITE = "posted_write"
+    ATOMIC = "atomic"
+    POSTED_ATOMIC = "posted_atomic"
+    MODE_READ = "mode_read"
+    MODE_WRITE = "mode_write"
+    RESPONSE = "response"
+
+
+_FLOW = {CMD.NULL, CMD.PRET, CMD.TRET, CMD.IRTRY}
+_READS = {CMD.RD16, CMD.RD32, CMD.RD48, CMD.RD64, CMD.RD80, CMD.RD96, CMD.RD112, CMD.RD128}
+_WRITES = {CMD.WR16, CMD.WR32, CMD.WR48, CMD.WR64, CMD.WR80, CMD.WR96, CMD.WR112, CMD.WR128, CMD.BWR}
+_POSTED_WRITES = {
+    CMD.P_WR16,
+    CMD.P_WR32,
+    CMD.P_WR48,
+    CMD.P_WR64,
+    CMD.P_WR80,
+    CMD.P_WR96,
+    CMD.P_WR112,
+    CMD.P_WR128,
+    CMD.P_BWR,
+}
+_ATOMICS = {CMD.TWOADD8, CMD.ADD16}
+_POSTED_ATOMICS = {CMD.P_2ADD8, CMD.P_ADD16}
+_RESPONSES = {CMD.RD_RS, CMD.WR_RS, CMD.MD_RD_RS, CMD.MD_WR_RS, CMD.ERROR}
+
+#: Data payload carried by each request command, in bytes.  Read requests
+#: carry no payload themselves; the value below is the *requested* size,
+#: which determines the response length.
+REQUEST_DATA_BYTES: Dict[CMD, int] = {
+    CMD.WR16: 16,
+    CMD.WR32: 32,
+    CMD.WR48: 48,
+    CMD.WR64: 64,
+    CMD.WR80: 80,
+    CMD.WR96: 96,
+    CMD.WR112: 112,
+    CMD.WR128: 128,
+    CMD.P_WR16: 16,
+    CMD.P_WR32: 32,
+    CMD.P_WR48: 48,
+    CMD.P_WR64: 64,
+    CMD.P_WR80: 80,
+    CMD.P_WR96: 96,
+    CMD.P_WR112: 112,
+    CMD.P_WR128: 128,
+    CMD.RD16: 16,
+    CMD.RD32: 32,
+    CMD.RD48: 48,
+    CMD.RD64: 64,
+    CMD.RD80: 80,
+    CMD.RD96: 96,
+    CMD.RD112: 112,
+    CMD.RD128: 128,
+    CMD.BWR: 16,
+    CMD.P_BWR: 16,
+    CMD.TWOADD8: 16,
+    CMD.ADD16: 16,
+    CMD.P_2ADD8: 16,
+    CMD.P_ADD16: 16,
+    CMD.MD_WR: 16,
+    CMD.MD_RD: 16,
+}
+
+#: Map from a requested read size in bytes to the read command.
+READ_CMD_FOR_BYTES: Dict[int, CMD] = {
+    16: CMD.RD16,
+    32: CMD.RD32,
+    48: CMD.RD48,
+    64: CMD.RD64,
+    80: CMD.RD80,
+    96: CMD.RD96,
+    112: CMD.RD112,
+    128: CMD.RD128,
+}
+
+#: Map from a write payload size in bytes to the (non-posted) write command.
+WRITE_CMD_FOR_BYTES: Dict[int, CMD] = {
+    16: CMD.WR16,
+    32: CMD.WR32,
+    48: CMD.WR48,
+    64: CMD.WR64,
+    80: CMD.WR80,
+    96: CMD.WR96,
+    112: CMD.WR112,
+    128: CMD.WR128,
+}
+
+#: Posted-write equivalents.
+POSTED_WRITE_CMD_FOR_BYTES: Dict[int, CMD] = {
+    16: CMD.P_WR16,
+    32: CMD.P_WR32,
+    48: CMD.P_WR48,
+    64: CMD.P_WR64,
+    80: CMD.P_WR80,
+    96: CMD.P_WR96,
+    112: CMD.P_WR112,
+    128: CMD.P_WR128,
+}
+
+
+def _classify(cmd: CMD) -> CommandClass:
+    if cmd in _FLOW:
+        return CommandClass.FLOW
+    if cmd in _READS:
+        return CommandClass.READ
+    if cmd in _WRITES:
+        return CommandClass.WRITE
+    if cmd in _POSTED_WRITES:
+        return CommandClass.POSTED_WRITE
+    if cmd in _ATOMICS:
+        return CommandClass.ATOMIC
+    if cmd in _POSTED_ATOMICS:
+        return CommandClass.POSTED_ATOMIC
+    if cmd is CMD.MD_RD:
+        return CommandClass.MODE_READ
+    if cmd is CMD.MD_WR:
+        return CommandClass.MODE_WRITE
+    if cmd in _RESPONSES:
+        return CommandClass.RESPONSE
+    raise ValueError(f"unclassifiable command: {cmd!r}")
+
+
+# Dense lookup tables: classification sits on the per-packet hot path of
+# every sub-cycle stage (profiling showed the set-scan version at ~17%
+# of simulation time), so everything derivable is precomputed once.
+_CLASS_OF: Dict[CMD, CommandClass] = {c: _classify(c) for c in CMD}
+_EXPECTS_RESPONSE: Dict[CMD, bool] = {
+    c: _CLASS_OF[c]
+    not in (
+        CommandClass.FLOW,
+        CommandClass.RESPONSE,
+        CommandClass.POSTED_WRITE,
+        CommandClass.POSTED_ATOMIC,
+    )
+    for c in CMD
+}
+
+
+def command_class(cmd: CMD) -> CommandClass:
+    """Classify *cmd* into its :class:`CommandClass`.
+
+    Raises :class:`ValueError` for integers that are not valid commands.
+    """
+    cls = _CLASS_OF.get(cmd)
+    if cls is None:
+        # Coerce raw integers (raises ValueError on unknown encodings).
+        cls = _CLASS_OF[CMD(cmd)]
+    return cls
+
+
+def is_request(cmd: CMD) -> bool:
+    """True for any packet a host may send toward memory (incl. flow)."""
+    return command_class(cmd) is not CommandClass.RESPONSE
+
+
+def is_response(cmd: CMD) -> bool:
+    """True for response-class commands (RD_RS, WR_RS, MD_*_RS, ERROR)."""
+    return command_class(cmd) is CommandClass.RESPONSE
+
+
+def is_read(cmd: CMD) -> bool:
+    """True for memory read requests (RD16..RD128)."""
+    return CMD(cmd) in _READS
+
+
+def is_write(cmd: CMD) -> bool:
+    """True for memory write requests, posted or not (incl. BWR)."""
+    c = CMD(cmd)
+    return c in _WRITES or c in _POSTED_WRITES
+
+
+def is_atomic(cmd: CMD) -> bool:
+    """True for read-modify-write requests, posted or not."""
+    c = CMD(cmd)
+    return c in _ATOMICS or c in _POSTED_ATOMICS
+
+
+def is_flow(cmd: CMD) -> bool:
+    """True for flow-control packets (NULL/PRET/TRET/IRTRY)."""
+    return CMD(cmd) in _FLOW
+
+
+def is_posted(cmd: CMD) -> bool:
+    """True for posted requests, which never generate a response packet."""
+    c = CMD(cmd)
+    return c in _POSTED_WRITES or c in _POSTED_ATOMICS
+
+
+def expects_response(cmd: CMD) -> bool:
+    """True if a well-formed device must answer *cmd* with a response."""
+    v = _EXPECTS_RESPONSE.get(cmd)
+    if v is None:
+        v = _EXPECTS_RESPONSE[CMD(cmd)]
+    return v
+
+
+def _request_flits_uncached(cmd: CMD) -> int:
+    cls = command_class(cmd)
+    if cls in (CommandClass.FLOW, CommandClass.READ, CommandClass.MODE_READ):
+        return 1
+    if cls is CommandClass.RESPONSE:
+        raise ValueError(f"{cmd!r} is a response, not a request")
+    data = REQUEST_DATA_BYTES[cmd]
+    # One header/tail FLIT plus one FLIT per 16 bytes of data.
+    return 1 + data // 16
+
+
+_REQUEST_FLITS: Dict[CMD, int] = {
+    c: _request_flits_uncached(c)
+    for c in CMD
+    if _CLASS_OF[c] is not CommandClass.RESPONSE
+}
+
+
+def request_flits(cmd: CMD) -> int:
+    """Total FLIT count (header+data+tail) of a request packet for *cmd*.
+
+    Per the paper (§III.C): read requests are always a single FLIT; write
+    and atomic requests carry their input data and span 2–9 FLITs.
+    """
+    n = _REQUEST_FLITS.get(cmd)
+    if n is None:
+        return _request_flits_uncached(CMD(cmd))
+    return n
+
+
+def response_flits(cmd: CMD) -> int:
+    """FLIT count of the response generated for request *cmd* (0 if none).
+
+    Read responses return the data (1 + size/16 FLITs); write and
+    mode-write responses are a single FLIT; mode-read responses carry one
+    register FLIT; posted and flow packets yield no response.
+    """
+    cmd = CMD(cmd)
+    if not expects_response(cmd):
+        return 0
+    cls = command_class(cmd)
+    if cls is CommandClass.READ:
+        return 1 + REQUEST_DATA_BYTES[cmd] // 16
+    if cls is CommandClass.ATOMIC:
+        # Atomics return the original 16-byte operand.
+        return 2
+    if cls is CommandClass.MODE_READ:
+        return 2
+    # WRITE, MODE_WRITE.
+    return 1
+
+
+def response_cmd_for(cmd: CMD) -> CMD:
+    """Response command a device sends for a successful request *cmd*."""
+    cls = command_class(CMD(cmd))
+    if cls is CommandClass.READ or cls is CommandClass.ATOMIC:
+        return CMD.RD_RS
+    if cls is CommandClass.WRITE:
+        return CMD.WR_RS
+    if cls is CommandClass.MODE_READ:
+        return CMD.MD_RD_RS
+    if cls is CommandClass.MODE_WRITE:
+        return CMD.MD_WR_RS
+    raise ValueError(f"{cmd!r} does not expect a response")
+
+
+def all_request_commands() -> tuple:
+    """Every request-class command (excludes flow and responses)."""
+    return tuple(
+        c
+        for c in CMD
+        if command_class(c) not in (CommandClass.RESPONSE, CommandClass.FLOW)
+    )
+
+
+def all_flow_commands() -> tuple:
+    """Every flow-control command."""
+    return tuple(sorted(_FLOW))
+
+
+def all_response_commands() -> tuple:
+    """Every response-class command."""
+    return tuple(sorted(_RESPONSES))

@@ -1,0 +1,68 @@
+"""FLIT (flow unit) arithmetic.
+
+All in-band HMC communication is performed in multiples of a single
+16-byte flow unit, or FLIT (paper §III.C).  The maximum packet is 9 FLITs
+(144 bytes): one FLIT of header+tail plus up to 8 FLITs (128 bytes) of
+data.  The minimum packet is a single FLIT carrying only header and tail.
+"""
+
+from __future__ import annotations
+
+#: Size of one flow unit in bytes.
+FLIT_BYTES: int = 16
+
+#: Largest legal packet, in FLITs (144 bytes).
+MAX_FLITS: int = 9
+
+#: Smallest legal packet, in FLITs (header + tail only).
+MIN_FLITS: int = 1
+
+#: Largest data payload a single packet can carry, in bytes.
+MAX_PAYLOAD_BYTES: int = (MAX_FLITS - 1) * FLIT_BYTES
+
+
+def flits_for_payload(payload_bytes: int) -> int:
+    """Total packet FLITs for a request carrying *payload_bytes* of data.
+
+    ``payload_bytes`` must be a multiple of :data:`FLIT_BYTES` in
+    ``[0, 128]``; the result includes the header/tail FLIT.
+
+    >>> flits_for_payload(0)
+    1
+    >>> flits_for_payload(64)
+    5
+    """
+    if payload_bytes < 0 or payload_bytes > MAX_PAYLOAD_BYTES:
+        raise ValueError(
+            f"payload must be 0..{MAX_PAYLOAD_BYTES} bytes, got {payload_bytes}"
+        )
+    if payload_bytes % FLIT_BYTES != 0:
+        raise ValueError(
+            f"payload must be a multiple of {FLIT_BYTES} bytes, got {payload_bytes}"
+        )
+    return 1 + payload_bytes // FLIT_BYTES
+
+
+def payload_bytes(num_flits: int) -> int:
+    """Data bytes carried by a packet of *num_flits* total FLITs.
+
+    >>> payload_bytes(1)
+    0
+    >>> payload_bytes(9)
+    128
+    """
+    if not MIN_FLITS <= num_flits <= MAX_FLITS:
+        raise ValueError(f"packet length must be {MIN_FLITS}..{MAX_FLITS} FLITs, got {num_flits}")
+    return (num_flits - 1) * FLIT_BYTES
+
+
+def packet_bytes(num_flits: int) -> int:
+    """Total wire size in bytes of a packet of *num_flits* FLITs."""
+    if not MIN_FLITS <= num_flits <= MAX_FLITS:
+        raise ValueError(f"packet length must be {MIN_FLITS}..{MAX_FLITS} FLITs, got {num_flits}")
+    return num_flits * FLIT_BYTES
+
+
+def is_legal_flit_count(num_flits: int) -> bool:
+    """True iff *num_flits* is a legal total packet length."""
+    return MIN_FLITS <= num_flits <= MAX_FLITS

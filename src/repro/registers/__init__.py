@@ -1,0 +1,30 @@
+"""HMC device registers (paper §IV.D, §V.D).
+
+The specification groups device registers into three classes — read/write
+(RW), read-only (RO) and self-clearing after write (RWS) — and indexes
+them non-linearly (physical register indices neither start at zero nor
+form a dense range).  This subpackage provides the register map
+(:mod:`regdefs`), the semantic register file (:mod:`regfile`) and the
+out-of-band JTAG access interface (:mod:`jtag`); in-band MODE_READ /
+MODE_WRITE packet handling lives in the vault logic and routes here.
+"""
+
+from repro.registers.regdefs import (
+    REGISTER_MAP,
+    RegClass,
+    RegDef,
+    linear_index,
+    physical_index,
+)
+from repro.registers.regfile import RegisterFile
+from repro.registers.jtag import JTAGInterface
+
+__all__ = [
+    "JTAGInterface",
+    "REGISTER_MAP",
+    "RegClass",
+    "RegDef",
+    "RegisterFile",
+    "linear_index",
+    "physical_index",
+]

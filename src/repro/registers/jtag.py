@@ -1,0 +1,46 @@
+"""Out-of-band JTAG (IEEE 1149.1) / I2C register access.
+
+"The benefit to this access method is the side-band nature of the bus.
+It does not interrupt main memory traffic to and from the HMC devices...
+This interface exists external to the normal HMC-Sim notion of clock
+domains." (paper §V.D)
+
+Accordingly, :class:`JTAGInterface` reads and writes registers
+immediately — no packets, no queues, no clock progression — and keeps
+its own access statistics so tests can verify that side-band traffic
+never perturbs in-band queue state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.registers.regfile import RegisterFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.device import HMCDevice
+
+
+class JTAGInterface:
+    """Side-band register access bound to one device's register file."""
+
+    __slots__ = ("_regs", "reads", "writes")
+
+    def __init__(self, regs: RegisterFile) -> None:
+        self._regs = regs
+        self.reads = 0
+        self.writes = 0
+
+    def reg_read(self, phys: int) -> int:
+        """Read a register by sparse physical index, out of band."""
+        self.reads += 1
+        return self._regs.read_phys(phys)
+
+    def reg_write(self, phys: int, value: int) -> None:
+        """Write a register by sparse physical index, out of band.
+
+        Class rules (RO rejection, RWS self-clear scheduling) still
+        apply — the bus is side-band, not privileged.
+        """
+        self.writes += 1
+        self._regs.write_phys(phys, value)

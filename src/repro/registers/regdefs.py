@@ -1,0 +1,114 @@
+"""Register map: names, physical indices, classes, reset values.
+
+"Register indexing on physical HMC devices is not purely linear and does
+not begin at zero.  As such, we have implemented a series of macros that
+translate HMC device register index formats to a linear format in order
+to promote efficient memory utilization." (paper §IV.D)
+
+The map below reproduces the HMC-Sim register set: external data
+registers, error/status registers, global configuration, per-link
+configuration and run-time registers, address/vault control and the
+built-in-self-test registers.  Physical indices are sparse on purpose so
+the translation layer is genuinely exercised.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class RegClass(enum.Enum):
+    """Access class from the specification (paper §IV.D)."""
+
+    #: Read/write.
+    RW = "rw"
+    #: Read-only (writes are rejected).
+    RO = "ro"
+    #: Self-clearing: reads return 0 after a completed write side-effect.
+    RWS = "rws"
+
+
+@dataclass(frozen=True)
+class RegDef:
+    """One register definition."""
+
+    name: str
+    #: Sparse physical index as encoded in MODE packet register fields.
+    phys: int
+    cls: RegClass
+    reset: int = 0
+    desc: str = ""
+
+
+#: The device register map.  Order defines the linear index.
+REGISTER_MAP: Tuple[RegDef, ...] = (
+    # External data registers (staging for side-band transfers).
+    RegDef("EDR0", 0x2B0000, RegClass.RW, desc="external data register 0"),
+    RegDef("EDR1", 0x2B0001, RegClass.RW, desc="external data register 1"),
+    RegDef("EDR2", 0x2B0002, RegClass.RW, desc="external data register 2"),
+    RegDef("EDR3", 0x2B0003, RegClass.RW, desc="external data register 3"),
+    # Error status.
+    RegDef("ERR", 0x2B0004, RegClass.RO, desc="global error status"),
+    # Global configuration.
+    RegDef("GC", 0x280000, RegClass.RWS, desc="global configuration (self-clearing strobe)"),
+    # Per-link configuration registers.
+    RegDef("LC0", 0x240000, RegClass.RW, desc="link 0 configuration"),
+    RegDef("LC1", 0x250000, RegClass.RW, desc="link 1 configuration"),
+    RegDef("LC2", 0x260000, RegClass.RW, desc="link 2 configuration"),
+    RegDef("LC3", 0x270000, RegClass.RW, desc="link 3 configuration"),
+    RegDef("LC4", 0x240001, RegClass.RW, desc="link 4 configuration"),
+    RegDef("LC5", 0x250001, RegClass.RW, desc="link 5 configuration"),
+    RegDef("LC6", 0x260001, RegClass.RW, desc="link 6 configuration"),
+    RegDef("LC7", 0x270001, RegClass.RW, desc="link 7 configuration"),
+    # Per-link run-time registers.
+    RegDef("LIC0", 0x200000, RegClass.RO, desc="link 0 run-time status"),
+    RegDef("LIC1", 0x210000, RegClass.RO, desc="link 1 run-time status"),
+    RegDef("LIC2", 0x220000, RegClass.RO, desc="link 2 run-time status"),
+    RegDef("LIC3", 0x230000, RegClass.RO, desc="link 3 run-time status"),
+    RegDef("LIC4", 0x200001, RegClass.RO, desc="link 4 run-time status"),
+    RegDef("LIC5", 0x210001, RegClass.RO, desc="link 5 run-time status"),
+    RegDef("LIC6", 0x220001, RegClass.RO, desc="link 6 run-time status"),
+    RegDef("LIC7", 0x230001, RegClass.RO, desc="link 7 run-time status"),
+    # Address / vault configuration.
+    RegDef("MC", 0x2C0000, RegClass.RW, desc="address mapping mode control"),
+    RegDef("OERR", 0x2D0000, RegClass.RO, desc="overflow error counters"),
+    RegDef("BAE", 0x2E0000, RegClass.RW, desc="bank-address extension"),
+    RegDef("BAT", 0x2E0001, RegClass.RWS, desc="built-in-self-test trigger"),
+    # Control / status.
+    RegDef("CTR", 0x2F0000, RegClass.RW, desc="feature control"),
+    RegDef("CTS", 0x2F0001, RegClass.RO, desc="feature status"),
+    RegDef("STAT", 0x2F0002, RegClass.RO, desc="device status / clock snapshot"),
+)
+
+_PHYS_TO_LINEAR: Dict[int, int] = {r.phys: i for i, r in enumerate(REGISTER_MAP)}
+_NAME_TO_LINEAR: Dict[str, int] = {r.name: i for i, r in enumerate(REGISTER_MAP)}
+
+#: Number of registers (dense linear storage size).
+NUM_REGISTERS = len(REGISTER_MAP)
+
+
+def linear_index(phys: int) -> int:
+    """Translate a sparse physical register index to the dense index.
+
+    This is the Python equivalent of the C macro layer; unknown physical
+    indices raise :class:`KeyError` (the caller converts that into an
+    error response or a register-access error).
+    """
+    return _PHYS_TO_LINEAR[phys]
+
+
+def physical_index(linear: int) -> int:
+    """Inverse of :func:`linear_index`."""
+    return REGISTER_MAP[linear].phys
+
+
+def index_by_name(name: str) -> int:
+    """Dense index of the register called *name*."""
+    return _NAME_TO_LINEAR[name]
+
+
+def is_valid_physical(phys: int) -> bool:
+    """True iff *phys* names a register on this device."""
+    return phys in _PHYS_TO_LINEAR

@@ -1,0 +1,127 @@
+"""Semantic register file with RW / RO / RWS access classes.
+
+Each register stores a 64-bit value plus its configuration class.  Reads
+and writes arrive from two paths that share these semantics:
+
+* in-band MODE_READ / MODE_WRITE packets (routed like memory traffic,
+  consuming link bandwidth — paper §V.D warns about the cost);
+* the out-of-band JTAG interface (:mod:`repro.registers.jtag`), which
+  exists outside the clock domains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.errors import RegisterAccessError
+from repro.registers.regdefs import (
+    NUM_REGISTERS,
+    REGISTER_MAP,
+    RegClass,
+    index_by_name,
+    is_valid_physical,
+    linear_index,
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+class RegisterFile:
+    """Dense storage for one device's registers with class enforcement.
+
+    Parameters
+    ----------
+    allow_internal:
+        Internal (device-logic) writes bypass the RO restriction — the
+        device itself updates status registers; hosts cannot.
+    """
+
+    __slots__ = ("_values", "_pending_clear", "read_count", "write_count")
+
+    def __init__(self) -> None:
+        self._values: List[int] = [r.reset & _MASK64 for r in REGISTER_MAP]
+        # Linear indices of RWS registers written this cycle, cleared by
+        # :meth:`tick` after the side-effect window.
+        self._pending_clear: List[int] = []
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- host-visible access (packet / JTAG paths) -----------------------------
+
+    def read_phys(self, phys: int) -> int:
+        """Host read by sparse physical index."""
+        if not is_valid_physical(phys):
+            raise RegisterAccessError(f"unknown register index {phys:#x}")
+        self.read_count += 1
+        return self._values[linear_index(phys)]
+
+    def write_phys(self, phys: int, value: int) -> None:
+        """Host write by sparse physical index, enforcing the class."""
+        if not is_valid_physical(phys):
+            raise RegisterAccessError(f"unknown register index {phys:#x}")
+        idx = linear_index(phys)
+        cls = REGISTER_MAP[idx].cls
+        if cls is RegClass.RO:
+            raise RegisterAccessError(
+                f"register {REGISTER_MAP[idx].name} is read-only"
+            )
+        self._values[idx] = value & _MASK64
+        self.write_count += 1
+        if cls is RegClass.RWS:
+            self._pending_clear.append(idx)
+
+    # -- name-based convenience -------------------------------------------------
+
+    def read(self, name: str) -> int:
+        """Host read by register name."""
+        self.read_count += 1
+        return self._values[index_by_name(name)]
+
+    def write(self, name: str, value: int) -> None:
+        """Host write by register name (class-enforced)."""
+        idx = index_by_name(name)
+        cls = REGISTER_MAP[idx].cls
+        if cls is RegClass.RO:
+            raise RegisterAccessError(f"register {name} is read-only")
+        self._values[idx] = value & _MASK64
+        self.write_count += 1
+        if cls is RegClass.RWS:
+            self._pending_clear.append(idx)
+
+    # -- internal (device-logic) access -----------------------------------------
+
+    def internal_write(self, name: str, value: int) -> None:
+        """Device-logic write; may target RO status registers."""
+        self._values[index_by_name(name)] = value & _MASK64
+
+    def internal_read(self, name: str) -> int:
+        """Device-logic read without host accounting."""
+        return self._values[index_by_name(name)]
+
+    # -- clocking -----------------------------------------------------------------
+
+    def tick(self) -> None:
+        """End-of-cycle maintenance: self-clear RWS registers.
+
+        RWS registers hold their written value for the cycle in which the
+        write lands (so the device logic can observe the strobe), then
+        clear — "self-clearing after being written to" (paper §IV.D).
+        """
+        for idx in self._pending_clear:
+            self._values[idx] = 0
+        self._pending_clear.clear()
+
+    def reset(self) -> None:
+        """Return every register to its specification reset value."""
+        for i, r in enumerate(REGISTER_MAP):
+            self._values[i] = r.reset & _MASK64
+        self._pending_clear.clear()
+        self.read_count = 0
+        self.write_count = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Name → value mapping of the whole file (diagnostics)."""
+        return {r.name: self._values[i] for i, r in enumerate(REGISTER_MAP)}
+
+    def __len__(self) -> int:
+        return NUM_REGISTERS

@@ -1,0 +1,162 @@
+"""Topology constructors for the four Figure 1 configurations.
+
+Each builder takes an :class:`~repro.core.simulator.HMCSim` whose links
+are still unconfigured and wires hosts and chain links into the desired
+shape, returning the sim for chaining.  Builders only consume links that
+exist — the 4-link base configuration of Figure 1 — and leave remaining
+links free for additional hosts or custom chains.
+
+Link-allocation convention: builders hand out links in ascending id
+order, reserving link 0 of each host-attached device for its host
+connection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.errors import TopologyError
+from repro.core.simulator import HMCSim
+
+
+def _free_link(sim: HMCSim, dev: int) -> int:
+    """Lowest unconfigured link id on *dev*."""
+    for link in sim.devices[dev].links:
+        if not link.configured:
+            return link.link_id
+    raise TopologyError(f"device {dev} has no free links")
+
+
+def build_simple(sim: HMCSim, host_links: int | None = None) -> HMCSim:
+    """Simple topology: every device directly attached to the host.
+
+    With one device this is the canonical single-cube configuration;
+    *host_links* controls how many of each device's links attach to the
+    host (default: all of them — the paper's random-access harness
+    round-robins across all host links).
+    """
+    n = host_links if host_links is not None else sim.config.device.num_links
+    if not 1 <= n <= sim.config.device.num_links:
+        raise TopologyError(
+            f"host_links must be 1..{sim.config.device.num_links}, got {n}"
+        )
+    for dev in range(len(sim.devices)):
+        for link in range(n):
+            sim.attach_host(dev, link)
+    return sim
+
+
+def build_chain(sim: HMCSim, host_links: int = 1) -> HMCSim:
+    """Daisy chain: host - dev0 - dev1 - ... - devN-1.
+
+    The first device is the root; each subsequent device hangs off the
+    previous one.  *host_links* host connections land on dev 0.
+    """
+    ndev = len(sim.devices)
+    for link in range(host_links):
+        sim.attach_host(0, link)
+    for dev in range(ndev - 1):
+        sim.connect(dev, _free_link(sim, dev), dev + 1, _free_link(sim, dev + 1))
+    return sim
+
+
+def build_ring(sim: HMCSim, host_links: int = 1) -> HMCSim:
+    """Ring topology (Fig. 1): devices in a cycle, host on dev 0.
+
+    Requires at least three devices (a two-device "ring" would need a
+    double link between the same pair, which the paper's Figure 1 ring
+    does not depict; use :func:`build_chain` for two devices).
+    """
+    ndev = len(sim.devices)
+    if ndev < 3:
+        raise TopologyError(f"a ring needs >= 3 devices, got {ndev}")
+    for link in range(host_links):
+        sim.attach_host(0, link)
+    for dev in range(ndev):
+        nxt = (dev + 1) % ndev
+        sim.connect(dev, _free_link(sim, dev), nxt, _free_link(sim, nxt))
+    return sim
+
+
+def _grid_shape(ndev: int, shape: Tuple[int, int] | None) -> Tuple[int, int]:
+    if shape is not None:
+        rows, cols = shape
+        if rows * cols != ndev:
+            raise TopologyError(f"shape {shape} does not cover {ndev} devices")
+        return rows, cols
+    # Most-square factorisation.
+    best = (1, ndev)
+    for r in range(1, int(ndev**0.5) + 1):
+        if ndev % r == 0:
+            best = (r, ndev // r)
+    return best
+
+
+def build_mesh(
+    sim: HMCSim,
+    shape: Tuple[int, int] | None = None,
+    host_devs: Sequence[int] | None = None,
+) -> HMCSim:
+    """2-D mesh (Fig. 1): nearest-neighbour grid, no wraparound.
+
+    *host_devs* lists devices receiving one host link each (default:
+    device 0).  Interior nodes of a large mesh would need 4 chain links,
+    exhausting a 4-link device — exactly the kind of resource pressure
+    the specification's flexible topologies imply; the builder raises if
+    a device runs out of links.
+    """
+    ndev = len(sim.devices)
+    rows, cols = _grid_shape(ndev, shape)
+    for dev in host_devs if host_devs is not None else [0]:
+        sim.attach_host(dev, _free_link(sim, dev))
+    for r in range(rows):
+        for c in range(cols):
+            dev = r * cols + c
+            if c + 1 < cols:
+                right = dev + 1
+                sim.connect(dev, _free_link(sim, dev), right, _free_link(sim, right))
+            if r + 1 < rows:
+                down = dev + cols
+                sim.connect(dev, _free_link(sim, dev), down, _free_link(sim, down))
+    return sim
+
+
+def build_torus_2d(
+    sim: HMCSim,
+    shape: Tuple[int, int] | None = None,
+    host_devs: Sequence[int] | None = None,
+) -> HMCSim:
+    """2-D torus (Fig. 1): mesh plus wraparound links in both dimensions.
+
+    Wraparound edges are skipped for dimensions of length < 3, where
+    they would duplicate an existing mesh edge.
+    """
+    ndev = len(sim.devices)
+    rows, cols = _grid_shape(ndev, shape)
+    build_mesh(sim, shape=(rows, cols), host_devs=host_devs)
+    if cols >= 3:
+        for r in range(rows):
+            a, b = r * cols + (cols - 1), r * cols
+            sim.connect(a, _free_link(sim, a), b, _free_link(sim, b))
+    if rows >= 3:
+        for c in range(cols):
+            a, b = (rows - 1) * cols + c, c
+            sim.connect(a, _free_link(sim, a), b, _free_link(sim, b))
+    return sim
+
+
+def edge_list(sim: HMCSim) -> List[Tuple[int, int]]:
+    """Undirected (dev, dev) chain edges currently configured."""
+    seen = set()
+    out: List[Tuple[int, int]] = []
+    for (dev, link) in sorted(k for k in sim._link_peers):
+        peer = sim.link_peer(dev, link)
+        if peer == "host" or peer is None:
+            continue
+        edge = tuple(sorted((dev, peer[0])))
+        key = (edge, tuple(sorted(((dev, link), peer))))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(edge)
+    return out

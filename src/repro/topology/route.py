@@ -1,0 +1,87 @@
+"""Graph-level routing analysis over configured topologies.
+
+The simulator's own next-hop tables live in
+:meth:`repro.core.simulator.HMCSim.next_hop`; this module provides the
+complementary *analysis* view — a networkx graph of the chain fabric,
+shortest paths, and the hop-count matrix used by the topology benchmark
+to explain the latency differences between Figure 1 configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.core.simulator import HMCSim
+
+#: Node name used for the host in the link graph.
+HOST_NODE = "host"
+
+
+def link_graph(sim: HMCSim) -> "nx.MultiGraph":
+    """Undirected multigraph of devices, chain links and host edges.
+
+    Devices appear as integer nodes, the host as :data:`HOST_NODE`;
+    parallel links between the same pair are preserved (MultiGraph),
+    with edge attributes recording the local link ids.
+    """
+    g = nx.MultiGraph()
+    g.add_node(HOST_NODE)
+    for dev in sim.devices:
+        g.add_node(dev.dev_id)
+    seen = set()
+    for (dev, link) in sim._link_peers:
+        peer = sim.link_peer(dev, link)
+        if peer == "host":
+            g.add_edge(HOST_NODE, dev, link=link)
+            continue
+        if peer is None:
+            continue
+        key = frozenset({(dev, link), peer})
+        if key in seen:
+            continue
+        seen.add(key)
+        g.add_edge(dev, peer[0], links=((dev, link), peer))
+    return g
+
+
+def path_between(sim: HMCSim, src_dev: int, dst_dev: int) -> Optional[List[int]]:
+    """Shortest device path src -> dst over chain links, or None."""
+    g = link_graph(sim)
+    g.remove_node(HOST_NODE)  # device-fabric paths only
+    try:
+        return nx.shortest_path(g, src_dev, dst_dev)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+
+
+def hop_count_matrix(sim: HMCSim) -> np.ndarray:
+    """Pairwise device hop counts; ``-1`` marks unreachable pairs."""
+    n = len(sim.devices)
+    m = np.full((n, n), -1, dtype=np.int64)
+    g = link_graph(sim)
+    if HOST_NODE in g:
+        g.remove_node(HOST_NODE)
+    lengths = dict(nx.all_pairs_shortest_path_length(g))
+    for i in range(n):
+        for j, d in lengths.get(i, {}).items():
+            m[i, j] = d
+    return m
+
+
+def host_distance(sim: HMCSim) -> Dict[int, int]:
+    """Hops from the host to each device (host link = hop 1)."""
+    g = link_graph(sim)
+    try:
+        lengths = nx.single_source_shortest_path_length(g, HOST_NODE)
+    except nx.NodeNotFound:  # pragma: no cover - host node always added
+        return {}
+    return {d.dev_id: lengths.get(d.dev_id, -1) for d in sim.devices}
+
+
+def mean_host_distance(sim: HMCSim) -> float:
+    """Average host→device distance over reachable devices."""
+    dists = [d for d in host_distance(sim).values() if d > 0]
+    return float(np.mean(dists)) if dists else float("nan")

@@ -1,0 +1,99 @@
+"""Topology validation and diagnosis (paper §V.B).
+
+The §V.B constraints are:
+
+1. devices that link to one another must exist within the same HMCSim
+   object (enforced structurally — ``connect`` only sees local devices);
+2. loopback links are forbidden (enforced by ``connect``);
+3. at least one device must connect to a host link.
+
+Beyond those hard rules, HMC-Sim is topologically agnostic: a user "may
+deliberately misconfigure the devices" and receive error responses at
+run time (§IV.2).  :func:`diagnose` reports such soft issues —
+unreachable devices, dangling links, partitioned chains — without
+raising; :func:`strict_check` raises on both hard and soft problems for
+users who want early failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.core.errors import TopologyError
+from repro.core.simulator import HMCSim
+
+
+@dataclass
+class TopologyReport:
+    """Result of diagnosing a topology."""
+
+    num_devices: int
+    host_links: int
+    chain_links: int
+    unconfigured_links: int
+    #: Devices with no path to any host-attached device.
+    unreachable_devices: List[int] = field(default_factory=list)
+    #: Soft-problem descriptions (empty = clean).
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the topology has no hard errors or soft warnings."""
+        return self.host_links > 0 and not self.warnings
+
+
+def _reachable_from_hosts(sim: HMCSim) -> Set[int]:
+    roots = {d for d, _ in sim.host_links()}
+    frontier = list(roots)
+    seen = set(roots)
+    while frontier:
+        dev = frontier.pop()
+        for link in sim.devices[dev].links:
+            peer = sim.link_peer(dev, link.link_id)
+            if peer and peer != "host" and peer[0] not in seen:
+                seen.add(peer[0])
+                frontier.append(peer[0])
+    return seen
+
+
+def diagnose(sim: HMCSim) -> TopologyReport:
+    """Analyse the configured topology and report soft issues."""
+    host_links = len(sim.host_links())
+    chain_links = 0
+    unconfigured = 0
+    for dev in sim.devices:
+        for link in dev.links:
+            if not link.configured:
+                unconfigured += 1
+            elif link.is_chain_link:
+                chain_links += 1
+    chain_links //= 2  # each chain occupies one link on both devices
+
+    reachable = _reachable_from_hosts(sim)
+    unreachable = sorted(d.dev_id for d in sim.devices if d.dev_id not in reachable)
+
+    report = TopologyReport(
+        num_devices=len(sim.devices),
+        host_links=host_links,
+        chain_links=chain_links,
+        unconfigured_links=unconfigured,
+        unreachable_devices=unreachable,
+    )
+    if host_links == 0:
+        report.warnings.append(
+            "no host link configured; the host has no access to main memory"
+        )
+    for dev_id in unreachable:
+        report.warnings.append(
+            f"device {dev_id} is unreachable from any host link; requests "
+            f"targeting it will return UNROUTABLE error responses"
+        )
+    return report
+
+
+def strict_check(sim: HMCSim) -> None:
+    """Raise :class:`TopologyError` on any hard error or soft warning."""
+    report = diagnose(sim)
+    if report.warnings:
+        raise TopologyError("; ".join(report.warnings))

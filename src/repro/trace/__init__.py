@@ -1,0 +1,42 @@
+"""Simulation tracing (paper §IV.E).
+
+"Users have the ability to designate the tracing verbosity as well as
+the target output file buffers.  Trace granularity can be set such that
+each internal sub-cycle operation is recorded...  Each trace event is
+marked with its physical locality as well as the respective internal
+clock tick."
+
+This subpackage provides typed trace events (:mod:`events`), the tracer
+with verbosity masks and pluggable sinks (:mod:`tracer`), parsing of
+serialised trace streams (:mod:`parse`) and per-cycle / per-vault
+aggregation (:mod:`stats`) — the machinery behind Figure 5.
+"""
+
+from repro.trace.events import EventType, TraceEvent
+from repro.trace.tracer import (
+    CountingSink,
+    CSVSink,
+    MemorySink,
+    NDJSONSink,
+    NullSink,
+    StatsSink,
+    Tracer,
+)
+from repro.trace.stats import CycleSeries, TraceStats
+from repro.trace.binfmt import BinarySink, parse_binary
+
+__all__ = [
+    "BinarySink",
+    "CSVSink",
+    "CountingSink",
+    "CycleSeries",
+    "EventType",
+    "MemorySink",
+    "NDJSONSink",
+    "NullSink",
+    "StatsSink",
+    "TraceEvent",
+    "TraceStats",
+    "Tracer",
+    "parse_binary",
+]

@@ -1,0 +1,162 @@
+"""Binary trace format: compact fixed-record event serialisation.
+
+The paper's full-verbosity trace files ran 16–40 GB as text (§VI.B).
+This module defines a dense binary record — 34 bytes fixed plus an
+optional extras blob — cutting storage by roughly an order of magnitude
+against NDJSON while remaining stream-parseable:
+
+``record := header fields (struct) + extras_len:u16 + extras (JSON)``
+
+======  ====  =========================================
+field   type  notes
+======  ====  =========================================
+magic   u16   0x484D ("HM"), per-record resync marker
+type    u16   EventType value
+cycle   u64   clock tick
+dev     i8    locality fields; -1 = unset
+link    i8
+quad    i8
+vault   i16
+bank    i16
+stage   i8
+serial  i64   packet serial; -1 = unset
+extras  u16+  JSON-encoded extras dict (0 = none)
+======  ====  =========================================
+
+All integers little-endian.  A stream begins with a 16-byte file header
+carrying a format version and the device vault count, so readers can
+rebuild :class:`~repro.trace.stats.TraceStats` without out-of-band
+metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import IO, Iterator, Optional
+
+from repro.trace.events import EventType, TraceEvent
+from repro.trace.tracer import Sink
+
+#: Per-record resync marker ("HM").
+RECORD_MAGIC = 0x484D
+
+#: File header: magic "HMCTRACE" + version:u16 + num_vaults:u16 + pad.
+FILE_MAGIC = b"HMCTRACE"
+FILE_VERSION = 1
+_FILE_HEADER = struct.Struct("<8sHHI")
+
+_RECORD = struct.Struct("<HHQbbbhhbq")
+
+
+class BinaryTraceError(ValueError):
+    """Malformed binary trace stream."""
+
+
+def write_file_header(stream: IO[bytes], num_vaults: int) -> None:
+    stream.write(_FILE_HEADER.pack(FILE_MAGIC, FILE_VERSION, num_vaults, 0))
+
+
+def read_file_header(stream: IO[bytes]) -> dict:
+    raw = stream.read(_FILE_HEADER.size)
+    if len(raw) != _FILE_HEADER.size:
+        raise BinaryTraceError("truncated file header")
+    magic, version, num_vaults, _pad = _FILE_HEADER.unpack(raw)
+    if magic != FILE_MAGIC:
+        raise BinaryTraceError(f"bad file magic {magic!r}")
+    if version != FILE_VERSION:
+        raise BinaryTraceError(f"unsupported version {version}")
+    return {"version": version, "num_vaults": num_vaults}
+
+
+def encode_event(event: TraceEvent) -> bytes:
+    """Serialise one event to its binary record."""
+    extras = (
+        json.dumps(event.extra, separators=(",", ":")).encode()
+        if event.extra
+        else b""
+    )
+    if len(extras) > 0xFFFF:
+        raise BinaryTraceError("extras blob exceeds 64 KiB")
+    head = _RECORD.pack(
+        RECORD_MAGIC,
+        int(event.type),
+        event.cycle,
+        event.dev if -128 <= event.dev < 128 else -1,
+        event.link if -128 <= event.link < 128 else -1,
+        event.quad if -128 <= event.quad < 128 else -1,
+        event.vault,
+        event.bank,
+        event.stage if -128 <= event.stage < 128 else -1,
+        event.serial,
+    )
+    return head + struct.pack("<H", len(extras)) + extras
+
+
+def decode_event(stream: IO[bytes]) -> Optional[TraceEvent]:
+    """Read one record; None at clean end-of-stream."""
+    head = stream.read(_RECORD.size)
+    if not head:
+        return None
+    if len(head) != _RECORD.size:
+        raise BinaryTraceError("truncated record header")
+    (magic, etype, cycle, dev, link, quad, vault, bank, stage,
+     serial) = _RECORD.unpack(head)
+    if magic != RECORD_MAGIC:
+        raise BinaryTraceError(f"bad record magic 0x{magic:04x}")
+    raw_len = stream.read(2)
+    if len(raw_len) != 2:
+        raise BinaryTraceError("truncated extras length")
+    (elen,) = struct.unpack("<H", raw_len)
+    extras = {}
+    if elen:
+        blob = stream.read(elen)
+        if len(blob) != elen:
+            raise BinaryTraceError("truncated extras blob")
+        extras = json.loads(blob)
+    return TraceEvent(
+        type=EventType(etype),
+        cycle=cycle,
+        dev=dev,
+        link=link,
+        quad=quad,
+        vault=vault,
+        bank=bank,
+        stage=stage,
+        serial=serial,
+        extra=extras,
+    )
+
+
+class BinarySink(Sink):
+    """Tracer sink writing the binary stream (with file header)."""
+
+    def __init__(self, stream: IO[bytes], num_vaults: int) -> None:
+        self._stream = stream
+        write_file_header(stream, num_vaults)
+        self.records = 0
+        self.bytes_written = _FILE_HEADER.size
+
+    def emit(self, event: TraceEvent) -> None:
+        blob = encode_event(event)
+        self._stream.write(blob)
+        self.records += 1
+        self.bytes_written += len(blob)
+
+    def close(self) -> None:
+        self._stream.flush()
+
+
+def parse_binary(stream: IO[bytes]) -> Iterator[TraceEvent]:
+    """Yield events from a binary trace stream (header first)."""
+    read_file_header(stream)
+    while True:
+        event = decode_event(stream)
+        if event is None:
+            return
+        yield event
+
+
+def binary_num_vaults(stream: IO[bytes]) -> int:
+    """Read just the vault count from a stream's file header."""
+    return read_file_header(stream)["num_vaults"]

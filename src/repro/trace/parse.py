@@ -1,0 +1,90 @@
+"""Read serialised trace streams back into events.
+
+"Entire application memory traces can be revisited and analyzed for
+accuracy, latency characteristics, bandwidth utilization and overall
+transaction efficiency" (paper §IV.E).  The parsers here invert the
+:class:`~repro.trace.tracer.NDJSONSink` and
+:class:`~repro.trace.tracer.CSVSink` encodings and can stream directly
+into a :class:`~repro.trace.stats.TraceStats` aggregator.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Iterable, Iterator, Optional
+
+from repro.trace.events import EventType, TraceEvent
+from repro.trace.stats import TraceStats
+
+
+def parse_ndjson(stream: IO[str]) -> Iterator[TraceEvent]:
+    """Yield events from an NDJSON trace stream, skipping blank lines."""
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield TraceEvent.from_dict(json.loads(line))
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise ValueError(f"malformed trace line {lineno}: {exc}") from exc
+
+
+def parse_csv(stream: IO[str]) -> Iterator[TraceEvent]:
+    """Yield events from a CSV trace stream written by ``CSVSink``."""
+    reader = csv.DictReader(stream)
+    for row in reader:
+        extra = json.loads(row["extra"]) if row.get("extra") else {}
+        yield TraceEvent(
+            type=EventType[row["type"]],
+            cycle=int(row["cycle"]),
+            dev=int(row["dev"]),
+            link=int(row["link"]),
+            quad=int(row["quad"]),
+            vault=int(row["vault"]),
+            bank=int(row["bank"]),
+            stage=int(row["stage"]),
+            serial=int(row["serial"]),
+            extra=extra,
+        )
+
+
+def replay_into_stats(
+    events: Iterable[TraceEvent],
+    num_vaults: int,
+    mask: Optional[EventType] = None,
+) -> TraceStats:
+    """Aggregate an event stream into :class:`TraceStats`.
+
+    With *mask* set, events outside the mask are skipped — useful for
+    re-deriving a single Figure-5 series from a full-verbosity trace.
+    """
+    stats = TraceStats(num_vaults=num_vaults)
+    for ev in events:
+        if mask is not None and not (mask & ev.type):
+            continue
+        stats.add(ev)
+    return stats
+
+
+def filter_events(
+    events: Iterable[TraceEvent],
+    mask: EventType = EventType.ALL,
+    dev: Optional[int] = None,
+    vault: Optional[int] = None,
+    cycle_range: Optional[tuple] = None,
+) -> Iterator[TraceEvent]:
+    """Select events by type mask, locality and cycle window."""
+    lo, hi = cycle_range if cycle_range else (None, None)
+    for ev in events:
+        if not (mask & ev.type):
+            continue
+        if dev is not None and ev.dev != dev:
+            continue
+        if vault is not None and ev.vault != vault:
+            continue
+        if lo is not None and ev.cycle < lo:
+            continue
+        if hi is not None and ev.cycle >= hi:
+            continue
+        yield ev

@@ -1,0 +1,171 @@
+"""Online aggregation of trace events into per-cycle series.
+
+Figure 5 of the paper plots, per simulated clock cycle: the number of
+bank conflicts, read requests and write requests that occurred within
+each vault; the number of crossbar request stalls; and the number of
+latency-penalty events.  :class:`TraceStats` accumulates exactly those
+counters (plus totals) from the event stream, growing its NumPy buffers
+geometrically so paper-scale runs stay memory-bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.trace.events import EventType, TraceEvent
+
+#: Event types tallied per (cycle,) — device-wide series.
+_GLOBAL_SERIES = (
+    EventType.XBAR_RQST_STALL,
+    EventType.LATENCY_PENALTY,
+)
+
+#: Event types tallied per (cycle, vault).
+_VAULT_SERIES = (
+    EventType.BANK_CONFLICT,
+    EventType.RQST_READ,
+    EventType.RQST_WRITE,
+)
+
+
+@dataclass
+class CycleSeries:
+    """A named per-cycle series extracted from :class:`TraceStats`."""
+
+    name: str
+    #: Counts indexed by cycle, length = observed cycles.
+    values: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.values.sum())
+
+    @property
+    def peak(self) -> int:
+        return int(self.values.max()) if self.values.size else 0
+
+    def nonzero_cycles(self) -> int:
+        return int(np.count_nonzero(self.values))
+
+
+class TraceStats:
+    """Accumulates Figure-5 counters from trace events.
+
+    Parameters
+    ----------
+    num_vaults:
+        Vault count of the traced device(s); sizes the per-vault matrix.
+    initial_cycles:
+        Initial cycle-axis allocation; grows geometrically as needed.
+    """
+
+    def __init__(self, num_vaults: int, initial_cycles: int = 1024) -> None:
+        if num_vaults <= 0:
+            raise ValueError("num_vaults must be positive")
+        self.num_vaults = num_vaults
+        self._cap = max(16, initial_cycles)
+        self.max_cycle = -1
+        # Per-cycle global counters.
+        self._global: Dict[EventType, np.ndarray] = {
+            t: np.zeros(self._cap, dtype=np.int64) for t in _GLOBAL_SERIES
+        }
+        # Per-cycle-per-vault counters: dict of (cycles, vaults) matrices.
+        self._vault: Dict[EventType, np.ndarray] = {
+            t: np.zeros((self._cap, num_vaults), dtype=np.int64) for t in _VAULT_SERIES
+        }
+        self.totals: Dict[EventType, int] = {}
+        self.events_seen = 0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def _grow(self, need: int) -> None:
+        new_cap = self._cap
+        while new_cap <= need:
+            new_cap *= 2
+        for t, arr in self._global.items():
+            g = np.zeros(new_cap, dtype=np.int64)
+            g[: arr.size] = arr
+            self._global[t] = g
+        for t, arr in self._vault.items():
+            m = np.zeros((new_cap, self.num_vaults), dtype=np.int64)
+            m[: arr.shape[0]] = arr
+            self._vault[t] = m
+        self._cap = new_cap
+
+    def add(self, event: TraceEvent) -> None:
+        """Fold one event into the counters (O(1))."""
+        self.events_seen += 1
+        self.totals[event.type] = self.totals.get(event.type, 0) + 1
+        c = event.cycle
+        if c < 0:
+            return
+        if c >= self._cap:
+            self._grow(c)
+        if c > self.max_cycle:
+            self.max_cycle = c
+        t = event.type
+        g = self._global.get(t)
+        if g is not None:
+            g[c] += 1
+            return
+        v = self._vault.get(t)
+        if v is not None and 0 <= event.vault < self.num_vaults:
+            v[c, event.vault] += 1
+
+    # -- extraction ------------------------------------------------------------
+
+    @property
+    def num_cycles(self) -> int:
+        """Number of observed cycles (max cycle + 1)."""
+        return self.max_cycle + 1
+
+    def global_series(self, etype: EventType) -> CycleSeries:
+        """Device-wide per-cycle series (stalls, latency penalties)."""
+        if etype not in self._global:
+            raise KeyError(f"{etype} is not a global series")
+        n = self.num_cycles
+        return CycleSeries(etype.name, self._global[etype][:n].copy())
+
+    def vault_series(self, etype: EventType, vault: Optional[int] = None) -> CycleSeries:
+        """Per-cycle series for one vault, or summed over vaults."""
+        if etype not in self._vault:
+            raise KeyError(f"{etype} is not a per-vault series")
+        n = self.num_cycles
+        m = self._vault[etype][:n]
+        if vault is None:
+            return CycleSeries(etype.name, m.sum(axis=1))
+        if not 0 <= vault < self.num_vaults:
+            raise IndexError(f"vault {vault} out of range")
+        return CycleSeries(f"{etype.name}[vault {vault}]", m[:, vault].copy())
+
+    def vault_matrix(self, etype: EventType) -> np.ndarray:
+        """The raw (cycles, vaults) count matrix for *etype*."""
+        if etype not in self._vault:
+            raise KeyError(f"{etype} is not a per-vault series")
+        return self._vault[etype][: self.num_cycles].copy()
+
+    def figure5_series(self) -> Dict[str, CycleSeries]:
+        """All five Figure-5 series, summed over vaults where relevant."""
+        out = {
+            "bank_conflicts": self.vault_series(EventType.BANK_CONFLICT),
+            "read_requests": self.vault_series(EventType.RQST_READ),
+            "write_requests": self.vault_series(EventType.RQST_WRITE),
+            "xbar_rqst_stalls": self.global_series(EventType.XBAR_RQST_STALL),
+            "latency_penalties": self.global_series(EventType.LATENCY_PENALTY),
+        }
+        return out
+
+    def vault_utilization(self) -> np.ndarray:
+        """Total requests (read+write) serviced per vault."""
+        n = self.num_cycles
+        return (
+            self._vault[EventType.RQST_READ][:n].sum(axis=0)
+            + self._vault[EventType.RQST_WRITE][:n].sum(axis=0)
+        )
+
+    def summary(self) -> Dict[str, int]:
+        """Totals per event type by name (report-friendly)."""
+        return {t.name: n for t, n in sorted(self.totals.items(), key=lambda kv: kv[0].value)}

@@ -1,0 +1,176 @@
+"""The tracer: verbosity masks and pluggable output sinks.
+
+The paper's trace files for the Table I runs ranged from 16 GB to 40 GB
+(§VI.B); to keep the reproduction laptop-friendly the tracer supports
+online aggregation (:class:`StatsSink`) alongside the file sinks, so the
+Figure 5 series can be computed without materialising raw traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Callable, Dict, List, Optional, Sequence
+
+from repro.trace.events import EventType, TraceEvent
+
+
+class Sink:
+    """Trace sink interface."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/terminate the sink (default: nothing)."""
+
+
+class NullSink(Sink):
+    """Discards everything (tracing disabled but call sites unchanged)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Buffers events in a list — the default for tests and analysis."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class CountingSink(Sink):
+    """Counts events per type without storing them (cheap telemetry)."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[EventType, int] = {}
+
+    def emit(self, event: TraceEvent) -> None:
+        self.counts[event.type] = self.counts.get(event.type, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class NDJSONSink(Sink):
+    """Writes one JSON object per line to a text stream."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+        self.lines = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._stream.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._stream.write("\n")
+        self.lines += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+
+
+class CSVSink(Sink):
+    """Writes a fixed-column CSV (locality columns; extras JSON-encoded)."""
+
+    FIELDS = ("type", "cycle", "dev", "link", "quad", "vault", "bank", "stage", "serial", "extra")
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._writer = csv.writer(stream)
+        self._writer.writerow(self.FIELDS)
+        self._stream = stream
+        self.rows = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._writer.writerow(
+            [
+                event.type.name,
+                event.cycle,
+                event.dev,
+                event.link,
+                event.quad,
+                event.vault,
+                event.bank,
+                event.stage,
+                event.serial,
+                json.dumps(event.extra, separators=(",", ":")) if event.extra else "",
+            ]
+        )
+        self.rows += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+
+
+class StatsSink(Sink):
+    """Feeds events straight into a :class:`~repro.trace.stats.TraceStats`
+    aggregator — the memory-bounded path for paper-scale runs."""
+
+    def __init__(self, stats) -> None:
+        self.stats = stats
+
+    def emit(self, event: TraceEvent) -> None:
+        self.stats.add(event)
+
+
+class Tracer:
+    """Event dispatcher with a verbosity mask and fan-out to sinks.
+
+    The mask is an :class:`EventType` flag set; events whose type is not
+    in the mask are dropped before any sink sees them.  ``enabled_for``
+    lets hot paths skip event construction entirely when tracing is off.
+    """
+
+    __slots__ = ("mask", "_sinks", "emitted", "dropped")
+
+    def __init__(
+        self,
+        mask: EventType = EventType.STANDARD,
+        sinks: Optional[Sequence[Sink]] = None,
+    ) -> None:
+        self.mask = mask
+        self._sinks: List[Sink] = list(sinks) if sinks else []
+        self.emitted = 0
+        self.dropped = 0
+
+    def add_sink(self, sink: Sink) -> Sink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> List[Sink]:
+        return list(self._sinks)
+
+    def enabled_for(self, etype: EventType) -> bool:
+        """True iff events of *etype* would be recorded."""
+        return bool(self.mask & etype) and bool(self._sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Dispatch *event* to every sink if its type passes the mask."""
+        if not (self.mask & event.type) or not self._sinks:
+            self.dropped += 1
+            return
+        self.emitted += 1
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def event(self, etype: EventType, cycle: int, **kw) -> None:
+        """Convenience: construct and emit in one call (cold paths)."""
+        if not (self.mask & etype) or not self._sinks:
+            self.dropped += 1
+            return
+        self.emit(TraceEvent(type=etype, cycle=cycle, **kw))
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()

@@ -1,0 +1,19 @@
+"""Self-checking verification harness.
+
+The paper's stated purpose for HMC-Sim includes confirming "the
+functionality of the HMC-Sim simulation infrastructure as well as the
+HMC packet specification" (§VI.B) and revisiting traces "for accuracy"
+(§IV.E).  This subpackage makes that checking continuous: a golden
+reference memory model runs beside the cycle simulator and every read
+response is checked against it, so any routing, queueing, addressing or
+data-path bug surfaces as a verification failure at the exact request
+that exposed it.
+"""
+
+from repro.verification.shadow import (
+    CheckFailure,
+    CheckingHost,
+    ShadowMemory,
+)
+
+__all__ = ["CheckFailure", "CheckingHost", "ShadowMemory"]

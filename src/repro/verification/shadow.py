@@ -1,0 +1,228 @@
+"""Shadow memory model and the self-checking host wrapper.
+
+:class:`ShadowMemory` is a functional (zero-latency) golden model of one
+cube's storage with the same 16-byte-atom semantics as the banks.
+:class:`CheckingHost` wraps a :class:`~repro.host.host.Host`: every
+write/atomic updates the shadow at send time, and every read response is
+compared word-for-word against the shadow at receipt.
+
+Soundness note: comparison at send time is exact because the simulator
+preserves per-(link, bank) stream order and the host issues at most one
+outstanding access per address from the checking API; the property tests
+drive it with address-disjoint concurrency or serialised same-address
+accesses accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.simulator import HMCSim
+from repro.host.host import Host
+from repro.packets.commands import (
+    CMD,
+    REQUEST_DATA_BYTES,
+    CommandClass,
+    command_class,
+)
+from repro.packets.packet import ErrStat, Packet
+
+_MASK64 = (1 << 64) - 1
+
+
+class CheckFailure(AssertionError):
+    """A read response disagreed with the golden model."""
+
+
+class ShadowMemory:
+    """Golden functional model of one cube's data storage."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0 or capacity_bytes % 16:
+            raise ValueError("capacity must be a positive multiple of 16")
+        self.capacity_bytes = capacity_bytes
+        self._atoms: Dict[int, Tuple[int, int]] = {}
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr % 16 or nbytes % 16 or nbytes <= 0:
+            raise ValueError(f"unaligned shadow access {addr:#x}+{nbytes}")
+        if addr + nbytes > self.capacity_bytes:
+            raise ValueError(f"shadow access {addr:#x}+{nbytes} out of range")
+
+    def write(self, addr: int, words: Sequence[int]) -> None:
+        self._check(addr, len(words) * 8)
+        atom0 = addr // 16
+        for i in range(len(words) // 2):
+            self._atoms[atom0 + i] = (
+                int(words[2 * i]) & _MASK64,
+                int(words[2 * i + 1]) & _MASK64,
+            )
+
+    def read(self, addr: int, nbytes: int) -> List[int]:
+        self._check(addr, nbytes)
+        out: List[int] = []
+        atom0 = addr // 16
+        for i in range(nbytes // 16):
+            w0, w1 = self._atoms.get(atom0 + i, (0, 0))
+            out += [w0, w1]
+        return out
+
+    def add16(self, addr: int, operands: Sequence[int]) -> List[int]:
+        """Golden ADD16 / TWOADD8: returns the old value."""
+        old = self.read(addr, 16)
+        self.write(addr, [
+            (old[0] + int(operands[0])) & _MASK64,
+            (old[1] + int(operands[1])) & _MASK64,
+        ])
+        return old
+
+
+@dataclass
+class CheckStats:
+    """Verification counters."""
+
+    writes_shadowed: int = 0
+    atomics_shadowed: int = 0
+    reads_checked: int = 0
+    mismatches: int = 0
+
+
+class CheckingHost:
+    """A host whose every read is verified against a shadow model.
+
+    Drop-in wrapper over :class:`Host` for single-cube traffic; raises
+    :class:`CheckFailure` immediately on any data mismatch (or records
+    it when ``raise_on_mismatch`` is False).
+    """
+
+    def __init__(
+        self,
+        sim: HMCSim,
+        cub: int = 0,
+        host: Optional[Host] = None,
+        raise_on_mismatch: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.cub = cub
+        # The HMC ordering model only preserves link->bank streams, so a
+        # read may legally overtake a same-address write issued on a
+        # different link.  The checker therefore needs address-
+        # deterministic link selection; the locality policy provides it
+        # (a given address always maps to the same co-located link).
+        from repro.host.host import LinkPolicy
+
+        self.host = host or Host(sim, policy=LinkPolicy.LOCALITY)
+        self.shadow = ShadowMemory(sim.config.device.capacity_bytes)
+        self.raise_on_mismatch = raise_on_mismatch
+        self.stats = CheckStats()
+        #: tag -> (addr, nbytes) for in-flight reads / atomics.
+        self._pending_reads: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+
+    # -- issue -------------------------------------------------------------
+
+    def send_request(
+        self,
+        cmd: CMD,
+        addr: int,
+        payload: Optional[Sequence[int]] = None,
+    ) -> Optional[int]:
+        """Issue a request and update / arm the shadow accordingly."""
+        cmd = CMD(cmd)
+        cls = command_class(cmd)
+        tag = self.host.send_request(cmd, addr, cub=self.cub, payload=payload)
+        if tag is None:
+            return None
+        if cls in (CommandClass.WRITE, CommandClass.POSTED_WRITE):
+            nbytes = REQUEST_DATA_BYTES[cmd]
+            words = list(payload or [])
+            words += [0] * (nbytes // 8 - len(words))
+            self.shadow.write(addr, words[: nbytes // 8])
+            self.stats.writes_shadowed += 1
+        elif cls in (CommandClass.ATOMIC, CommandClass.POSTED_ATOMIC):
+            ops = list(payload or [0, 0])[:2] + [0, 0]
+            expected_old = self.shadow.add16(addr, ops[:2])
+            self.stats.atomics_shadowed += 1
+            if cls is CommandClass.ATOMIC:
+                self._arm(tag, addr, 16, expected=expected_old)
+        elif cls is CommandClass.READ:
+            self._arm(tag, addr, REQUEST_DATA_BYTES[cmd])
+        return tag
+
+    def _arm(self, tag: int, addr: int, nbytes: int, expected=None) -> None:
+        # Key pending reads by the (dev, link, tag) correlation domain,
+        # which the host exposes for its most recent successful send.
+        pool_key = self.host.last_send
+        assert pool_key[2] == tag
+        self._pending_reads[pool_key] = (addr, nbytes) if expected is None else (
+            addr,
+            nbytes,
+            tuple(expected),
+        )
+
+    # -- receive + check -----------------------------------------------------
+
+    def drain_and_check(self) -> List[Packet]:
+        """Drain responses, verifying read data against the shadow."""
+        responses = self.sim.recv_all()
+        for rsp in responses:
+            self.host.received += 1
+            dev, link = rsp.delivered_from
+            pool = self.host.tag_pools[(dev, link)]
+            try:
+                ctx = pool.release(rsp.tag)
+            except KeyError:
+                self._fail(f"response with unknown tag {rsp.tag}")
+                continue
+            if ctx is not None:
+                self.host.latencies.append(self.sim.clock_value - ctx.sent_cycle)
+            if rsp.errstat is not ErrStat.OK:
+                self._fail(f"error response {rsp.errstat} for tag {rsp.tag}")
+                continue
+            pending = self._pending_reads.pop((dev, link, rsp.tag), None)
+            if pending is None:
+                continue  # write response
+            addr, nbytes = pending[0], pending[1]
+            if len(pending) == 3:
+                expected = list(pending[2])  # atomic: old value
+            else:
+                expected = self.shadow.read(addr, nbytes)
+            got = list(rsp.payload)
+            self.stats.reads_checked += 1
+            if got != expected:
+                self._fail(
+                    f"data mismatch at {addr:#x}: expected {expected[:4]}..., "
+                    f"got {got[:4]}..."
+                )
+        return responses
+
+    def _fail(self, message: str) -> None:
+        self.stats.mismatches += 1
+        if self.raise_on_mismatch:
+            raise CheckFailure(message)
+
+    # -- drive loop ---------------------------------------------------------------
+
+    def run(self, requests, max_cycles: int = 1_000_000) -> CheckStats:
+        """Drive a request stream to completion with continuous checking."""
+        it = iter(requests)
+        pending = None
+        exhausted = False
+        start = self.sim.clock_value
+        while self.sim.clock_value - start < max_cycles:
+            while True:
+                if pending is None:
+                    try:
+                        pending = next(it)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                cmd, addr, payload = pending
+                if self.send_request(cmd, addr, payload=payload) is None:
+                    break
+                pending = None
+            self.sim.clock()
+            self.drain_and_check()
+            if exhausted and pending is None and self.host.outstanding == 0:
+                break
+        return self.stats

@@ -1,0 +1,48 @@
+"""Workload generators (paper §VI.A plus extensions).
+
+The paper's evaluation uses a single workload — a randomised stream of
+mixed reads and writes "driven via a simple linear congruential method
+provided by the GNU libc library".  :mod:`repro.workloads.lcg`
+implements both interpretations of that sentence (glibc's actual
+additive-feedback ``rand()`` and a textbook LCG);
+:mod:`repro.workloads.random_access` is the paper's test harness.
+
+The remaining modules are workload extensions exercising different
+corners of the device model: sequential streaming (interleave
+behaviour), fixed-stride sweeps (pathological bank mapping), GUPS-style
+read-modify-write, and dependent pointer chasing (latency-bound).
+"""
+
+from repro.workloads.lcg import GlibcRand, LCG
+from repro.workloads.random_access import (
+    RandomAccessConfig,
+    RandomAccessResult,
+    random_access_requests,
+    run_random_access,
+)
+from repro.workloads.stream import stream_requests
+from repro.workloads.stride import stride_requests
+from repro.workloads.gups import gups_requests
+from repro.workloads.pointer_chase import build_chase_table, pointer_chase_run
+from repro.workloads.trace_replay import (
+    record_requests,
+    replay_address_trace,
+    replay_events,
+)
+
+__all__ = [
+    "GlibcRand",
+    "LCG",
+    "RandomAccessConfig",
+    "RandomAccessResult",
+    "build_chase_table",
+    "gups_requests",
+    "pointer_chase_run",
+    "random_access_requests",
+    "record_requests",
+    "replay_address_trace",
+    "replay_events",
+    "run_random_access",
+    "stream_requests",
+    "stride_requests",
+]

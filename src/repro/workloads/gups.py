@@ -1,0 +1,44 @@
+"""GUPS-style random read-modify-write workload.
+
+The HPCC RandomAccess (GUPS) kernel performs XOR-updates at random
+table locations.  The HMC command set has no XOR atomic, so the natural
+mapping is the ADD16 read-modify-write request — exercising the atomic
+path of the vault logic with GUPS's address distribution.  This is the
+kind of "early algorithm, system and application design" exploration
+the paper's conclusion motivates for HMC devices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.packets.commands import CMD
+from repro.workloads.lcg import LCG
+
+
+def gups_requests(
+    capacity_bytes: int,
+    num_updates: int,
+    seed: int = 1,
+    posted: bool = False,
+    table_bytes: int | None = None,
+) -> Iterator[Tuple[CMD, int, Optional[list]]]:
+    """Yield ADD16 updates at uniformly random 16-byte-aligned slots.
+
+    *table_bytes* confines updates to a leading region of the device
+    (GUPS tables are power-of-two sized); *posted* switches to P_ADD16,
+    halving response traffic at the cost of completion tracking.
+    """
+    if num_updates < 0:
+        raise ValueError("num_updates must be non-negative")
+    table = table_bytes if table_bytes is not None else capacity_bytes
+    if table <= 0 or table > capacity_bytes:
+        raise ValueError(f"table_bytes must be in (0, {capacity_bytes}], got {table}")
+    slots = table // 16
+    cmd = CMD.P_ADD16 if posted else CMD.ADD16
+    rng = LCG(seed)
+    for _ in range(num_updates):
+        addr = rng.next_below(slots) * 16
+        # GUPS increments by the random value itself.
+        operand = rng.next_u64()
+        yield (cmd, addr, [operand, 0])

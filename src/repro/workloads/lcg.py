@@ -1,0 +1,133 @@
+"""Pseudo-random generators matching the paper's harness.
+
+"The randomness is driven via a simple linear congruential method
+provided by the GNU libc library" (§VI.A).  GNU libc's default
+``rand()`` is actually an additive-feedback (lagged Fibonacci trinomial
+x^31 + x^3 + 1) generator seeded through a Lehmer LCG; the phrase
+"linear congruential" most plausibly refers to that seeding LCG or to
+``rand()`` in TYPE_0 mode.  We implement both, bit-exactly:
+
+* :class:`GlibcRand` — glibc ``srandom``/``random`` TYPE_3 (the default
+  ``rand()`` path), reproducing glibc's output stream exactly;
+* :class:`LCG` — glibc TYPE_0: ``r = r * 1103515245 + 12345`` with a
+  31-bit output.
+
+Either drives the random-access harness; results differ only in the
+specific address stream, not its statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+_M31 = 2147483647  # 2**31 - 1 (Lehmer modulus)
+_MASK32 = 0xFFFFFFFF
+
+
+class GlibcRand:
+    """Bit-exact glibc ``srandom(seed)`` / ``random()`` (TYPE_3).
+
+    State is 34 words; the first 31 come from a Lehmer LCG over the
+    seed, words 31..33 repeat words 0..2, and 310 warm-up outputs are
+    discarded — exactly glibc's ``__initstate_r`` behaviour.  Outputs
+    are 31-bit non-negative integers.
+    """
+
+    DEG = 31
+    SEP = 3
+    WARMUP = 310  # 10 * DEG
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed(seed)
+
+    def seed(self, seed: int) -> None:
+        seed = seed & _MASK32
+        if seed == 0:
+            seed = 1
+        r: List[int] = [0] * self.DEG
+        r[0] = seed
+        # Lehmer LCG: r[i] = 16807 * r[i-1] % (2^31 - 1), computed the
+        # way glibc does (Schrage's method result is identical here).
+        for i in range(1, self.DEG):
+            r[i] = (16807 * r[i - 1]) % _M31
+        self._state = r
+        # f = front index, rr = rear index into the circular state.
+        self._f = self.SEP
+        self._r = 0
+        for _ in range(self.WARMUP):
+            self._next_word()
+
+    def _next_word(self) -> int:
+        s = self._state
+        val = (s[self._f] + s[self._r]) & _MASK32
+        s[self._f] = val
+        n = len(s)
+        self._f = (self._f + 1) % n
+        self._r = (self._r + 1) % n
+        return val
+
+    def next(self) -> int:
+        """Next 31-bit pseudo-random value (== glibc ``random()``)."""
+        return self._next_word() >> 1
+
+    __next__ = next
+
+    def __iter__(self) -> Iterator[int]:
+        return self
+
+    def next_below(self, bound: int) -> int:
+        """Uniform-ish value in [0, bound) via multiply-shift.
+
+        Multiply-shift uses the generator's high bits; LCG-family
+        generators have weak low bits, which a plain modulo would alias
+        straight into the vault field of power-of-two address spaces.
+        """
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return (self.next() * bound) >> 31
+
+    def next_u64(self) -> int:
+        """64-bit value from two draws (payload data generation)."""
+        return (self.next() << 33) | (self.next() << 2) | (self.next() & 0x3)
+
+
+class LCG:
+    """glibc TYPE_0 ``rand()``: the textbook linear congruential method.
+
+    ``state = state * 1103515245 + 12345 (mod 2^32)``; output is
+    ``(state >> 0) & 0x7fffffff`` per glibc's TYPE_0 path.
+    """
+
+    A = 1103515245
+    C = 12345
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed(seed)
+
+    def seed(self, seed: int) -> None:
+        self._state = seed & _MASK32
+
+    def next(self) -> int:
+        """Next 31-bit pseudo-random value."""
+        self._state = (self._state * self.A + self.C) & _MASK32
+        return self._state & 0x7FFFFFFF
+
+    __next__ = next
+
+    def __iter__(self) -> Iterator[int]:
+        return self
+
+    def next_below(self, bound: int) -> int:
+        """Value in [0, bound) via multiply-shift (high bits).
+
+        TYPE_0 low bits have tiny periods (bit 0 strictly alternates);
+        modulo by a power of two would alias that straight into the
+        vault/bank fields of the generated addresses.
+        """
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return (self.next() * bound) >> 31
+
+    def next_u64(self) -> int:
+        """64-bit value from three draws."""
+        return (self.next() << 33) | (self.next() << 2) | (self.next() & 0x3)

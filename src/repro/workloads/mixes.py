@@ -1,0 +1,147 @@
+"""Composite workloads: weighted mixtures and phased sequences.
+
+Real applications are not single-pattern: they stream, then chase
+pointers, then burst random updates.  These combinators build such
+workloads from the primitive generators, keeping everything seeded and
+deterministic:
+
+* :func:`weighted_mix` — interleave several request streams with given
+  selection probabilities (per-request choice);
+* :func:`phases` — run streams back to back (phase changes show up in
+  the Figure-5 series as regime shifts);
+* :func:`bursty` — a stream gated by an on/off duty cycle, with idle
+  gaps expressed as explicit bubbles the host run loop can honour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.packets.commands import CMD
+from repro.workloads.lcg import LCG
+
+Request = Tuple[CMD, int, Optional[list]]
+
+
+def weighted_mix(
+    streams: Sequence[Iterable[Request]],
+    weights: Sequence[float],
+    total: int,
+    seed: int = 1,
+) -> Iterator[Request]:
+    """Draw *total* requests from *streams* with per-draw probabilities.
+
+    A stream that exhausts early is dropped and the remaining weights
+    renormalise; if everything exhausts, iteration ends early.
+    """
+    if len(streams) != len(weights) or not streams:
+        raise ValueError("streams and weights must be equal-length, non-empty")
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    its: List[Optional[Iterator[Request]]] = [iter(s) for s in streams]
+    live = list(range(len(its)))
+    w = [float(x) for x in weights]
+    rng = LCG(seed)
+    emitted = 0
+    while emitted < total and live:
+        # Weighted draw over live streams.
+        total_w = sum(w[i] for i in live)
+        pick = (rng.next() / 0x8000_0000) * total_w
+        chosen = live[-1]
+        acc = 0.0
+        for i in live:
+            acc += w[i]
+            if pick < acc:
+                chosen = i
+                break
+        try:
+            yield next(its[chosen])
+            emitted += 1
+        except StopIteration:
+            live.remove(chosen)
+
+
+def phases(*streams: Iterable[Request]) -> Iterator[Request]:
+    """Concatenate request streams: phase 1 fully drains, then phase 2..."""
+    for stream in streams:
+        yield from stream
+
+
+def bursty(
+    stream: Iterable[Request],
+    burst_len: int,
+    gap_len: int,
+) -> Iterator[Optional[Request]]:
+    """Gate a stream into bursts: *burst_len* requests, then *gap_len*
+    ``None`` bubbles (idle cycles), repeating.
+
+    Consumers that understand bubbles (``run_with_bubbles``) idle the
+    host for each ``None``; plain consumers can filter them out.
+    """
+    if burst_len <= 0 or gap_len < 0:
+        raise ValueError("burst_len must be positive, gap_len non-negative")
+    it = iter(stream)
+    while True:
+        emitted = 0
+        for _ in range(burst_len):
+            try:
+                yield next(it)
+                emitted += 1
+            except StopIteration:
+                return
+        if emitted == 0:
+            return
+        for _ in range(gap_len):
+            yield None
+
+
+def run_with_bubbles(host, stream: Iterable[Optional[Request]], cub: int = 0):
+    """Drive a bubble-aware stream: ``None`` items idle one cycle.
+
+    Returns the host's :class:`~repro.host.host.HostRunResult`-style
+    counters via ``host.run`` semantics, implemented inline because the
+    standard run loop treats the stream as gapless.
+    """
+    from repro.host.host import HostRunResult
+
+    sim = host.sim
+    it = iter(stream)
+    pending: Optional[Request] = None
+    exhausted = False
+    start_cycle = sim.clock_value
+    s0, r0, e0 = host.sent, host.received, host.errors
+    lat_mark = len(host.latencies)
+    stall_cycles = 0
+    while True:
+        issued = 0
+        bubble = False
+        while not bubble:
+            if pending is None:
+                try:
+                    item = next(it)
+                except StopIteration:
+                    exhausted = True
+                    break
+                if item is None:
+                    bubble = True  # idle this cycle
+                    break
+                pending = item
+            cmd, addr, payload = pending
+            if host.send_request(cmd, addr, cub=cub, payload=payload) is None:
+                break
+            pending = None
+            issued += 1
+        if issued == 0 and not exhausted and not bubble:
+            stall_cycles += 1
+        sim.clock()
+        host.drain_responses()
+        if exhausted and pending is None and host.outstanding == 0:
+            break
+    return HostRunResult(
+        requests_sent=host.sent - s0,
+        responses_received=host.received - r0,
+        errors_received=host.errors - e0,
+        cycles=sim.clock_value - start_cycle,
+        send_stall_cycles=stall_cycles,
+        latencies=host.latencies[lat_mark:],
+    )

@@ -1,0 +1,49 @@
+"""Fixed-stride sweep workload.
+
+Strided access exposes pathological interactions with the address map:
+a stride equal to ``num_vaults * block_size`` under the default
+low-interleave map pins every request to a single vault, and a stride
+of ``num_vaults * num_banks * block_size`` pins them to a single bank —
+the worst case the interleave exists to avoid.  The ablation benchmark
+sweeps strides to chart that cliff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.packets.commands import CMD, READ_CMD_FOR_BYTES, WRITE_CMD_FOR_BYTES
+from repro.workloads.lcg import LCG
+
+
+def stride_requests(
+    capacity_bytes: int,
+    num_requests: int,
+    stride_bytes: int,
+    request_bytes: int = 64,
+    read_fraction: float = 1.0,
+    seed: int = 1,
+) -> Iterator[Tuple[CMD, int, Optional[list]]]:
+    """Yield requests at a fixed byte stride, wrapping at capacity.
+
+    *stride_bytes* must be a positive multiple of *request_bytes* so
+    blocks stay aligned.
+    """
+    if request_bytes not in READ_CMD_FOR_BYTES:
+        raise ValueError(f"unsupported request size {request_bytes}")
+    if stride_bytes <= 0 or stride_bytes % request_bytes:
+        raise ValueError(
+            f"stride must be a positive multiple of {request_bytes}, got {stride_bytes}"
+        )
+    rd = READ_CMD_FOR_BYTES[request_bytes]
+    wr = WRITE_CMD_FOR_BYTES[request_bytes]
+    rng = LCG(seed)
+    words = request_bytes // 8
+    read_cut = int(read_fraction * 0x8000_0000)
+    addr = 0
+    for _ in range(num_requests):
+        if rng.next() < read_cut:
+            yield (rd, addr, None)
+        else:
+            yield (wr, addr, [rng.next_u64() for _ in range(words)])
+        addr = (addr + stride_bytes) % capacity_bytes

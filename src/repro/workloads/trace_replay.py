@@ -1,0 +1,133 @@
+"""Trace-replay workload: re-drive recorded memory traces.
+
+"Entire application memory traces can be revisited and analyzed"
+(§IV.E); this module closes the loop by turning a recorded trace — our
+own NDJSON/CSV event streams, or a simple external address-trace format
+— back into a request stream the host can replay against a different
+device configuration.  That is the classical trace-driven-simulation
+workflow the related-work section contrasts (Uhlig & Mudge, ref. [15]).
+
+Two sources are supported:
+
+* **event streams** from this simulator's tracer (RQST_READ /
+  RQST_WRITE / RQST_ATOMIC events carry the address in ``extra``);
+* **flat address traces**: text lines of ``R <hex-addr> <size>`` /
+  ``W <hex-addr> <size>`` — the least-common-denominator format most
+  academic trace distributions reduce to.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, List, Optional, Tuple
+
+from repro.packets.commands import (
+    CMD,
+    READ_CMD_FOR_BYTES,
+    WRITE_CMD_FOR_BYTES,
+)
+from repro.trace.events import EventType, TraceEvent
+from repro.workloads.lcg import LCG
+
+Request = Tuple[CMD, int, Optional[list]]
+
+
+def replay_events(
+    events: Iterable[TraceEvent],
+    request_bytes: int = 64,
+    payload_seed: int = 1,
+) -> Iterator[Request]:
+    """Convert RQST_* trace events back into a request stream.
+
+    Events must carry the request address in ``extra['addr']`` (the
+    vault tracer records it for conflict events; for request events the
+    replay falls back to synthesising addresses from locality fields
+    when absent: vault/bank identify the stripe, and the stream walks
+    block offsets within it).
+    """
+    if request_bytes not in READ_CMD_FOR_BYTES:
+        raise ValueError(f"unsupported request size {request_bytes}")
+    rd = READ_CMD_FOR_BYTES[request_bytes]
+    wr = WRITE_CMD_FOR_BYTES[request_bytes]
+    rng = LCG(payload_seed)
+    words = request_bytes // 8
+    synth_counter = 0
+    for ev in events:
+        if ev.type is EventType.RQST_READ:
+            cmd: CMD = rd
+        elif ev.type in (EventType.RQST_WRITE, EventType.RQST_ATOMIC):
+            cmd = wr
+        else:
+            continue
+        addr = ev.extra.get("addr")
+        if addr is None:
+            # Synthesise a stable address from the event locality.
+            vault = max(ev.vault, 0)
+            bank = max(ev.bank, 0)
+            addr = ((synth_counter * 64 + bank * 16 + vault) * request_bytes)
+            synth_counter += 1
+        if cmd is rd:
+            yield (cmd, int(addr), None)
+        else:
+            yield (cmd, int(addr), [rng.next_u64() for _ in range(words)])
+
+
+def parse_address_trace(stream: IO[str]) -> Iterator[Tuple[str, int, int]]:
+    """Parse ``R/W <hex-addr> [size]`` lines into (op, addr, size).
+
+    Blank lines and ``#`` comments are skipped; the size column is
+    optional and defaults to 64 bytes.  Malformed lines raise
+    :class:`ValueError` with the line number.
+    """
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3) or parts[0].upper() not in ("R", "W"):
+            raise ValueError(f"malformed trace line {lineno}: {raw.rstrip()!r}")
+        try:
+            addr = int(parts[1], 16)
+            size = int(parts[2]) if len(parts) == 3 else 64
+        except ValueError as exc:
+            raise ValueError(f"malformed trace line {lineno}: {raw.rstrip()!r}") from exc
+        yield (parts[0].upper(), addr, size)
+
+
+def replay_address_trace(
+    stream: IO[str],
+    capacity_bytes: int,
+    payload_seed: int = 1,
+) -> Iterator[Request]:
+    """Turn a flat address trace into a request stream.
+
+    Addresses are wrapped into the device capacity and aligned to the
+    request size; sizes are clamped to the nearest legal HMC request
+    size (16..128 in 16-byte steps).
+    """
+    rng = LCG(payload_seed)
+    legal = sorted(READ_CMD_FOR_BYTES)
+    for op, addr, size in parse_address_trace(stream):
+        req_size = max(s for s in legal if s <= max(size, 16)) if size >= 16 else 16
+        a = (addr % capacity_bytes)
+        a -= a % req_size
+        if op == "R":
+            yield (READ_CMD_FOR_BYTES[req_size], a, None)
+        else:
+            yield (
+                WRITE_CMD_FOR_BYTES[req_size],
+                a,
+                [rng.next_u64() for _ in range(req_size // 8)],
+            )
+
+
+def record_requests(requests: Iterable[Request]) -> List[str]:
+    """Inverse of :func:`replay_address_trace`: serialise a request
+    stream to the flat text format (for cross-tool exchange)."""
+    from repro.packets.commands import REQUEST_DATA_BYTES, is_read
+
+    lines = []
+    for cmd, addr, _payload in requests:
+        op = "R" if is_read(cmd) else "W"
+        size = REQUEST_DATA_BYTES.get(cmd, 16)
+        lines.append(f"{op} {addr:#x} {size}")
+    return lines

@@ -1,0 +1,151 @@
+"""Unit tests for address mapping (repro.addressing.address_map)."""
+
+import pytest
+
+from repro.addressing.address_map import (
+    ADDRESS_FIELD_BITS,
+    AddressMap,
+    AddressMapMode,
+    default_map,
+)
+
+GB = 1 << 30
+
+
+def vb_map(**kw):
+    defaults = dict(num_vaults=16, num_banks=8, block_size=64, capacity_bytes=2 * GB)
+    defaults.update(kw)
+    return AddressMap(**defaults)
+
+
+class TestConstruction:
+    def test_field_widths(self):
+        m = vb_map()
+        assert m.offset_bits == 6
+        assert m.vault_bits == 4
+        assert m.bank_bits == 3
+        assert m.dram_bits == 31 - 6 - 4 - 3
+        assert m.total_bits == 31
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            vb_map(num_vaults=12)
+        with pytest.raises(ValueError):
+            vb_map(num_banks=10)
+        with pytest.raises(ValueError):
+            vb_map(capacity_bytes=3 * GB)
+
+    def test_block_size_must_cover_atom(self):
+        with pytest.raises(ValueError):
+            vb_map(block_size=8)
+
+    def test_capacity_exceeding_field_rejected(self):
+        with pytest.raises(ValueError):
+            vb_map(capacity_bytes=1 << 35)
+
+    def test_capacity_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            vb_map(capacity_bytes=1 << 10)
+
+    def test_custom_field_order(self):
+        m = vb_map(field_order=("bank", "dram", "vault"))
+        assert m.mode == "custom"
+        assert m.field_order == ("bank", "dram", "vault")
+
+    def test_bad_custom_order_rejected(self):
+        with pytest.raises(ValueError):
+            vb_map(field_order=("bank", "bank", "vault"))
+
+
+class TestDefaultLowInterleave:
+    def test_sequential_blocks_interleave_vaults_first(self):
+        """Paper III.B: sequential addresses interleave across vaults
+        first, then across banks within a vault."""
+        m = vb_map()
+        vaults = [m.decode(i * m.block_size).vault for i in range(m.num_vaults)]
+        assert vaults == list(range(m.num_vaults))
+        # The next stripe wraps vaults and bumps the bank.
+        d = m.decode(m.num_vaults * m.block_size)
+        assert d.vault == 0
+        assert d.bank == 1
+
+    def test_offset_extraction(self):
+        m = vb_map()
+        d = m.decode(0x25)
+        assert d.offset == 0x25
+        assert d.vault == 0
+
+    def test_bank_vault_mode_interleaves_banks_first(self):
+        m = vb_map(mode=AddressMapMode.BANK_VAULT)
+        banks = [m.decode(i * m.block_size).bank for i in range(m.num_banks)]
+        assert banks == list(range(m.num_banks))
+
+    def test_linear_mode_keeps_ranges_in_one_vault(self):
+        m = vb_map(mode=AddressMapMode.LINEAR)
+        # A long contiguous range stays in vault 0.
+        for i in range(1000):
+            assert m.decode(i * m.block_size).vault == 0
+
+
+class TestDecodeEncode:
+    def test_bijection_on_samples(self):
+        m = vb_map()
+        for addr in (0, 63, 64, 0x12345, m.capacity_bytes - 1):
+            d = m.decode(addr)
+            assert m.encode(d.vault, d.bank, d.dram, d.offset) == addr
+
+    def test_decode_out_of_range(self):
+        m = vb_map()
+        with pytest.raises(ValueError):
+            m.decode(m.capacity_bytes)
+        with pytest.raises(ValueError):
+            m.decode(-1)
+
+    def test_encode_validates_fields(self):
+        m = vb_map()
+        with pytest.raises(ValueError):
+            m.encode(vault=16, bank=0)
+        with pytest.raises(ValueError):
+            m.encode(vault=0, bank=8)
+        with pytest.raises(ValueError):
+            m.encode(vault=0, bank=0, offset=64)
+
+    def test_fast_extractors_match_decode(self):
+        m = vb_map()
+        for addr in (0, 1 << 20, 0x7FFFFFC0):
+            d = m.decode(addr)
+            assert m.vault_of(addr) == d.vault
+            assert m.bank_of(addr) == d.bank
+            assert m.dram_of(addr) == d.dram
+
+    def test_in_range(self):
+        m = vb_map()
+        assert m.in_range(0)
+        assert m.in_range(m.capacity_bytes - 1)
+        assert not m.in_range(m.capacity_bytes)
+
+
+class TestDefaultMapFactory:
+    def test_four_link_uses_32_bit_field(self):
+        m = default_map(4, 16, 8, 2 * GB)
+        assert m.total_bits <= 32
+
+    def test_eight_link_allows_8gb(self):
+        m = default_map(8, 32, 16, 8 * GB)
+        assert m.total_bits == 33
+
+    def test_four_link_rejects_8gb(self):
+        with pytest.raises(ValueError):
+            default_map(4, 16, 8, 8 * GB)
+
+    def test_bad_link_count(self):
+        with pytest.raises(ValueError):
+            default_map(6, 16, 8, 2 * GB)
+
+    def test_field_cap_is_34_bits(self):
+        assert ADDRESS_FIELD_BITS == 34
+
+    def test_default_is_vault_first(self):
+        m = default_map(4, 16, 8, 2 * GB)
+        assert m.mode is AddressMapMode.VAULT_BANK
+        assert m.field_order[0] == "vault"

@@ -1,0 +1,157 @@
+"""Tests for the evaluation analysis layer (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    Figure5Data,
+    SERIES_NAMES,
+    downsample,
+    extract_figure5,
+    run_figure5,
+)
+from repro.analysis.report import (
+    render_dict,
+    render_figure5_summary,
+    render_table1,
+)
+from repro.analysis.tables import (
+    PAPER_SPEEDUPS,
+    Table1Row,
+    paper_speedups,
+    run_table1,
+    speedups,
+)
+from repro.core.config import DeviceConfig, PAPER_TABLE1_CYCLES
+from repro.trace.events import EventType, TraceEvent
+from repro.trace.stats import CycleSeries, TraceStats
+from repro.workloads.random_access import RandomAccessConfig
+
+
+class TestSpeedupAggregates:
+    def test_paper_rows_reproduce_paper_aggregates(self):
+        """Sanity-check the aggregate definitions against the paper's
+        own numbers: 1.7x (banks) and 2.319x (links)."""
+        sp = paper_speedups()
+        assert sp["bank_speedup"] == pytest.approx(1.70, abs=0.01)
+        assert sp["link_speedup"] == pytest.approx(2.319, abs=0.001)
+
+    def test_paper_speedup_constants(self):
+        assert PAPER_SPEEDUPS == {"bank_speedup": 1.7, "link_speedup": 2.319}
+
+    def test_speedups_with_missing_rows(self):
+        rows = [Table1Row("4-Link; 8-Bank; 2GB", 100, None, None)]
+        assert speedups(rows) == {}
+
+
+class TestRunTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(num_requests=2048)
+
+    def test_four_rows_in_order(self, rows):
+        assert [r.label for r in rows] == list(PAPER_TABLE1_CYCLES)
+
+    def test_shape_matches_paper_ordering(self, rows):
+        """The reproduced Table I preserves the paper's ranking: every
+        added resource reduces simulated cycles, 4L8B slowest, 8L16B
+        fastest."""
+        cycles = {r.label: r.cycles for r in rows}
+        assert (
+            cycles["8-Link; 16-Bank; 8GB"]
+            < min(cycles["8-Link; 8-Bank; 4GB"], cycles["4-Link; 16-Bank; 4GB"])
+            <= max(cycles["8-Link; 8-Bank; 4GB"], cycles["4-Link; 16-Bank; 4GB"])
+            < cycles["4-Link; 8-Bank; 2GB"]
+        )
+
+    def test_speedup_factors_in_paper_direction(self, rows):
+        sp = speedups(rows)
+        assert sp["bank_speedup"] > 1.2
+        assert sp["link_speedup"] > 1.4
+
+    def test_all_requests_completed(self, rows):
+        for r in rows:
+            assert r.result.run.responses_received == 2048
+            assert r.result.run.errors_received == 0
+
+    def test_render_table1(self, rows):
+        text = render_table1(rows, num_requests=2048)
+        assert "TABLE I" in text
+        assert "4-Link; 8-Bank; 2GB" in text
+        assert "3,404,553" in text  # paper column present
+        assert "bank speedup" in text
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_figure5(
+            DeviceConfig(num_links=4, num_banks=8, capacity=2),
+            RandomAccessConfig(num_requests=2048),
+        )
+
+    def test_all_five_series_present(self, data):
+        assert set(data.series) == set(SERIES_NAMES)
+
+    def test_read_write_totals_match_workload(self, data):
+        """50/50 mix: reads + writes == all requests, roughly balanced."""
+        totals = data.totals()
+        assert totals["read_requests"] + totals["write_requests"] == 2048
+        assert 0.4 < totals["read_requests"] / 2048 < 0.6
+
+    def test_series_lengths_match_cycles(self, data):
+        for s in data.series.values():
+            assert len(s.values) == data.num_cycles
+
+    def test_vault_utilization_covers_all_vaults(self, data):
+        assert data.vault_utilization.shape == (16,)
+        assert data.vault_utilization.sum() == 2048
+        assert np.all(data.vault_utilization > 0)
+
+    def test_conflicts_were_observed(self, data):
+        """A random 50/50 workload at full injection pressure must
+        produce bank conflicts — the central Figure 5 series."""
+        assert data.totals()["bank_conflicts"] > 0
+
+    def test_means_and_peaks(self, data):
+        assert data.peaks()["read_requests"] >= 1
+        assert data.means()["read_requests"] > 0
+
+    def test_render_summary(self, data):
+        text = render_figure5_summary(data)
+        assert "Figure 5" in text
+        assert "bank_conflicts" in text
+        assert "vault utilisation" in text
+
+
+class TestDownsample:
+    def test_preserves_total(self):
+        s = CycleSeries("x", np.arange(100, dtype=np.int64))
+        b = downsample(s, buckets=10)
+        assert b.sum() == s.values.sum()
+        assert len(b) == 10
+
+    def test_empty_series(self):
+        s = CycleSeries("x", np.zeros(0, dtype=np.int64))
+        assert downsample(s, buckets=5).tolist() == [0] * 5
+
+    def test_bad_buckets(self):
+        s = CycleSeries("x", np.ones(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            downsample(s, buckets=0)
+
+
+class TestExtractFromStats:
+    def test_extract_figure5(self):
+        st = TraceStats(num_vaults=4)
+        st.add(TraceEvent(type=EventType.RQST_READ, cycle=0, vault=0))
+        st.add(TraceEvent(type=EventType.XBAR_RQST_STALL, cycle=1))
+        data = extract_figure5(st, label="unit")
+        assert isinstance(data, Figure5Data)
+        assert data.totals()["read_requests"] == 1
+        assert data.totals()["xbar_rqst_stalls"] == 1
+
+
+def test_render_dict():
+    text = render_dict("stats", {"a": 1, "ratio": 1.5})
+    assert "stats" in text and "ratio" in text and "1.5000" in text

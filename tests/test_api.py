@@ -1,0 +1,147 @@
+"""Tests for the C-style API facade (repro.core.api) — the Fig. 4 flow."""
+
+import pytest
+
+from repro.core.api import (
+    hmcsim_build_memrequest,
+    hmcsim_clock,
+    hmcsim_decode_packet,
+    hmcsim_free,
+    hmcsim_init,
+    hmcsim_jtag_reg_read,
+    hmcsim_jtag_reg_write,
+    hmcsim_link_config,
+    hmcsim_recv,
+    hmcsim_send,
+    hmcsim_t,
+    hmcsim_trace_level,
+)
+from repro.core.errors import E_INVAL, E_NODATA, E_OK, E_STALL
+from repro.packets.commands import CMD
+from repro.registers.regdefs import index_by_name, physical_index
+
+
+def init_simple():
+    hmc = hmcsim_t()
+    ret = hmcsim_init(hmc, num_devs=1, num_links=4, num_vaults=16,
+                      queue_depth=64, num_banks=8, num_drams=8,
+                      capacity=2, xbar_depth=128)
+    assert ret == E_OK
+    for link in range(4):
+        assert hmcsim_link_config(hmc, 0, link, hmc.sim.host_cub, 0, "host") == E_OK
+    return hmc
+
+
+class TestFigure4Sequence:
+    def test_full_paper_calling_sequence(self):
+        """Transliteration of Fig. 4: init -> link config -> build ->
+        send -> clock -> recv -> free."""
+        hmc = init_simple()
+        payload = [0] * 8
+        ret, head, tail, packet = hmcsim_build_memrequest(
+            hmc, 0, 0x1000, 17, "RD_64", 0, payload)
+        assert ret == E_OK
+        assert head != 0 and tail != 0
+        assert hmcsim_send(hmc, packet) == E_OK
+        for _ in range(10):
+            assert hmcsim_clock(hmc) == E_OK
+        ret, words = hmcsim_recv(hmc, 0, 0)
+        assert ret == E_OK
+        ret, fields = hmcsim_decode_packet(words)
+        assert ret == E_OK
+        assert fields["cmd"] == "RD_RS"
+        assert fields["tag"] == 17
+        assert fields["is_response"]
+        assert hmcsim_free(hmc) == E_OK
+
+    def test_write_then_read_data_via_facade(self):
+        hmc = init_simple()
+        data = [0x1111, 0x2222, 0x3333, 0x4444, 0x5555, 0x6666, 0x7777, 0x8888]
+        _, _, _, wr = hmcsim_build_memrequest(hmc, 0, 0x2000, 1, "WR64", 0, data)
+        assert hmcsim_send(hmc, wr) == E_OK
+        for _ in range(10):
+            hmcsim_clock(hmc)
+        hmcsim_recv(hmc, 0, 0)
+        _, _, _, rd = hmcsim_build_memrequest(hmc, 0, 0x2000, 2, "RD64", 0)
+        hmcsim_send(hmc, rd)
+        for _ in range(10):
+            hmcsim_clock(hmc)
+        ret, words = hmcsim_recv(hmc, 0, 0)
+        assert ret == E_OK
+        _, fields = hmcsim_decode_packet(words)
+        assert fields["payload"] == data
+
+
+class TestErrorCodes:
+    def test_bad_init_returns_einval(self):
+        hmc = hmcsim_t()
+        assert hmcsim_init(hmc, 1, 5, 16, 64, 8, 8, 2, 128) == E_INVAL
+
+    def test_send_malformed_words_returns_einval(self):
+        hmc = init_simple()
+        assert hmcsim_send(hmc, [1, 2, 3]) == E_INVAL
+        assert hmcsim_send(hmc, []) == E_INVAL
+
+    def test_send_stall_returns_estall(self):
+        hmc = hmcsim_t()
+        hmcsim_init(hmc, 1, 4, 16, 64, 8, 8, 2, 1)  # xbar depth 1
+        hmcsim_link_config(hmc, 0, 0, hmc.sim.host_cub, 0, "host")
+        _, _, _, p1 = hmcsim_build_memrequest(hmc, 0, 0, 0, "RD16", 0)
+        _, _, _, p2 = hmcsim_build_memrequest(hmc, 0, 64, 1, "RD16", 0)
+        assert hmcsim_send(hmc, p1) == E_OK
+        assert hmcsim_send(hmc, p2) == E_STALL
+
+    def test_recv_empty_returns_enodata(self):
+        hmc = init_simple()
+        ret, words = hmcsim_recv(hmc, 0, 0)
+        assert ret == E_NODATA
+        assert words == []
+
+    def test_build_with_unknown_type(self):
+        hmc = init_simple()
+        ret, *_ = hmcsim_build_memrequest(hmc, 0, 0, 0, "RD65", 0)
+        assert ret == E_INVAL
+
+    def test_build_accepts_cmd_aliases(self):
+        hmc = init_simple()
+        for alias in ("RD_64", "rd64", CMD.RD64, 0x33):
+            ret, _, _, words = hmcsim_build_memrequest(hmc, 0, 0, 0, alias, 0)
+            assert ret == E_OK
+            _, fields = hmcsim_decode_packet(words)
+            assert fields["cmd"] == "RD64"
+
+    def test_decode_garbage(self):
+        ret, fields = hmcsim_decode_packet([12345])
+        assert ret == E_INVAL
+        assert fields == {}
+
+    def test_uninitialised_handle_raises(self):
+        hmc = hmcsim_t()
+        with pytest.raises(Exception):
+            _ = hmc.sim
+
+    def test_bad_link_config(self):
+        hmc = init_simple()
+        assert hmcsim_link_config(hmc, 0, 0, hmc.sim.host_cub, 0, "host") == E_INVAL
+
+
+class TestJTAGFacade:
+    def test_reg_read_write(self):
+        hmc = init_simple()
+        phys = physical_index(index_by_name("EDR0"))
+        assert hmcsim_jtag_reg_write(hmc, 0, phys, 0xAA) == E_OK
+        ret, value = hmcsim_jtag_reg_read(hmc, 0, phys)
+        assert ret == E_OK
+        assert value == 0xAA
+
+    def test_unknown_register(self):
+        hmc = init_simple()
+        assert hmcsim_jtag_reg_write(hmc, 0, 0x3, 1) == E_INVAL
+        ret, _ = hmcsim_jtag_reg_read(hmc, 0, 0x3)
+        assert ret == E_INVAL
+
+    def test_trace_level(self):
+        from repro.trace.events import EventType
+        hmc = init_simple()
+        assert hmcsim_trace_level(hmc, int(EventType.FIGURE5)) == E_OK
+        assert hmc.sim.tracer.mask == EventType.FIGURE5

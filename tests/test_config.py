@@ -1,0 +1,161 @@
+"""Unit tests for device/sim configuration (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import (
+    DeviceConfig,
+    PAPER_CONFIGS,
+    PAPER_TABLE1_CYCLES,
+    PAPER_TABLE1_REQUESTS,
+    SimConfig,
+    paper_config_pairs,
+)
+from repro.core.errors import InitError
+
+GB = 1 << 30
+
+
+class TestDeviceConfig:
+    def test_defaults_are_valid_4link(self):
+        c = DeviceConfig()
+        assert c.num_links == 4
+        assert c.num_vaults == 16
+        assert c.num_quads == 4
+        assert c.capacity_bytes == 2 * GB
+
+    def test_vaults_default_to_4_per_link(self):
+        assert DeviceConfig(num_links=8).num_vaults == 32
+
+    def test_explicit_vault_override(self):
+        c = DeviceConfig(num_links=4, num_vaults=32)
+        assert c.num_quads == 8
+
+    @pytest.mark.parametrize("bad_links", [0, 2, 6, 16])
+    def test_link_count_must_be_4_or_8(self, bad_links):
+        with pytest.raises(InitError):
+            DeviceConfig(num_links=bad_links)
+
+    @pytest.mark.parametrize("bad_banks", [0, 4, 12, 32])
+    def test_bank_count_must_be_8_or_16(self, bad_banks):
+        with pytest.raises(InitError):
+            DeviceConfig(num_banks=bad_banks)
+
+    def test_vaults_must_be_multiple_of_quad(self):
+        with pytest.raises(InitError):
+            DeviceConfig(num_vaults=18)
+
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(InitError):
+            DeviceConfig(capacity=3)
+
+    def test_queue_depths_positive(self):
+        with pytest.raises(InitError):
+            DeviceConfig(queue_depth=0)
+        with pytest.raises(InitError):
+            DeviceConfig(xbar_depth=-1)
+
+    def test_link_rates(self):
+        """Paper III.A: 4-link at 10/12.5/15 Gbps, 8-link at 10 Gbps."""
+        DeviceConfig(num_links=4, link_rate_gbps=15.0)
+        DeviceConfig(num_links=8, link_rate_gbps=10.0)
+        with pytest.raises(InitError):
+            DeviceConfig(num_links=8, link_rate_gbps=15.0)
+        with pytest.raises(InitError):
+            DeviceConfig(num_links=4, link_rate_gbps=11.0)
+
+    def test_block_size_options(self):
+        for bs in (32, 64, 128):
+            DeviceConfig(block_size=bs)
+        with pytest.raises(InitError):
+            DeviceConfig(block_size=256)
+
+    def test_bank_bytes(self):
+        c = DeviceConfig(num_links=4, num_banks=8, capacity=2)
+        assert c.bank_bytes == 2 * GB // (16 * 8)
+
+    def test_address_bits(self):
+        assert DeviceConfig(num_links=4).address_bits == 32
+        assert DeviceConfig(num_links=8).address_bits == 33
+
+    def test_label_matches_table1_format(self):
+        c = DeviceConfig(num_links=4, num_banks=8, capacity=2)
+        assert c.label() == "4-Link; 8-Bank; 2GB"
+
+    def test_with_creates_modified_copy(self):
+        c = DeviceConfig()
+        d = c.with_(num_banks=16, capacity=4)
+        assert d.num_banks == 16
+        assert c.num_banks == 8
+
+    def test_frozen(self):
+        c = DeviceConfig()
+        with pytest.raises(Exception):
+            c.num_links = 8
+
+
+class TestSimConfig:
+    def test_host_cub_is_num_devs_plus_one(self):
+        """Paper V.B: hosts use cube id num_devices + 1."""
+        assert SimConfig(num_devs=1).host_cub == 2
+        assert SimConfig(num_devs=4).host_cub == 5
+
+    def test_at_most_seven_devices(self):
+        SimConfig(num_devs=7)
+        with pytest.raises(InitError):
+            SimConfig(num_devs=8)
+
+    def test_positive_devices(self):
+        with pytest.raises(InitError):
+            SimConfig(num_devs=0)
+
+    @pytest.mark.parametrize(
+        "field,bad",
+        [
+            ("conflict_window", 0),
+            ("bank_busy_cycles", -1),
+            ("xbar_moves_per_cycle", 0),
+            ("vault_issue_width", 0),
+            ("link_token_flits", -1),
+            ("queue_timeout", -1),
+        ],
+    )
+    def test_engine_knob_validation(self, field, bad):
+        with pytest.raises(InitError):
+            SimConfig(**{field: bad})
+
+    def test_with_(self):
+        c = SimConfig()
+        assert c.with_(num_devs=3).num_devs == 3
+
+
+class TestPaperConfigs:
+    def test_four_rows(self):
+        assert len(PAPER_CONFIGS) == 4
+        assert len(PAPER_TABLE1_CYCLES) == 4
+
+    def test_labels_self_consistent(self):
+        for label, cfg in PAPER_CONFIGS.items():
+            assert cfg.label() == label
+
+    def test_queue_depths_match_paper(self):
+        """Paper VI.A: 128 crossbar slots, 64 vault slots."""
+        for cfg in PAPER_CONFIGS.values():
+            assert cfg.xbar_depth == 128
+            assert cfg.queue_depth == 64
+
+    def test_paper_cycle_values(self):
+        assert PAPER_TABLE1_CYCLES["4-Link; 8-Bank; 2GB"] == 3_404_553
+        assert PAPER_TABLE1_CYCLES["8-Link; 16-Bank; 8GB"] == 879_183
+
+    def test_request_count(self):
+        assert PAPER_TABLE1_REQUESTS == 1 << 25
+
+    def test_capacity_scales_with_structure(self):
+        """Capacity = vaults x banks x bank size with constant 16 MB banks."""
+        for cfg in PAPER_CONFIGS.values():
+            assert cfg.bank_bytes == 16 * (1 << 20)
+
+    def test_pairs_order(self):
+        labels = [l for l, _ in paper_config_pairs()]
+        assert labels[0] == "4-Link; 8-Bank; 2GB"
+        assert labels[-1] == "8-Link; 16-Bank; 8GB"

@@ -1,0 +1,233 @@
+"""Tests for the barrel core (repro.cpu.core) and kernels."""
+
+import pytest
+
+from repro.core.simulator import HMCSim
+from repro.cpu.assembler import assemble
+from repro.cpu.core import GoblinCore, ThreadState
+from repro.cpu.programs import (
+    fib_kernel,
+    gups_kernel,
+    memcpy_kernel,
+    memset_kernel,
+    partitioned,
+    pointer_walk_kernel,
+    vector_sum_kernel,
+)
+from repro.topology.builder import build_simple
+
+
+def mk_core(program, num_threads=1):
+    sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+    if isinstance(program, str):
+        program = assemble(program)
+    return GoblinCore(sim, program, num_threads=num_threads)
+
+
+class TestRegisterSemantics:
+    def test_r0_reads_zero_and_ignores_writes(self):
+        core = mk_core("li r0, 99\nmov r1, r0\nhalt\n")
+        core.run()
+        assert core.threads[0].regs[0] == 0
+        assert core.threads[0].read(1) == 0
+
+    def test_arithmetic_program(self):
+        core = mk_core("""
+            li  r1, 6
+            li  r2, 7
+            mul r3, r1, r2
+            addi r3, r3, 600
+            halt
+        """)
+        core.run()
+        assert core.threads[0].read(3) == 642
+
+    def test_branch_loop(self):
+        core = mk_core("""
+            li r1, 5
+            li r2, 0
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        core.run()
+        assert core.threads[0].read(2) == 15
+
+    def test_blt_signed(self):
+        core = mk_core("""
+            li r1, -1
+            li r2, 1
+            blt r1, r2, neg
+            li r3, 0
+            halt
+        neg:
+            li r3, 1
+            halt
+        """)
+        core.run()
+        assert core.threads[0].read(3) == 1
+
+
+class TestMemoryOps:
+    def test_store_then_load(self):
+        core = mk_core("""
+            li r1, 0x1000
+            li r2, 0xBEEF
+            st r2, 0(r1)
+            ld r3, 0(r1)
+            halt
+        """)
+        core.run()
+        assert core.threads[0].read(3) == 0xBEEF
+        assert core.peek_word(0x1000) == 0xBEEF
+
+    def test_load_upper_half_of_atom(self):
+        core = mk_core("""
+            li r1, 0x2000
+            li r2, 0x11
+            li r3, 0x22
+            st r2, 0(r1)
+            st r3, 8(r1)
+            ld r4, 8(r1)
+            halt
+        """)
+        core.run()
+        assert core.threads[0].read(4) == 0x22
+        assert core.peek(0x2000) == [0x11, 0x22]
+
+    def test_amoadd_returns_old_value(self):
+        core = mk_core("""
+            li r1, 0x3000
+            li r2, 100
+            st r2, 0(r1)
+            li r3, 5
+            amoadd r4, 0(r1), r3
+            ld r5, 0(r1)
+            halt
+        """)
+        core.run()
+        t = core.threads[0]
+        assert t.read(4) == 100   # old value
+        assert t.read(5) == 105   # updated
+
+    def test_unaligned_access_faults(self):
+        core = mk_core("li r1, 0x1001\nld r2, 0(r1)\nhalt\n")
+        res = core.run()
+        assert core.threads[0].state is ThreadState.FAULTED
+        assert "unaligned" in core.threads[0].fault
+        assert len(res.faulted) == 1
+
+    def test_out_of_range_access_faults(self):
+        core = mk_core(f"li r1, {2 << 30}\nld r2, 0(r1)\nhalt\n")
+        core.run()
+        assert core.threads[0].state is ThreadState.FAULTED
+
+    def test_pc_off_end_faults(self):
+        core = mk_core("nop\n")
+        core.run()
+        assert core.threads[0].state is ThreadState.FAULTED
+
+
+class TestKernels:
+    def test_fib(self):
+        core = mk_core(fib_kernel(10, 0x100))
+        core.run()
+        assert core.peek_word(0x100) == 55
+
+    def test_memset(self):
+        core = mk_core(memset_kernel(0x1000, 16, 7))
+        res = core.run()
+        for i in range(16):
+            assert core.peek_word(0x1000 + 8 * i) == 7
+        assert res.stores == 16
+
+    def test_vector_sum(self):
+        core = mk_core(vector_sum_kernel(0x2000, 8, 0x100))
+        core.poke(0x2000, [i + 1 for i in range(8)])
+        core.run()
+        assert core.peek_word(0x100) == 36
+
+    def test_memcpy(self):
+        core = mk_core(memcpy_kernel(0x1000, 0x8000, 8))
+        core.poke(0x1000, [0xD00D + i for i in range(8)])
+        core.run()
+        for i in range(8):
+            assert core.peek_word(0x8000 + 8 * i) == 0xD00D + i
+
+    def test_gups_total_mass(self):
+        """Fetch-and-adds deposit the loop counter each time: total mass
+        added equals sum(updates..1)."""
+        updates = 16
+        core = mk_core(gups_kernel(0x0, table_words=64, updates=updates, seed=3))
+        res = core.run()
+        total = sum(core.peek_word(a) for a in range(0, 64 * 8, 8))
+        assert total == sum(range(1, updates + 1))
+        assert res.amos == updates
+
+    def test_pointer_walk(self):
+        core = mk_core(pointer_walk_kernel(0x0, hops=4))
+        # Build a 4-node cycle: 0 -> 0x40 -> 0x80 -> 0xC0 -> 0.
+        chain = [0x40, 0x80, 0xC0, 0x0]
+        for node, nxt in zip((0x0, 0x40, 0x80, 0xC0), chain):
+            core.poke(node, [nxt, 0])
+        core.run()
+        assert core.threads[0].read(1) == 0x0  # back to the start
+
+
+class TestMultithreading:
+    def test_partitioned_memset(self):
+        programs = partitioned(
+            lambda s, c: memset_kernel(0x4000 + s * 8, c, 9), 4, 64)
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+        core = GoblinCore(sim, programs)
+        res = core.run()
+        assert len(res.threads) == 4
+        for i in range(64):
+            assert core.peek_word(0x4000 + 8 * i) == 9
+
+    def test_threads_hide_memory_latency(self):
+        """More hardware threads raise IPC on a load-heavy kernel —
+        the Goblin-Core64 premise."""
+        def ipc(threads):
+            # Each thread sums its slice into a distinct result slot.
+            programs = [
+                assemble(vector_sum_kernel(0x10000 + (128 // threads) * 8 * t,
+                                           128 // threads,
+                                           0x100 + 16 * t))
+                for t in range(threads)
+            ]
+            sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                      capacity=2))
+            core = GoblinCore(sim, programs)
+            return core.run().ipc
+
+        assert ipc(8) > ipc(1) * 1.5
+
+    def test_concurrent_amoadds_sum_correctly(self):
+        """All threads hammer one counter with amoadd: atomicity means
+        no lost updates."""
+        prog = assemble("""
+            li r1, 0x100
+            li r2, 16
+            li r3, 1
+        loop:
+            beq r2, r0, done
+            amoadd r4, 0(r1), r3
+            addi r2, r2, -1
+            jmp loop
+        done:
+            halt
+        """)
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2))
+        core = GoblinCore(sim, prog, num_threads=4)
+        core.run()
+        assert core.peek_word(0x100) == 4 * 16
+
+    def test_result_statistics(self):
+        core = mk_core(memset_kernel(0x1000, 4, 1), num_threads=2)
+        res = core.run()
+        assert res.instructions > 0
+        assert res.stores == 8  # 4 per thread x 2 threads
+        assert 0 < res.ipc <= 1.0

@@ -1,0 +1,121 @@
+"""Tests for the miniature ISA and assembler (repro.cpu.isa/assembler)."""
+
+import pytest
+
+from repro.cpu.assembler import AssemblyError, assemble
+from repro.cpu.isa import Instruction, Op, alu_eval, signed
+
+M64 = (1 << 64) - 1
+
+
+class TestAluEval:
+    def test_add_wraps(self):
+        assert alu_eval(Op.ADD, M64, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu_eval(Op.SUB, 0, 1) == M64
+
+    def test_mul(self):
+        assert alu_eval(Op.MUL, 3, 7) == 21
+
+    def test_logical(self):
+        assert alu_eval(Op.AND, 0b1100, 0b1010) == 0b1000
+        assert alu_eval(Op.OR, 0b1100, 0b1010) == 0b1110
+        assert alu_eval(Op.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts_mask_amount(self):
+        assert alu_eval(Op.SHL, 1, 4) == 16
+        assert alu_eval(Op.SHR, 16, 4) == 1
+        assert alu_eval(Op.SHL, 1, 64) == 1  # amount & 63
+
+    def test_non_alu_raises(self):
+        with pytest.raises(ValueError):
+            alu_eval(Op.LD, 1, 2)
+
+
+class TestSigned:
+    def test_positive(self):
+        assert signed(5) == 5
+
+    def test_negative(self):
+        assert signed(M64) == -1
+        assert signed(1 << 63) == -(1 << 63)
+
+
+class TestInstruction:
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=32)
+
+    def test_classification(self):
+        assert Instruction(Op.LD).is_memory
+        assert not Instruction(Op.ADD).is_memory
+        assert Instruction(Op.BNE).is_branch
+
+    def test_str_forms(self):
+        assert str(Instruction(Op.LI, rd=1, imm=5)) == "li r1, 5"
+        assert str(Instruction(Op.LD, rd=2, ra=3, imm=8)) == "ld r2, 8(r3)"
+        assert str(Instruction(Op.HALT)) == "halt"
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        prog = assemble("""
+            li r1, 10
+            addi r1, r1, -1
+            halt
+        """)
+        assert [i.op for i in prog] == [Op.LI, Op.ADDI, Op.HALT]
+        assert prog[1].imm == -1
+
+    def test_labels_resolve(self):
+        prog = assemble("""
+            li r1, 3
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        assert prog[2].op is Op.BNE
+        assert prog[2].imm == 1  # index of the addi
+
+    def test_forward_labels(self):
+        prog = assemble("""
+            jmp end
+            nop
+        end:
+            halt
+        """)
+        assert prog[0].imm == 2
+
+    def test_memory_operands(self):
+        prog = assemble("ld r2, 16(r3)\nst r4, -8(r5)\namoadd r6, 0x10(r7), r8\n")
+        ld, st, amo = prog
+        assert (ld.rd, ld.ra, ld.imm) == (2, 3, 16)
+        assert (st.rb, st.ra, st.imm) == (4, 5, -8)
+        assert (amo.rd, amo.ra, amo.imm, amo.rb) == (6, 7, 16, 8)
+
+    def test_hex_and_comments(self):
+        prog = assemble("li r1, 0xFF  ; hex\n# whole-line comment\nhalt\n")
+        assert prog[0].imm == 255
+        assert len(prog) == 2
+
+    def test_numeric_branch_target(self):
+        prog = assemble("jmp 0\n")
+        assert prog[0].imm == 0
+
+    @pytest.mark.parametrize("bad", [
+        "frobnicate r1",
+        "li r1",
+        "li r99, 5",
+        "ld r1, r2",
+        "bne r1, r2, nowhere",
+        "li r1, squid",
+    ])
+    def test_errors_carry_line_info(self, bad):
+        with pytest.raises(AssemblyError):
+            assemble(bad)
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nnop\nx:\nhalt\n")

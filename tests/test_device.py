@@ -1,0 +1,134 @@
+"""Unit tests for the device object (repro.core.device)."""
+
+import pytest
+
+from repro.core.config import DeviceConfig
+from repro.core.device import HMCDevice
+from repro.core.link import EndpointType
+
+
+@pytest.fixture
+def dev():
+    return HMCDevice(0, DeviceConfig(num_links=4, num_banks=8, capacity=2))
+
+
+class TestStructureHierarchy:
+    def test_child_structure_counts(self, dev):
+        """Paper IV.A: links, crossbars, quads, vaults, banks, drams."""
+        assert len(dev.links) == 4
+        assert len(dev.xbars) == 4
+        assert len(dev.quads) == 4
+        assert len(dev.vaults) == 16
+        assert all(len(v.banks) == 8 for v in dev.vaults)
+        assert all(len(b.drams) == 8 for v in dev.vaults for b in v.banks)
+
+    def test_8link_structure(self):
+        d = HMCDevice(1, DeviceConfig(num_links=8, num_banks=16, capacity=8))
+        assert len(d.links) == 8
+        assert len(d.quads) == 8
+        assert len(d.vaults) == 32
+
+    def test_quads_partition_vaults(self, dev):
+        seen = []
+        for q in dev.quads:
+            seen += q.vault_ids()
+        assert sorted(seen) == list(range(16))
+
+    def test_vaults_reference_device(self, dev):
+        assert all(v.device is dev for v in dev.vaults)
+
+    def test_bank_capacity(self, dev):
+        expected = (2 << 30) // (16 * 8)
+        assert dev.vaults[0].banks[0].capacity_bytes == expected
+
+    def test_queue_depths_from_config(self, dev):
+        assert dev.vaults[0].rqst.depth == 64
+        assert dev.xbars[0].rqst.depth == 128
+
+    def test_address_map_matches_config(self, dev):
+        assert dev.amap.num_vaults == 16
+        assert dev.amap.capacity_bytes == 2 << 30
+
+
+class TestTopologyProperties:
+    def test_unconfigured_device_is_not_root(self, dev):
+        assert not dev.is_root
+        assert dev.host_links() == []
+        assert dev.configured_links() == []
+
+    def test_root_after_host_attach(self, dev):
+        l = dev.links[2]
+        l.src_cub, l.src_type = 2, EndpointType.HOST
+        l.dst_cub, l.dst_type = 0, EndpointType.DEVICE
+        assert dev.is_root
+        assert dev.host_links() == [2]
+
+    def test_chain_links(self, dev):
+        l = dev.links[1]
+        l.src_cub, l.src_type = 0, EndpointType.DEVICE
+        l.dst_cub, l.dst_type = 1, EndpointType.DEVICE
+        assert dev.chain_links() == [1]
+        assert not dev.is_root
+
+    def test_unlink_clears_endpoints(self, dev):
+        l = dev.links[0]
+        l.src_type = EndpointType.HOST
+        l.dst_type = EndpointType.DEVICE
+        dev.unlink()
+        assert not any(x.configured for x in dev.links)
+
+
+class TestStorageBackdoor:
+    def test_poke_peek_round_trip(self, dev):
+        dev.poke(0x4000, [1, 2, 3, 4])
+        assert dev.peek(0x4000, nwords=4) == [1, 2, 3, 4]
+
+    def test_poke_decomposes_across_vaults(self, dev):
+        """Atoms 64 bytes apart live in different vaults; poke must
+        route each to its own bank."""
+        dev.poke(0x0, [10, 11])
+        dev.poke(0x40, [20, 21])
+        v0 = dev.amap.vault_of(0x0)
+        v1 = dev.amap.vault_of(0x40)
+        assert v0 != v1
+        assert dev.peek(0x0) == [10, 11]
+        assert dev.peek(0x40) == [20, 21]
+
+    def test_alignment_enforced(self, dev):
+        with pytest.raises(ValueError):
+            dev.poke(0x8, [1, 2])
+        with pytest.raises(ValueError):
+            dev.peek(0x0, nwords=1)
+
+
+class TestAggregates:
+    def test_pending_packets_counts_all_queues(self, dev):
+        from repro.packets.commands import CMD
+        from repro.packets.packet import build_memrequest
+
+        dev.xbars[0].rqst.push(build_memrequest(0, 0, 0, CMD.RD16))
+        dev.vaults[3].rqst.push(build_memrequest(0, 0, 1, CMD.RD16))
+        assert dev.pending_packets() == 2
+
+    def test_vault_occupancy_snapshot(self, dev):
+        from repro.packets.commands import CMD
+        from repro.packets.packet import build_memrequest
+
+        dev.vaults[5].rqst.push(build_memrequest(0, 0, 0, CMD.RD16))
+        occ = dev.vault_occupancy()
+        assert occ[5] == 1
+        assert sum(occ) == 1
+
+    def test_reset_preserves_topology(self, dev):
+        from repro.packets.commands import CMD
+        from repro.packets.packet import build_memrequest
+
+        l = dev.links[0]
+        l.src_type = EndpointType.HOST
+        l.dst_type = EndpointType.DEVICE
+        dev.xbars[0].rqst.push(build_memrequest(0, 0, 0, CMD.RD16))
+        dev.regs.write("EDR0", 7)
+        dev.reset()
+        assert dev.pending_packets() == 0
+        assert dev.regs.read("EDR0") == 0
+        assert dev.is_root  # link configuration survives reset

@@ -1,0 +1,250 @@
+"""Tests for fault injection and link retry (repro.faults)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import HMCError
+from repro.core.simulator import HMCSim
+from repro.faults.injector import BitErrorInjector, ScheduledInjector
+from repro.faults.link_model import FaultKind, LinkFaultModel
+from repro.faults.retry import LinkRetryExhausted, RetrySession, RetryStats
+from repro.packets.commands import CMD
+from repro.packets.packet import Packet, build_memrequest
+from repro.topology.builder import build_simple
+
+
+class TestBitErrorInjector:
+    def test_zero_ber_is_transparent(self):
+        inj = BitErrorInjector(ber=0.0)
+        words = [1, 2, 3]
+        assert inj.corrupt(words) == words
+        assert inj.corrupted_transmissions == 0
+
+    def test_ber_one_corrupts_everything(self):
+        inj = BitErrorInjector(ber=1.0)
+        out = inj.corrupt([0, 0])
+        assert out == [(1 << 64) - 1] * 2
+        assert inj.bits_flipped == 128
+
+    def test_moderate_ber_statistics(self):
+        inj = BitErrorInjector(ber=0.01, seed=7)
+        for _ in range(200):
+            inj.corrupt([0] * 4)  # 256 bits/transmission
+        # E[corrupted fraction] = 1-(1-0.01)^256 ~ 0.92
+        assert inj.corrupted_transmissions > 100
+        assert inj.transmissions == 200
+
+    def test_deterministic_per_seed(self):
+        a = BitErrorInjector(ber=0.05, seed=3)
+        b = BitErrorInjector(ber=0.05, seed=3)
+        for _ in range(20):
+            assert a.corrupt([7, 8, 9]) == b.corrupt([7, 8, 9])
+
+    def test_does_not_mutate_input(self):
+        inj = BitErrorInjector(ber=1.0)
+        words = [5]
+        inj.corrupt(words)
+        assert words == [5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitErrorInjector(ber=-0.1)
+        with pytest.raises(ValueError):
+            BitErrorInjector(ber=1.5)
+
+
+class TestScheduledInjector:
+    def test_corrupts_only_scheduled_ordinals(self):
+        inj = ScheduledInjector({1}, bit=0)
+        clean = [0, 0, 0]
+        assert inj.corrupt(clean) == clean          # ordinal 0
+        assert inj.corrupt(clean) != clean          # ordinal 1
+        assert inj.corrupt(clean) == clean          # ordinal 2
+        assert inj.corrupted_transmissions == 1
+
+    def test_remaining(self):
+        inj = ScheduledInjector({0, 5})
+        assert inj.remaining == 2
+        inj.corrupt([1])
+        assert inj.remaining == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledInjector({-1})
+        with pytest.raises(ValueError):
+            ScheduledInjector({0}, bit=64)
+
+
+class TestLinkFaultModel:
+    def test_clean_link(self):
+        m = LinkFaultModel()
+        kind, words = m.transmit([1, 2])
+        assert kind is FaultKind.CLEAN
+        assert words == [1, 2]
+        assert m.fault_rate == 0.0
+
+    def test_always_drop(self):
+        m = LinkFaultModel(drop_rate=1.0)
+        kind, words = m.transmit([1])
+        assert kind is FaultKind.DROP
+        assert words is None
+        assert m.drops == 1
+
+    def test_corrupt_via_scheduled_injector(self):
+        m = LinkFaultModel(injector=ScheduledInjector({0}))
+        kind, words = m.transmit([0, 0, 0])
+        assert kind is FaultKind.CORRUPT
+        assert words != [0, 0, 0]
+        assert m.corruptions == 1
+
+    def test_stats(self):
+        m = LinkFaultModel(drop_rate=1.0)
+        m.transmit([1])
+        s = m.stats()
+        assert s["drops"] == 1
+        assert s["fault_rate"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaultModel(drop_rate=2.0)
+
+
+class TestRetrySession:
+    def pkt(self, tag=1):
+        return build_memrequest(0, 0x40, tag, CMD.WR64, payload=list(range(8)))
+
+    def test_clean_delivery_is_bit_identical(self):
+        s = RetrySession(LinkFaultModel())
+        src = self.pkt()
+        out = s.transmit(src)
+        assert out.cmd is src.cmd
+        assert out.payload == src.payload
+        assert out.tag == src.tag
+        assert s.stats.transmissions == 1
+        assert s.stats.crc_failures == 0
+
+    def test_corruption_is_detected_and_replayed(self):
+        s = RetrySession(LinkFaultModel(injector=ScheduledInjector({0})))
+        out = s.transmit(self.pkt())
+        assert out.payload == tuple(range(8))
+        assert s.stats.transmissions == 2       # original + replay
+        assert s.stats.crc_failures == 1
+        assert s.stats.irtry_events == 1
+        assert s.stats.recovered == 1
+        assert s.stats.recovery_cycles == s.retry_delay
+
+    def test_drop_is_replayed(self):
+        class DropOnce:
+            """Stub model: drop the first transmission, then go clean."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def transmit(self, words):
+                self.calls += 1
+                if self.calls == 1:
+                    return (FaultKind.DROP, None)
+                return (FaultKind.CLEAN, list(words))
+
+        s = RetrySession(DropOnce(), retry_delay=3)
+        out = s.transmit(self.pkt(tag=9))
+        assert out.tag == 9
+        assert s.stats.drops == 1
+        assert s.stats.recovered == 1
+        assert s.stats.recovery_cycles == 3
+
+    def test_exhaustion_raises_and_counts(self):
+        s = RetrySession(LinkFaultModel(drop_rate=1.0), max_retries=3)
+        with pytest.raises(LinkRetryExhausted):
+            s.transmit(self.pkt())
+        assert s.stats.failed == 1
+        assert s.stats.transmissions == 4  # 1 + 3 replays
+
+    def test_multiple_scheduled_failures_before_success(self):
+        s = RetrySession(
+            LinkFaultModel(injector=ScheduledInjector({0, 1, 2})),
+            max_retries=5, retry_delay=7,
+        )
+        out = s.transmit(self.pkt())
+        assert out.tag == 1
+        assert s.stats.transmissions == 4
+        assert s.stats.recovery_cycles == 21
+
+    def test_stats_dataclass(self):
+        s = RetryStats(packets=2, failed=1)
+        d = s.as_dict()
+        assert d["packets"] == 2 and d["failed"] == 1
+
+    @given(ber=st.sampled_from([1e-4, 1e-3, 1e-2]), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_no_corrupted_packet_is_ever_accepted(self, ber, seed):
+        """The invariant the CRC exists for: whatever the BER, a packet
+        that arrives does so bit-identically — or not at all (retry
+        exhaustion on a hopelessly noisy link is a legal outcome; at
+        BER 1e-2 a 288-byte packet is clean with probability ~1e-10)."""
+        s = RetrySession(LinkFaultModel(ber=ber, seed=seed), max_retries=64)
+        src = build_memrequest(1, 0x1230, 42, CMD.WR128, payload=list(range(16)))
+        try:
+            out = s.transmit(src)
+        except LinkRetryExhausted:
+            assert s.stats.failed == 1
+            return
+        assert out.payload == src.payload
+        assert (out.cub, out.tag, out.addr) == (src.cub, src.tag, src.addr)
+        # Every detected failure was an IRTRY exchange; nothing silent.
+        assert s.stats.irtry_events == s.stats.crc_failures + s.stats.drops
+
+
+class TestSimulatorIntegration:
+    def _sim(self):
+        return build_simple(
+            HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2),
+            host_links=1,
+        )
+
+    def test_attach_requires_host_link(self):
+        sim = self._sim()
+        from repro.core.errors import TopologyError
+        with pytest.raises(TopologyError):
+            sim.attach_fault_model(0, 3, LinkFaultModel())
+
+    def test_faulty_link_traffic_recovers_transparently(self):
+        sim = self._sim()
+        session = sim.attach_fault_model(
+            0, 0, LinkFaultModel(injector=ScheduledInjector({0, 3})))
+        for i in range(6):
+            sim.send(build_memrequest(0, i * 64, i, CMD.RD64, link=0))
+        sim.clock(20)
+        tags = sorted(r.tag for r in sim.recv_all())
+        assert tags == [0, 1, 2, 3, 4, 5]       # nothing lost
+        assert session.stats.crc_failures == 2
+        assert session.stats.recovered == 2
+        assert sim.fault_stats()[(0, 0)]["irtry_events"] == 2
+
+    def test_dead_link_raises_hmc_error(self):
+        sim = self._sim()
+        sim.attach_fault_model(0, 0, LinkFaultModel(drop_rate=1.0), max_retries=2)
+        with pytest.raises(HMCError):
+            sim.send(build_memrequest(0, 0, 0, CMD.RD16, link=0))
+        assert sim.link_errors_unrecovered == 1
+
+    def test_detach_restores_clean_link(self):
+        sim = self._sim()
+        sim.attach_fault_model(0, 0, LinkFaultModel(drop_rate=1.0), max_retries=0)
+        sim.detach_fault_model(0, 0)
+        sim.send(build_memrequest(0, 0, 7, CMD.RD16, link=0))
+        sim.clock(10)
+        assert sim.recv().tag == 7
+
+    def test_write_data_survives_noisy_link(self):
+        """End-to-end data integrity through a 1e-3-BER link."""
+        sim = self._sim()
+        sim.attach_fault_model(0, 0, LinkFaultModel(ber=1e-3, seed=5),
+                               max_retries=64)
+        data = [0xABCD + i for i in range(8)]
+        sim.send(build_memrequest(0, 0x4000, 1, CMD.WR64, payload=data, link=0))
+        sim.clock(10)
+        sim.recv()
+        sim.send(build_memrequest(0, 0x4000, 2, CMD.RD64, link=0))
+        sim.clock(10)
+        assert list(sim.recv().payload) == data

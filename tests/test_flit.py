@@ -1,0 +1,65 @@
+"""Unit tests for FLIT arithmetic (repro.packets.flit)."""
+
+import pytest
+
+from repro.packets.flit import (
+    FLIT_BYTES,
+    MAX_FLITS,
+    MAX_PAYLOAD_BYTES,
+    MIN_FLITS,
+    flits_for_payload,
+    is_legal_flit_count,
+    packet_bytes,
+    payload_bytes,
+)
+
+
+def test_constants_match_spec():
+    """Paper III.C: 16-byte FLITs, max packet 9 FLITs = 144 bytes."""
+    assert FLIT_BYTES == 16
+    assert MAX_FLITS == 9
+    assert MIN_FLITS == 1
+    assert MAX_PAYLOAD_BYTES == 128
+
+
+@pytest.mark.parametrize(
+    "payload,expected",
+    [(0, 1), (16, 2), (32, 3), (64, 5), (128, 9)],
+)
+def test_flits_for_payload(payload, expected):
+    assert flits_for_payload(payload) == expected
+
+
+@pytest.mark.parametrize("bad", [-16, 144, 8, 17, 129])
+def test_flits_for_payload_rejects_bad_sizes(bad):
+    with pytest.raises(ValueError):
+        flits_for_payload(bad)
+
+
+@pytest.mark.parametrize("flits", range(1, 10))
+def test_payload_bytes_inverts_flits_for_payload(flits):
+    assert flits_for_payload(payload_bytes(flits)) == flits
+
+
+@pytest.mark.parametrize("bad", [0, -1, 10, 100])
+def test_payload_bytes_rejects_bad_counts(bad):
+    with pytest.raises(ValueError):
+        payload_bytes(bad)
+
+
+def test_packet_bytes():
+    assert packet_bytes(1) == 16
+    assert packet_bytes(9) == 144
+
+
+def test_packet_bytes_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        packet_bytes(0)
+    with pytest.raises(ValueError):
+        packet_bytes(10)
+
+
+def test_is_legal_flit_count():
+    assert all(is_legal_flit_count(n) for n in range(1, 10))
+    assert not is_legal_flit_count(0)
+    assert not is_legal_flit_count(10)

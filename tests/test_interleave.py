@@ -1,0 +1,96 @@
+"""Unit tests for interleave helpers (repro.addressing.interleave)."""
+
+import numpy as np
+import pytest
+
+from repro.addressing.address_map import AddressMap, AddressMapMode
+from repro.addressing.interleave import (
+    bank_histogram,
+    block_offset_bits,
+    conflict_fraction,
+    iter_blocks,
+    required_address_bits,
+    sweep_addresses,
+    vault_histogram,
+)
+
+GB = 1 << 30
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(num_vaults=16, num_banks=8, block_size=64, capacity_bytes=1 * GB)
+
+
+def test_block_offset_bits():
+    assert block_offset_bits(64) == 6
+    assert block_offset_bits(128) == 7
+    with pytest.raises(ValueError):
+        block_offset_bits(48)
+
+
+def test_required_address_bits():
+    assert required_address_bits(2 * GB) == 31
+    with pytest.raises(ValueError):
+        required_address_bits(3 * GB)
+
+
+def test_sweep_addresses_default_stride(amap):
+    addrs = sweep_addresses(amap, 10)
+    assert addrs == [i * 64 for i in range(10)]
+
+
+def test_sweep_wraps_at_capacity(amap):
+    n = amap.capacity_bytes // amap.block_size
+    addrs = sweep_addresses(amap, n + 1)
+    assert addrs[-1] == 0
+
+
+def test_vault_histogram_uniform_under_sweep(amap):
+    """The default map's reason to exist: a sweep spreads evenly."""
+    addrs = sweep_addresses(amap, 16 * 8)
+    hist = vault_histogram(amap, addrs)
+    assert hist.shape == (16,)
+    assert np.all(hist == 8)
+
+
+def test_bank_histogram_shape_and_total(amap):
+    addrs = sweep_addresses(amap, 256)
+    hist = bank_histogram(amap, addrs)
+    assert hist.shape == (16, 8)
+    assert hist.sum() == 256
+
+
+def test_conflict_fraction_zero_for_interleaved_sweep(amap):
+    addrs = sweep_addresses(amap, 128)
+    assert conflict_fraction(amap, addrs, window=4) == 0.0
+
+
+def test_conflict_fraction_one_for_fixed_address(amap):
+    addrs = [0] * 32
+    frac = conflict_fraction(amap, addrs, window=2)
+    assert frac == pytest.approx(31 / 32)
+
+
+def test_conflict_fraction_higher_for_linear_map():
+    """LINEAR mapping keeps a sweep inside one vault/bank — far more
+    conflicts than the default low-interleave map."""
+    vb = AddressMap(16, 8, 64, 1 * GB, mode=AddressMapMode.VAULT_BANK)
+    lin = AddressMap(16, 8, 64, 1 * GB, mode=AddressMapMode.LINEAR)
+    addrs = [i * 64 for i in range(128)]
+    assert conflict_fraction(lin, addrs) > conflict_fraction(vb, addrs)
+
+
+def test_conflict_fraction_empty_stream(amap):
+    assert conflict_fraction(amap, []) == 0.0
+    assert conflict_fraction(amap, [0]) == 0.0
+
+
+def test_iter_blocks_small_device():
+    # Construct a tiny legal device for exhaustive iteration.
+    small = AddressMap(num_vaults=16, num_banks=8, block_size=64,
+                       capacity_bytes=1 << 15)
+    blocks = list(iter_blocks(small))
+    assert len(blocks) == (1 << 15) // 64
+    assert blocks[0] == 0
+    assert blocks[-1] == (1 << 15) - 64

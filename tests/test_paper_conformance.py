@@ -1,0 +1,240 @@
+"""Paper-conformance checklist.
+
+One test per checkable claim in the paper text, quoted (abridged) in
+each docstring — a single place auditing that the reproduction matches
+what the paper actually says, section by section.
+"""
+
+import pytest
+
+from repro.core.config import (
+    DeviceConfig,
+    PAPER_CONFIGS,
+    PAPER_TABLE1_CYCLES,
+    PAPER_TABLE1_REQUESTS,
+    SimConfig,
+)
+from repro.core.device import HMCDevice
+from repro.core.errors import InitError, TopologyError
+from repro.core.simulator import HMCSim
+from repro.packets.commands import CMD, request_flits
+from repro.packets.flit import FLIT_BYTES, MAX_FLITS
+from repro.packets.packet import ADRS_BITS, Packet, build_memrequest
+from repro.registers.regdefs import REGISTER_MAP, RegClass
+from repro.topology.builder import build_simple
+from repro.trace.events import EventType
+
+
+class TestSectionIII_DeviceHierarchy:
+    def test_4_or_8_links(self):
+        """'The external I/O links are provided by four or eight
+        logical links.'"""
+        DeviceConfig(num_links=4)
+        DeviceConfig(num_links=8)
+        with pytest.raises(InitError):
+            DeviceConfig(num_links=6)
+
+    def test_link_lane_counts(self):
+        """'Each link is a group of sixteen or eight serial I/O ...
+        bidirectional links.'"""
+        assert all(l.lanes == 16 for l in HMCDevice(0, DeviceConfig(num_links=4)).links)
+        assert all(l.lanes == 8 for l in HMCDevice(0, DeviceConfig(num_links=8)).links)
+
+    def test_link_rates(self):
+        """'Four link devices have the ability to operate at 10, 12.5
+        and 15Gbps.  Eight link devices ... at 10Gbps.'"""
+        for rate in (10.0, 12.5, 15.0):
+            DeviceConfig(num_links=4, link_rate_gbps=rate)
+        DeviceConfig(num_links=8, link_rate_gbps=10.0)
+        with pytest.raises(InitError):
+            DeviceConfig(num_links=8, link_rate_gbps=12.5)
+
+    def test_320_gbs_headline(self):
+        """'available bandwidth capacity of up to 320GB/s per device'"""
+        from repro.analysis.bandwidth import raw_device_bandwidth_gbs
+        assert raw_device_bandwidth_gbs(8, 16, 10.0) == 320.0
+
+    def test_quad_units_hold_four_vaults(self):
+        """'Each quad unit represents four vault units.'"""
+        dev = HMCDevice(0, DeviceConfig(num_links=8))
+        assert all(len(q.vaults) == 4 for q in dev.quads)
+
+    def test_vaults_span_banks_span_drams(self):
+        """Vault -> banks -> DRAMs hierarchy with vertical bank layers."""
+        dev = HMCDevice(0, DeviceConfig(num_banks=16, capacity=4))
+        assert all(len(v.banks) == 16 for v in dev.vaults)
+        assert all(len(b.drams) == 8 for v in dev.vaults for b in v.banks)
+
+    def test_column_fetches_are_32_bytes(self):
+        """'Read or write requests to a target bank are always performed
+        in 32-bytes for each column fetch.'"""
+        from repro.core.bank import Bank, COLUMN_FETCH_BYTES
+        assert COLUMN_FETCH_BYTES == 32
+        b = Bank(0, 1 << 20)
+        b.read(0, 64)
+        assert b.column_fetches == 2
+
+
+class TestSectionIII_Addressing:
+    def test_34_bit_field(self):
+        """'Physical addresses for HMC devices are encoded into a 34-bit
+        field.'"""
+        assert ADRS_BITS == 34
+
+    def test_field_usage_by_link_count(self):
+        """'four link devices ... utilize the lower 32-bits ... eight
+        link devices ... the lower 33-bits.'"""
+        assert DeviceConfig(num_links=4).address_bits == 32
+        assert DeviceConfig(num_links=8).address_bits == 33
+
+    def test_low_interleave_default(self):
+        """'mapping the less significant address bits to the vault
+        address, followed immediately by the bank address bits.'"""
+        dev = HMCDevice(0, DeviceConfig())
+        assert dev.amap.field_order[0] == "vault"
+        assert dev.amap.field_order[1] == "bank"
+
+    def test_sequential_interleaves_vaults_then_banks(self):
+        """'forces sequential address to first interleave across vaults
+        then across banks within vault.'"""
+        amap = HMCDevice(0, DeviceConfig()).amap
+        first_wrap = amap.decode(amap.num_vaults * amap.block_size)
+        assert (first_wrap.vault, first_wrap.bank) == (0, 1)
+
+
+class TestSectionIII_Packets:
+    def test_flit_is_16_bytes(self):
+        """'a multiple of a single 16-byte flow unit, or FLIT.'"""
+        assert FLIT_BYTES == 16
+
+    def test_max_packet_9_flits(self):
+        """'The maximum packet size contains 9 FLITs, or 144-bytes.'"""
+        assert MAX_FLITS == 9
+        assert MAX_FLITS * FLIT_BYTES == 144
+
+    def test_min_packet_contains_header_and_tail(self):
+        """'The minimum 16-byte (one FLIT) packet contains a packet
+        header and packet tail.'"""
+        words = Packet(cmd=CMD.NULL).encode()
+        assert len(words) == 2  # one 64-bit header + one 64-bit tail
+
+    def test_reads_single_flit(self):
+        """'read requests are always configured using a single FLIT.'"""
+        for c in (CMD.RD16, CMD.RD32, CMD.RD64, CMD.RD128):
+            assert request_flits(c) == 1
+
+    def test_writes_2_to_9_flits(self):
+        """'these request types have packet widths of 2-9 FLITs.'"""
+        assert request_flits(CMD.WR16) == 2
+        assert request_flits(CMD.WR128) == 9
+        assert request_flits(CMD.ADD16) == 2
+
+
+class TestSectionIV_Architecture:
+    def test_queue_depths_set_at_init(self):
+        """'requiring users to specify the depth of both queueing layers
+        at initialization time.'"""
+        dev = HMCDevice(0, DeviceConfig(queue_depth=32, xbar_depth=256))
+        assert dev.vaults[0].rqst.depth == 32
+        assert dev.xbars[0].rqst.depth == 256
+
+    def test_six_subcycle_stages(self):
+        """Fig. 3 / §IV.C: six ordered sub-cycle operations per clock."""
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                  capacity=2))
+        sink = sim.trace_to_memory(EventType.ALL)
+        sim.clock()
+        stages = [e.stage for e in sink.events if e.type is EventType.SUBCYCLE]
+        assert stages == [1, 2, 3, 4, 5, 6]
+
+    def test_64_bit_clock(self):
+        """'updates the unsigned sixty four bit clock value by one.'"""
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                  capacity=2))
+        sim.clock_value = (1 << 64) - 2
+        sim.clock()
+        assert sim.clock_value == (1 << 64) - 1
+
+    def test_register_classes(self):
+        """'registers that can be read and written (RW), ... read-only
+        (RO) and ... self-clearing after being written to (RWS).'"""
+        assert {r.cls for r in REGISTER_MAP} == {
+            RegClass.RW, RegClass.RO, RegClass.RWS}
+
+    def test_nonlinear_register_indexing(self):
+        """'Register indexing on physical HMC devices is not purely
+        linear and does not begin at zero.'"""
+        phys = sorted(r.phys for r in REGISTER_MAP)
+        assert phys[0] != 0
+        assert phys != list(range(phys[0], phys[0] + len(phys)))
+
+
+class TestSectionV_API:
+    def test_host_cube_id_is_num_devices_plus_one(self):
+        """'hosts are represented using non zero HMC Cube ID's of one
+        greater than the total number of devices.'"""
+        assert SimConfig(num_devs=3).host_cub == 4
+
+    def test_homogeneous_devices(self):
+        """'devices within a single object must be physically
+        homogeneous.'"""
+        sim = HMCSim(num_devs=3, num_links=4, num_banks=8, capacity=2)
+        configs = {d.config for d in sim.devices}
+        assert len(configs) == 1
+
+    def test_no_loopback_links(self):
+        """'the infrastructure does not permit users to configure links
+        as loopbacks.'"""
+        sim = HMCSim(num_devs=2, num_links=4, num_banks=8, capacity=2)
+        with pytest.raises(TopologyError):
+            sim.connect(0, 0, 0, 1)
+
+    def test_must_have_host_link(self):
+        """'the user must configure at least one device that connects to
+        a host link.  Otherwise, the host will have no access ...'"""
+        sim = HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2)
+        with pytest.raises(TopologyError):
+            sim.clock()
+
+    def test_jtag_out_of_band(self):
+        """'This interface exists external to the normal HMC-Sim notion
+        of clock domains.'"""
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                  capacity=2))
+        from repro.registers.regdefs import index_by_name, physical_index
+        sim.jtag_reg_write(0, physical_index(index_by_name("EDR0")), 1)
+        assert sim.clock_value == 0  # no clock progression
+
+    def test_clock_required_for_internal_progress(self):
+        """'internal device operations will not progress until an
+        appropriate call to the clock function.'"""
+        sim = build_simple(HMCSim(num_devs=1, num_links=4, num_banks=8,
+                                  capacity=2))
+        sim.send(build_memrequest(0, 0, 0, CMD.RD64, link=0))
+        assert sim.devices[0].total_requests_processed == 0
+
+
+class TestSectionVI_Evaluation:
+    def test_table1_constants(self):
+        """'33,554,432 64-byte memory requests where the read/write
+        mixture was 50/50' and the four configurations with '128
+        bi-directional arbitration queue slots for each crossbar link
+        and 64 ... for each vault unit.'"""
+        assert PAPER_TABLE1_REQUESTS == 33_554_432
+        assert len(PAPER_CONFIGS) == 4
+        for cfg in PAPER_CONFIGS.values():
+            assert cfg.xbar_depth == 128
+            assert cfg.queue_depth == 64
+
+    def test_table1_cycle_values_recorded(self):
+        """Table I's four runtime values."""
+        assert list(PAPER_TABLE1_CYCLES.values()) == [
+            3_404_553, 2_327_858, 1_708_918, 879_183]
+
+    def test_figure5_series_exist(self):
+        """'the number of bank conflicts, read requests and write
+        requests ... crossbar request stalls ... latency penalties.'"""
+        assert EventType.FIGURE5 == (
+            EventType.BANK_CONFLICT | EventType.RQST_READ
+            | EventType.RQST_WRITE | EventType.XBAR_RQST_STALL
+            | EventType.LATENCY_PENALTY)

@@ -1,0 +1,86 @@
+"""Unit tests for quad units and links (repro.core.quad / link)."""
+
+import pytest
+
+from repro.core.device import HMCDevice
+from repro.core.config import DeviceConfig
+from repro.core.link import EndpointType, Link
+from repro.core.quad import (
+    QuadUnit,
+    closest_quad_of_link,
+    is_local,
+    quad_of_vault,
+)
+
+
+class TestQuadMapping:
+    def test_four_vaults_per_quad(self):
+        assert quad_of_vault(0) == 0
+        assert quad_of_vault(3) == 0
+        assert quad_of_vault(4) == 1
+        assert quad_of_vault(31) == 7
+
+    def test_link_quad_affinity(self):
+        assert closest_quad_of_link(0) == 0
+        assert closest_quad_of_link(7) == 7
+
+    def test_is_local(self):
+        assert is_local(link_id=0, vault_id=2)
+        assert not is_local(link_id=0, vault_id=4)
+        assert is_local(link_id=2, vault_id=11)
+
+    def test_quad_unit_requires_exactly_four_vaults(self):
+        dev = HMCDevice(0, DeviceConfig())
+        with pytest.raises(ValueError):
+            QuadUnit(0, 0, dev.vaults[:3])
+
+    def test_quad_owns_vault(self):
+        dev = HMCDevice(0, DeviceConfig())
+        q1 = dev.quads[1]
+        assert q1.owns_vault(5)
+        assert not q1.owns_vault(0)
+        assert q1.vault_ids() == [4, 5, 6, 7]
+
+
+class TestLink:
+    def test_unconfigured_by_default(self):
+        l = Link(link_id=0, quad_id=0)
+        assert not l.configured
+        assert not l.is_host_link
+        assert not l.is_chain_link
+
+    def test_host_link(self):
+        l = Link(0, 0, src_cub=2, dst_cub=0,
+                 src_type=EndpointType.HOST, dst_type=EndpointType.DEVICE)
+        assert l.configured
+        assert l.is_host_link
+        assert not l.is_chain_link
+
+    def test_chain_link(self):
+        l = Link(1, 1, src_cub=0, dst_cub=1,
+                 src_type=EndpointType.DEVICE, dst_type=EndpointType.DEVICE)
+        assert l.is_chain_link
+        assert l.peer_cub == 1
+
+    def test_raw_bandwidth(self):
+        """Paper III.A: 16 lanes on 4-link devices; 10/12.5/15 Gbps."""
+        l = Link(0, 0, rate_gbps=15.0, lanes=16)
+        assert l.raw_bandwidth_gbps() == 240.0
+
+    def test_traffic_counters(self):
+        l = Link(0, 0)
+        l.count_tx(5)
+        l.count_tx(1)
+        l.count_rx(9)
+        assert (l.tx_packets, l.tx_flits) == (2, 6)
+        assert (l.rx_packets, l.rx_flits) == (1, 9)
+
+
+class TestDeviceLinkLaneWidths:
+    def test_4link_device_has_16_lane_links(self):
+        dev = HMCDevice(0, DeviceConfig(num_links=4))
+        assert all(l.lanes == 16 for l in dev.links)
+
+    def test_8link_device_has_8_lane_links(self):
+        dev = HMCDevice(0, DeviceConfig(num_links=8))
+        assert all(l.lanes == 8 for l in dev.links)

@@ -1,0 +1,182 @@
+"""Unit + property tests for the queue structure (repro.core.queueing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.queueing import PacketQueue, QueueSlot
+from repro.packets.commands import CMD
+from repro.packets.packet import Packet
+
+
+def mk(n=1):
+    return [Packet(cmd=CMD.RD16, tag=i % 512) for i in range(n)]
+
+
+class TestBasics:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PacketQueue(0)
+
+    def test_push_pop_fifo(self):
+        q = PacketQueue(4)
+        pkts = mk(3)
+        for p in pkts:
+            assert q.push(p)
+        assert [q.pop() for _ in range(3)] == pkts
+
+    def test_push_full_returns_false_and_counts_stall(self):
+        q = PacketQueue(2)
+        assert q.push(mk(1)[0])
+        assert q.push(mk(1)[0])
+        assert not q.push(mk(1)[0])
+        assert q.total_stalls == 1
+        assert q.is_full
+
+    def test_peek_does_not_remove(self):
+        q = PacketQueue(4)
+        p = mk(1)[0]
+        q.push(p)
+        assert q.peek() is p
+        assert len(q) == 1
+        assert q.peek(5) is None
+        assert q.peek(-1) is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PacketQueue(1).pop()
+
+    def test_occupancy_and_free_slots(self):
+        q = PacketQueue(8)
+        for p in mk(3):
+            q.push(p)
+        assert q.occupancy == 3
+        assert q.free_slots == 5
+
+
+class TestPositional:
+    def test_pop_at_middle_preserves_order(self):
+        """Weak-ordering pass: remote packets may pass local ones."""
+        q = PacketQueue(8)
+        pkts = mk(5)
+        for p in pkts:
+            q.push(p)
+        got = q.pop_at(2)
+        assert got is pkts[2]
+        assert list(q) == [pkts[0], pkts[1], pkts[3], pkts[4]]
+
+    def test_pop_at_zero_is_pop(self):
+        q = PacketQueue(4)
+        pkts = mk(2)
+        for p in pkts:
+            q.push(p)
+        assert q.pop_at(0) is pkts[0]
+
+    def test_pop_at_out_of_range(self):
+        q = PacketQueue(4)
+        q.push(mk(1)[0])
+        with pytest.raises(IndexError):
+            q.pop_at(1)
+
+    def test_stamps_track_positions_after_pop_at(self):
+        q = PacketQueue(8)
+        pkts = mk(4)
+        for i, p in enumerate(pkts):
+            q.push(p, cycle=i * 10)
+        q.pop_at(1)
+        assert q.stamp_at(0) == 0
+        assert q.stamp_at(1) == 20
+        assert q.stamp_at(2) == 30
+
+
+class TestExpiry:
+    def test_expire_older_than(self):
+        q = PacketQueue(8)
+        pkts = mk(4)
+        for i, p in enumerate(pkts):
+            q.push(p, cycle=i)
+        expired = q.expire_older_than(cycle=10, max_age=8)
+        assert expired == pkts[:2]  # ages 10, 9 > 8; ages 8, 7 stay
+        assert list(q) == pkts[2:]
+
+    def test_expire_disabled_with_zero_age(self):
+        q = PacketQueue(4)
+        q.push(mk(1)[0], cycle=0)
+        assert q.expire_older_than(cycle=1000, max_age=0) == []
+        assert len(q) == 1
+
+
+class TestSlotView:
+    def test_slots_materialise_valid_bits(self):
+        q = PacketQueue(4)
+        pkts = mk(2)
+        for p in pkts:
+            q.push(p)
+        slots = q.slots()
+        assert len(slots) == 4
+        assert all(isinstance(s, QueueSlot) for s in slots)
+        assert [s.valid for s in slots] == [True, True, False, False]
+        assert slots[0].packet is pkts[0]
+        assert slots[3].packet is None
+
+
+class TestStatsAndLifecycle:
+    def test_high_water(self):
+        q = PacketQueue(8)
+        for p in mk(5):
+            q.push(p)
+        for _ in range(3):
+            q.pop()
+        q.push(mk(1)[0])
+        assert q.high_water == 5
+
+    def test_counters(self):
+        q = PacketQueue(2)
+        q.push(mk(1)[0])
+        q.push(mk(1)[0])
+        q.push(mk(1)[0])  # stall
+        q.pop()
+        assert (q.total_enqueued, q.total_dequeued, q.total_stalls) == (2, 1, 1)
+
+    def test_drain(self):
+        q = PacketQueue(4)
+        pkts = mk(3)
+        for p in pkts:
+            q.push(p)
+        assert q.drain() == pkts
+        assert q.is_empty
+
+    def test_reset(self):
+        q = PacketQueue(4)
+        for p in mk(3):
+            q.push(p)
+        q.reset()
+        assert q.is_empty
+        assert q.total_enqueued == 0
+        assert q.high_water == 0
+
+
+@given(ops=st.lists(st.one_of(
+    st.tuples(st.just("push"), st.integers(0, 511)),
+    st.tuples(st.just("pop"), st.just(0)),
+    st.tuples(st.just("pop_at"), st.integers(0, 6)),
+), max_size=60))
+@settings(max_examples=100)
+def test_queue_invariants_under_random_ops(ops):
+    """Occupancy never exceeds depth; FIFO order of surviving packets
+    matches a reference list model; counters balance."""
+    q = PacketQueue(5)
+    model = []
+    for op, arg in ops:
+        if op == "push":
+            p = Packet(cmd=CMD.RD16, tag=arg)
+            ok = q.push(p, cycle=len(model))
+            assert ok == (len(model) < 5)
+            if ok:
+                model.append(p)
+        elif op == "pop" and model:
+            assert q.pop() is model.pop(0)
+        elif op == "pop_at" and arg < len(model):
+            assert q.pop_at(arg) is model.pop(arg)
+        assert list(q) == model
+        assert 0 <= len(q) <= q.depth
+        assert q.total_enqueued - q.total_dequeued == len(model)

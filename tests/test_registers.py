@@ -1,0 +1,145 @@
+"""Unit tests for the register subsystem (repro.registers)."""
+
+import pytest
+
+from repro.core.errors import RegisterAccessError
+from repro.registers.jtag import JTAGInterface
+from repro.registers.regdefs import (
+    NUM_REGISTERS,
+    REGISTER_MAP,
+    RegClass,
+    index_by_name,
+    is_valid_physical,
+    linear_index,
+    physical_index,
+)
+from repro.registers.regfile import RegisterFile
+
+
+class TestRegisterMap:
+    def test_physical_indices_are_sparse_and_nonzero(self):
+        """Paper IV.D: indexing is not purely linear, does not start at 0."""
+        phys = [r.phys for r in REGISTER_MAP]
+        assert 0 not in phys
+        assert sorted(phys) != list(range(min(phys), min(phys) + len(phys)))
+
+    def test_physical_indices_unique(self):
+        phys = [r.phys for r in REGISTER_MAP]
+        assert len(set(phys)) == len(phys)
+
+    def test_translation_round_trip(self):
+        for i in range(NUM_REGISTERS):
+            assert linear_index(physical_index(i)) == i
+
+    def test_unknown_physical_raises(self):
+        with pytest.raises(KeyError):
+            linear_index(0xDEAD)
+        assert not is_valid_physical(0xDEAD)
+
+    def test_index_by_name(self):
+        assert REGISTER_MAP[index_by_name("GC")].name == "GC"
+
+    def test_all_three_classes_present(self):
+        classes = {r.cls for r in REGISTER_MAP}
+        assert classes == {RegClass.RW, RegClass.RO, RegClass.RWS}
+
+    def test_expected_registers_exist(self):
+        names = {r.name for r in REGISTER_MAP}
+        for expected in ("EDR0", "ERR", "GC", "LC0", "LIC7", "MC", "STAT"):
+            assert expected in names
+
+
+class TestRegisterFile:
+    def test_reset_values(self):
+        rf = RegisterFile()
+        for r in REGISTER_MAP:
+            assert rf.read(r.name) == r.reset
+
+    def test_rw_write_read(self):
+        rf = RegisterFile()
+        rf.write("EDR0", 0x1234)
+        assert rf.read("EDR0") == 0x1234
+
+    def test_values_masked_to_64_bits(self):
+        rf = RegisterFile()
+        rf.write("EDR1", 1 << 70)
+        assert rf.read("EDR1") == 0
+
+    def test_ro_write_rejected(self):
+        rf = RegisterFile()
+        with pytest.raises(RegisterAccessError):
+            rf.write("ERR", 1)
+        with pytest.raises(RegisterAccessError):
+            rf.write_phys(physical_index(index_by_name("STAT")), 1)
+
+    def test_internal_write_bypasses_ro(self):
+        rf = RegisterFile()
+        rf.internal_write("ERR", 0x7)
+        assert rf.read("ERR") == 0x7
+
+    def test_rws_self_clears_on_tick(self):
+        """Paper IV.D: self-clearing after being written to."""
+        rf = RegisterFile()
+        rf.write("GC", 0xFF)
+        assert rf.read("GC") == 0xFF  # visible within the cycle
+        rf.tick()
+        assert rf.read("GC") == 0
+
+    def test_rw_survives_tick(self):
+        rf = RegisterFile()
+        rf.write("EDR0", 5)
+        rf.tick()
+        assert rf.read("EDR0") == 5
+
+    def test_phys_access(self):
+        rf = RegisterFile()
+        phys = physical_index(index_by_name("MC"))
+        rf.write_phys(phys, 3)
+        assert rf.read_phys(phys) == 3
+
+    def test_unknown_phys_raises(self):
+        rf = RegisterFile()
+        with pytest.raises(RegisterAccessError):
+            rf.read_phys(0x1)
+        with pytest.raises(RegisterAccessError):
+            rf.write_phys(0x1, 0)
+
+    def test_access_counters(self):
+        rf = RegisterFile()
+        rf.write("EDR0", 1)
+        rf.read("EDR0")
+        rf.internal_read("EDR0")  # not host-visible accounting
+        assert rf.write_count == 1
+        assert rf.read_count == 1
+
+    def test_snapshot(self):
+        rf = RegisterFile()
+        rf.write("EDR2", 42)
+        snap = rf.snapshot()
+        assert snap["EDR2"] == 42
+        assert len(snap) == NUM_REGISTERS
+
+    def test_reset(self):
+        rf = RegisterFile()
+        rf.write("EDR0", 9)
+        rf.write("GC", 1)
+        rf.reset()
+        assert rf.read("EDR0") == 0
+        assert rf.read("GC") == 0
+        rf.tick()  # pending clears must not resurrect anything
+
+
+class TestJTAG:
+    def test_side_band_read_write(self):
+        rf = RegisterFile()
+        j = JTAGInterface(rf)
+        phys = physical_index(index_by_name("EDR3"))
+        j.reg_write(phys, 0xCAFE)
+        assert j.reg_read(phys) == 0xCAFE
+        assert (j.reads, j.writes) == (1, 1)
+
+    def test_class_rules_still_apply(self):
+        rf = RegisterFile()
+        j = JTAGInterface(rf)
+        with pytest.raises(RegisterAccessError):
+            j.reg_write(physical_index(index_by_name("ERR")), 1)

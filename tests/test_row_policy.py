@@ -1,0 +1,104 @@
+"""Tests for the open-row DRAM timing policy (ablation)."""
+
+import pytest
+
+from repro.core.bank import Bank
+from repro.core.errors import InitError
+from repro.core.simulator import HMCSim
+from repro.core.config import SimConfig
+from repro.host.host import Host
+from repro.packets.commands import CMD
+from repro.topology.builder import build_simple
+from repro.workloads.stream import stream_requests
+from repro.workloads.random_access import RandomAccessConfig, random_access_requests
+
+
+class TestBankRowTiming:
+    def test_closed_policy_constant_time(self):
+        b = Bank(0, 1 << 20)
+        assert b.access_busy_cycles(row=5, closed_cycles=11) == 11
+        assert b.access_busy_cycles(row=5, closed_cycles=11) == 11
+        assert b.row_hits == 0 and b.row_misses == 0
+
+    def test_open_policy_miss_then_hits(self):
+        b = Bank(0, 1 << 20)
+        first = b.access_busy_cycles(5, 11, open_policy=True,
+                                     hit_cycles=4, miss_cycles=16)
+        assert first == 16  # cold row: miss
+        again = b.access_busy_cycles(5, 11, open_policy=True,
+                                     hit_cycles=4, miss_cycles=16)
+        assert again == 4   # same row: hit
+        other = b.access_busy_cycles(6, 11, open_policy=True,
+                                     hit_cycles=4, miss_cycles=16)
+        assert other == 16  # row change: miss again
+        assert (b.row_hits, b.row_misses) == (1, 2)
+
+    def test_reset_closes_rows(self):
+        b = Bank(0, 1 << 20)
+        b.access_busy_cycles(5, 11, open_policy=True, hit_cycles=4, miss_cycles=16)
+        b.reset()
+        assert b.open_row == -1
+        assert b.row_hits == 0
+
+
+class TestConfigValidation:
+    def test_policy_values(self):
+        SimConfig(row_policy="open")
+        with pytest.raises(InitError):
+            SimConfig(row_policy="adaptive")
+
+    def test_cycle_bounds(self):
+        with pytest.raises(InitError):
+            SimConfig(row_hit_cycles=-1)
+
+
+def run_policy(policy, requests, **cfg_kw):
+    sim = HMCSim(num_devs=1, num_links=4, num_banks=8, capacity=2,
+                 row_policy=policy, **cfg_kw)
+    build_simple(sim)
+    host = Host(sim)
+    res = host.run(list(requests))
+    hits = sum(b.row_hits for v in sim.devices[0].vaults for b in v.banks)
+    misses = sum(b.row_misses for v in sim.devices[0].vaults for b in v.banks)
+    return res, hits, misses
+
+
+class TestEndToEnd:
+    def test_open_policy_tracks_hits(self):
+        # A repeated same-row stream is all hits after the cold miss.
+        reqs = [(CMD.RD64, 0x40, None)] * 16
+        res, hits, misses = run_policy("open", reqs,
+                                       row_hit_cycles=2, row_miss_cycles=16)
+        assert misses >= 1
+        assert hits >= 14
+
+    def test_closed_policy_records_no_row_stats(self):
+        reqs = [(CMD.RD64, 0x40, None)] * 8
+        res, hits, misses = run_policy("closed", reqs)
+        assert hits == 0 and misses == 0
+
+    def test_row_locality_speeds_up_open_policy(self):
+        """Row-local traffic under the open policy beats the closed
+        model; row-thrashing traffic pays the miss penalty."""
+        local = [(CMD.RD64, 0x40, None)] * 64          # one row
+        n_thrash = 64
+        thrash = [(CMD.RD64, (i * 16 * 4096) % (1 << 30), None)
+                  for i in range(n_thrash)]            # new row each time
+
+        local_open, _, _ = run_policy("open", local,
+                                      row_hit_cycles=2, row_miss_cycles=20)
+        local_closed, _, _ = run_policy("closed", local)
+        assert local_open.cycles < local_closed.cycles
+
+        thrash_open, hits, misses = run_policy("open", thrash,
+                                               row_hit_cycles=2,
+                                               row_miss_cycles=20)
+        assert misses > hits
+
+    def test_random_access_completes_under_open_policy(self):
+        cfg = RandomAccessConfig(num_requests=256)
+        res, hits, misses = run_policy(
+            "open", random_access_requests(2 << 30, cfg),
+            row_hit_cycles=4, row_miss_cycles=16)
+        assert res.responses_received == 256
+        assert hits + misses == 256

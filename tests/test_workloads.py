@@ -1,0 +1,204 @@
+"""Tests for workload generators (repro.workloads)."""
+
+import pytest
+
+from repro.addressing.address_map import AddressMap
+from repro.packets.commands import CMD, is_read, is_write
+from repro.workloads.gups import gups_requests
+from repro.workloads.lcg import LCG, GlibcRand
+from repro.workloads.random_access import (
+    RandomAccessConfig,
+    random_access_requests,
+)
+from repro.workloads.stream import stream_requests
+from repro.workloads.stride import stride_requests
+
+GB = 1 << 30
+
+
+class TestGlibcRand:
+    def test_bit_exact_against_glibc_seed_1(self):
+        """First five outputs of glibc srandom(1)/random()."""
+        g = GlibcRand(1)
+        assert [g.next() for _ in range(5)] == [
+            1804289383, 846930886, 1681692777, 1714636915, 1957747793,
+        ]
+
+    def test_seed_zero_coerces_to_one(self):
+        assert GlibcRand(0).next() == GlibcRand(1).next()
+
+    def test_reseed_reproduces(self):
+        g = GlibcRand(7)
+        first = [g.next() for _ in range(10)]
+        g.seed(7)
+        assert [g.next() for _ in range(10)] == first
+
+    def test_outputs_are_31_bit(self):
+        g = GlibcRand(123)
+        assert all(0 <= g.next() < (1 << 31) for _ in range(100))
+
+    def test_next_below(self):
+        g = GlibcRand(1)
+        assert all(0 <= g.next_below(17) < 17 for _ in range(100))
+        with pytest.raises(ValueError):
+            g.next_below(0)
+
+    def test_iterator_protocol(self):
+        g = GlibcRand(1)
+        it = iter(g)
+        assert next(it) == 1804289383
+
+
+class TestLCG:
+    def test_bit_exact_against_glibc_type0_seed_1(self):
+        """glibc TYPE_0 rand() outputs for srand(1)."""
+        l = LCG(1)
+        assert [l.next() for _ in range(3)] == [1103527590, 377401575, 662824084]
+
+    def test_constants(self):
+        assert LCG.A == 1103515245
+        assert LCG.C == 12345
+
+    def test_next_u64_spans_high_bits(self):
+        l = LCG(42)
+        vals = [l.next_u64() for _ in range(50)]
+        assert any(v > (1 << 62) for v in vals)
+
+    def test_determinism(self):
+        assert [LCG(9).next() for _ in range(5)] == [LCG(9).next() for _ in range(5)]
+
+
+class TestRandomAccess:
+    def cfg(self, **kw):
+        base = dict(num_requests=1000, request_bytes=64, read_fraction=0.5, seed=1)
+        base.update(kw)
+        return RandomAccessConfig(**base)
+
+    def test_request_count(self):
+        reqs = list(random_access_requests(2 * GB, self.cfg()))
+        assert len(reqs) == 1000
+
+    def test_mix_is_roughly_half(self):
+        reqs = list(random_access_requests(2 * GB, self.cfg(num_requests=4000)))
+        reads = sum(1 for cmd, _, _ in reqs if is_read(cmd))
+        assert 0.45 < reads / len(reqs) < 0.55
+
+    def test_pure_read_and_pure_write(self):
+        reads = list(random_access_requests(2 * GB, self.cfg(read_fraction=1.0)))
+        assert all(is_read(c) for c, _, _ in reads)
+        writes = list(random_access_requests(2 * GB, self.cfg(read_fraction=0.0)))
+        assert all(is_write(c) for c, _, _ in writes)
+
+    def test_addresses_block_aligned_and_in_range(self):
+        for _, addr, _ in random_access_requests(2 * GB, self.cfg()):
+            assert addr % 64 == 0
+            assert 0 <= addr < 2 * GB
+
+    def test_writes_carry_payload(self):
+        for cmd, _, payload in random_access_requests(2 * GB, self.cfg()):
+            if is_write(cmd):
+                assert payload is not None and len(payload) == 8
+            else:
+                assert payload is None
+
+    def test_deterministic_per_seed(self):
+        a = list(random_access_requests(2 * GB, self.cfg(seed=5)))
+        b = list(random_access_requests(2 * GB, self.cfg(seed=5)))
+        c = list(random_access_requests(2 * GB, self.cfg(seed=6)))
+        assert a == b
+        assert a != c
+
+    def test_glibc_stream_differs_from_lcg(self):
+        a = list(random_access_requests(2 * GB, self.cfg(use_glibc_rand=True)))
+        b = list(random_access_requests(2 * GB, self.cfg(use_glibc_rand=False)))
+        assert a != b
+
+    def test_request_size_selects_commands(self):
+        reqs = list(random_access_requests(2 * GB, self.cfg(request_bytes=128)))
+        cmds = {c for c, _, _ in reqs}
+        assert cmds <= {CMD.RD128, CMD.WR128}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomAccessConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            RandomAccessConfig(request_bytes=24)
+        with pytest.raises(ValueError):
+            RandomAccessConfig(read_fraction=1.5)
+
+    def test_spread_over_vaults(self):
+        amap = AddressMap(16, 8, 64, 2 * GB)
+        vaults = {
+            amap.vault_of(addr)
+            for _, addr, _ in random_access_requests(2 * GB, self.cfg())
+        }
+        assert len(vaults) == 16
+
+
+class TestStream:
+    def test_sequential_addresses(self):
+        reqs = list(stream_requests(2 * GB, 10))
+        assert [a for _, a, _ in reqs] == [i * 64 for i in range(10)]
+
+    def test_wraps_capacity(self):
+        cap = 1 << 20
+        reqs = list(stream_requests(cap, cap // 64 + 2))
+        assert reqs[-2][1] == 0
+        assert reqs[-1][1] == 64
+
+    def test_start_offset_aligned(self):
+        reqs = list(stream_requests(2 * GB, 3, start=100))
+        assert reqs[0][1] == 64  # aligned down to the block
+
+    def test_mixed_stream(self):
+        reqs = list(stream_requests(2 * GB, 500, read_fraction=0.5))
+        kinds = {is_read(c) for c, _, _ in reqs}
+        assert kinds == {True, False}
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(stream_requests(2 * GB, 1, request_bytes=24))
+
+
+class TestStride:
+    def test_fixed_stride(self):
+        reqs = list(stride_requests(2 * GB, 5, stride_bytes=4096))
+        assert [a for _, a, _ in reqs] == [0, 4096, 8192, 12288, 16384]
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            list(stride_requests(2 * GB, 1, stride_bytes=0))
+        with pytest.raises(ValueError):
+            list(stride_requests(2 * GB, 1, stride_bytes=100))
+
+    def test_vault_pinning_stride(self):
+        """A stride of vaults*block pins every access to vault 0 under
+        the default low-interleave map — the pathological case."""
+        amap = AddressMap(16, 8, 64, 2 * GB)
+        stride = 16 * 64
+        vaults = {
+            amap.vault_of(a)
+            for _, a, _ in stride_requests(2 * GB, 100, stride_bytes=stride)
+        }
+        assert vaults == {0}
+
+
+class TestGups:
+    def test_updates_are_atomics(self):
+        reqs = list(gups_requests(2 * GB, 100))
+        assert all(c is CMD.ADD16 for c, _, _ in reqs)
+        assert all(p is not None for _, _, p in reqs)
+
+    def test_posted_variant(self):
+        reqs = list(gups_requests(2 * GB, 10, posted=True))
+        assert all(c is CMD.P_ADD16 for c, _, _ in reqs)
+
+    def test_table_confinement(self):
+        table = 1 << 20
+        for _, addr, _ in gups_requests(2 * GB, 200, table_bytes=table):
+            assert 0 <= addr < table
+            assert addr % 16 == 0
+
+    def test_table_validation(self):
+        with pytest.raises(ValueError):
+            list(gups_requests(2 * GB, 1, table_bytes=4 * GB))
