@@ -1,0 +1,75 @@
+"""Ablation **ras** — cost of the ECC/RAS subsystem.
+
+The RAS layer (``src/repro/ras``) is modelled timing-neutral: simulated
+cycle counts are identical with ECC on or off (asserted here).  What it
+does cost is host wall-clock — every demand read decodes through the
+Hamming(72,64) codec and every write encodes check bytes.  This bench
+quantifies that overhead, the patrol scrubber's cost per scrubbed atom,
+and the full pipeline under a heavy injected fault rate.
+"""
+
+import pytest
+
+from repro.core.config import DeviceConfig, SimConfig
+from repro.workloads.random_access import RandomAccessConfig, run_random_access
+
+ECC_MODES = (False, True)
+
+
+def _run(ecc, n, seed=1, **ras_kw):
+    device = DeviceConfig(ecc_enabled=ecc)
+    scfg = SimConfig(device=device, **ras_kw) if (ecc or ras_kw) else None
+    return run_random_access(
+        device,
+        RandomAccessConfig(num_requests=n, seed=seed),
+        sim_config=scfg,
+        keep_sim=True,
+    )
+
+
+@pytest.mark.benchmark(group="ras-read-path")
+@pytest.mark.parametrize("ecc", ECC_MODES, ids=["ecc=off", "ecc=on"])
+def test_ecc_read_path_overhead(benchmark, ecc, num_requests):
+    """Wall-clock cost of encode-on-write / decode-on-read."""
+    n = max(256, num_requests // 4)
+    res = benchmark.pedantic(_run, args=(ecc, n), rounds=1, iterations=1)
+    print(f"\necc={'on' if ecc else 'off'}: {n:,} requests in "
+          f"{res.cycles:,} simulated cycles")
+    # ECC never changes the simulated timing — compare wall clock only.
+    assert res.cycles == _run(False, n).cycles
+    res.sim.free()
+
+
+@pytest.mark.benchmark(group="ras-scrubber")
+def test_scrubber_cost_per_atom(benchmark, num_requests):
+    """Decode cost of one full patrol pass over a populated device."""
+    n = max(256, num_requests // 4)
+    res = _run(True, n)
+    dev = res.sim.devices[0]
+
+    atoms = benchmark.pedantic(
+        dev.ras.scrub_all, rounds=3, iterations=1, warmup_rounds=1)
+    per_atom = benchmark.stats.stats.mean / atoms if atoms else 0.0
+    print(f"\nfull patrol pass: {atoms:,} atoms, "
+          f"{benchmark.stats.stats.mean * 1e3:.2f} ms/pass, "
+          f"{per_atom * 1e9:.0f} ns/atom")
+    assert dev.ras.log.ce_count == 0  # clean device: patrol finds nothing
+    res.sim.free()
+
+
+@pytest.mark.benchmark(group="ras-fault-pipeline")
+def test_fault_rate_pipeline(benchmark, num_requests):
+    """End-to-end cost with upset arrivals + patrol scrubbing active."""
+    n = max(256, num_requests // 4)
+    res = benchmark.pedantic(
+        _run, args=(True, n),
+        kwargs={"ras_fit_rate": 2e6, "ras_scrub_interval": 64},
+        rounds=1, iterations=1)
+    dev = res.sim.devices[0]
+    dev.ras.scrub_all()
+    s = dev.ras.stats()
+    print(f"\nFIT 2e6 + scrub/64: {s['upsets_injected']:,} upsets "
+          f"({s['upsets_masked']:,} masked), {s['ce']:,} CE, {s['ue']:,} UE, "
+          f"{s['atoms_scrubbed']:,} atoms scrubbed, outcomes {s['outcomes']}")
+    assert s["upsets_pending"] == 0
+    res.sim.free()

@@ -4,7 +4,9 @@
 random-access harness and computes the speedup ratios the paper reports
 (1.7× from doubling banks, 2.319× from doubling links);
 :mod:`figures` extracts the five Figure-5 per-cycle series;
-:mod:`report` renders both as paper-style text tables.
+:mod:`report` renders both as paper-style text tables;
+:mod:`reliability` sweeps the RAS subsystem (fault rate × scrub
+interval) and reports CE/UE rates and scrub coverage.
 """
 
 from repro.analysis.tables import Table1Row, run_table1, speedups
@@ -12,12 +14,22 @@ from repro.analysis.figures import Figure5Data, extract_figure5, downsample
 from repro.analysis.report import render_figure5_summary, render_table1
 from repro.analysis.bandwidth import BandwidthReport, measure, raw_device_bandwidth_gbs
 from repro.analysis.latency import LatencyDistribution
+from repro.analysis.reliability import (
+    ReliabilityCell,
+    ras_sweep,
+    render_reliability,
+    run_reliability_cell,
+)
 
 __all__ = [
     "BandwidthReport",
     "Figure5Data",
     "LatencyDistribution",
+    "ReliabilityCell",
     "Table1Row",
+    "ras_sweep",
+    "render_reliability",
+    "run_reliability_cell",
     "downsample",
     "extract_figure5",
     "measure",

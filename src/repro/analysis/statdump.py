@@ -81,7 +81,7 @@ def link_stats(l) -> Dict[str, Any]:
 
 
 def device_stats(dev) -> Dict[str, Any]:
-    return {
+    out = {
         "dev_id": dev.dev_id,
         "config": dev.config.label(),
         "is_root": dev.is_root,
@@ -95,6 +95,9 @@ def device_stats(dev) -> Dict[str, Any]:
         "xbars": [xbar_stats(x) for x in dev.xbars],
         "vaults": [vault_stats(v) for v in dev.vaults],
     }
+    if dev.ras is not None:
+        out["ras"] = dev.ras.stats()
+    return out
 
 
 def dump_stats(sim: HMCSim, include_banks: bool = True) -> Dict[str, Any]:

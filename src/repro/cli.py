@@ -8,7 +8,8 @@ Python:
 * ``topology`` — build and diagnose a Figure 1 topology;
 * ``bandwidth`` — delivered-vs-raw bandwidth for a random-access run;
 * ``faults`` — drive traffic through a noisy link and report recovery;
-* ``replay`` — replay a flat ``R/W <hex-addr> [size]`` address trace.
+* ``replay`` — replay a flat ``R/W <hex-addr> [size]`` address trace;
+* ``ras`` — in-DRAM reliability sweep (fault rate × scrub interval).
 """
 
 from __future__ import annotations
@@ -139,6 +140,26 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_ras(args) -> int:
+    from repro.analysis.reliability import ras_sweep, render_reliability
+
+    device = _device_from_args(args)
+    try:
+        rates = [float(x) for x in args.fit_rates.split(",")]
+        intervals = [int(x) for x in args.scrub_intervals.split(",")]
+    except ValueError:
+        print(f"ras: invalid sweep list (want comma-separated numbers): "
+              f"--fit-rates {args.fit_rates!r} "
+              f"--scrub-intervals {args.scrub_intervals!r}", file=sys.stderr)
+        return 2
+    cfg = RandomAccessConfig(num_requests=args.requests, seed=args.seed)
+    cells = ras_sweep(device, rates, intervals, cfg, ras_seed=args.ras_seed)
+    print(f"{device.label()}: {args.requests:,} requests, "
+          f"FIT rates {rates} x scrub intervals {intervals}")
+    print(render_reliability(cells))
+    return 0
+
+
 def cmd_replay(args) -> int:
     from repro.workloads.trace_replay import replay_address_trace
 
@@ -156,8 +177,23 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def _package_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table1", help="regenerate Table I")
@@ -193,6 +229,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_device_args(p)
     p.add_argument("trace", help="path to a 'R/W <hex-addr> [size]' trace file")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("ras", help="reliability sweep: fault rate x scrub interval")
+    _add_device_args(p)
+    p.add_argument("--fit-rates", type=str, default="0,2e5,1e6",
+                   help="comma-separated upset rates (per bank per 1e9 cycles)")
+    p.add_argument("--scrub-intervals", type=str, default="0,64,1024",
+                   help="comma-separated patrol intervals in cycles (0 = off)")
+    p.add_argument("--ras-seed", type=int, default=1)
+    p.set_defaults(func=cmd_ras)
 
     return parser
 

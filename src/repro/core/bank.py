@@ -53,7 +53,8 @@ class Bank:
 
     __slots__ = ("bank_id", "capacity_bytes", "drams", "_blocks",
                  "busy_until", "reads", "writes", "atomics", "conflicts",
-                 "column_fetches", "open_row", "row_hits", "row_misses")
+                 "column_fetches", "open_row", "row_hits", "row_misses",
+                 "ras")
 
     def __init__(self, bank_id: int, capacity_bytes: int, num_drams: int = 8) -> None:
         if capacity_bytes <= 0 or capacity_bytes % ATOM_BYTES:
@@ -78,6 +79,9 @@ class Bank:
         self.atomics = 0
         self.conflicts = 0
         self.column_fetches = 0
+        #: ECC layer (repro.ras.controller.BankRas) when the device is
+        #: built with ecc_enabled; None keeps the unprotected datapath.
+        self.ras = None
 
     # -- busy window ---------------------------------------------------------
 
@@ -146,8 +150,10 @@ class Bank:
         self.reads += 1
         self._count_fetches(nbytes)
         self._touch_drams(nbytes)
-        out: List[int] = []
         atom0 = byte_addr // ATOM_BYTES
+        if self.ras is not None:
+            return self.ras.read_atoms(atom0, nbytes // ATOM_BYTES)
+        out: List[int] = []
         for i in range(nbytes // ATOM_BYTES):
             w0, w1 = self._blocks.get(atom0 + i, (0, 0))
             out.append(w0)
@@ -169,6 +175,8 @@ class Bank:
                 words[2 * i] & _MASK64,
                 words[2 * i + 1] & _MASK64,
             )
+        if self.ras is not None:
+            self.ras.on_write(atom0, [w & _MASK64 for w in words])
 
     def masked_write(self, byte_addr: int, data: int, byte_mask: int) -> None:
         """BWR: byte-enabled write of one 8-byte word.
@@ -196,6 +204,8 @@ class Bank:
                 word = (word & ~(0xFF << shift)) | (data & (0xFF << shift))
         old[half] = word & _MASK64
         self._blocks[atom] = (old[0], old[1])
+        if self.ras is not None:
+            self.ras.on_write(atom, [old[0], old[1]])
 
     def atomic_add16(self, byte_addr: int, operands: List[int]) -> List[int]:
         """ADD16: add a 16-byte operand to the block, return the old value.
@@ -212,10 +222,13 @@ class Bank:
         self._touch_drams(ATOM_BYTES)
         atom = byte_addr // ATOM_BYTES
         old = self._blocks.get(atom, (0, 0))
-        self._blocks[atom] = (
+        new = (
             (old[0] + operands[0]) & _MASK64,
             (old[1] + operands[1]) & _MASK64,
         )
+        self._blocks[atom] = new
+        if self.ras is not None:
+            self.ras.on_write(atom, [new[0], new[1]])
         return [old[0], old[1]]
 
     def atomic_2add8(self, byte_addr: int, operands: List[int]) -> List[int]:
@@ -223,6 +236,24 @@ class Bank:
         # Same storage transformation as ADD16 in this word-granular
         # model; kept separate for command accounting and future masking.
         return self.atomic_add16(byte_addr, operands)
+
+    # -- raw atom access (ECC layer / diagnostics) ----------------------------
+
+    def atom_words(self, atom: int) -> Tuple[int, int]:
+        """Stored 64-bit word pair of *atom* (zeros when untouched)."""
+        return self._blocks.get(atom, (0, 0))
+
+    def set_atom_words(self, atom: int, w0: int, w1: int) -> None:
+        """Replace *atom*'s stored words without access accounting.
+
+        Used by the ECC layer's correct-and-writeback path; demand
+        traffic must go through :meth:`read` / :meth:`write`.
+        """
+        self._blocks[atom] = (w0 & _MASK64, w1 & _MASK64)
+
+    def touched_atoms(self) -> List[int]:
+        """Sorted indices of materialised atoms (patrol scrub order)."""
+        return sorted(self._blocks)
 
     # -- diagnostics ----------------------------------------------------------
 
@@ -246,3 +277,5 @@ class Bank:
         self.column_fetches = 0
         for d in self.drams:
             d.accesses = 0
+        if self.ras is not None:
+            self.ras.reset()

@@ -107,6 +107,14 @@ class ClockEngine:
                 )
         self.stage_counts[4] += issued
 
+        # RAS sub-step (only on ECC-enabled devices): transient fault
+        # arrivals and the patrol scrubber.  Timing-neutral — it never
+        # occupies banks or moves packets, so cycle counts match the
+        # unprotected model exactly.
+        for dev in sim.devices:
+            if dev.ras is not None:
+                dev.ras.tick(cycle)
+
         # Stage 5: response registration, roots first then children.
         if mark:
             tracer.event(EventType.SUBCYCLE, cycle, stage=5)
@@ -121,6 +129,10 @@ class ClockEngine:
         if mark:
             tracer.event(EventType.SUBCYCLE, cycle, stage=6)
         for dev in sim.devices:
+            if dev.ras is not None:
+                # Mirror RAS counters before the register tick so host
+                # writes strobed this cycle are observed (write-to-clear).
+                dev.ras.sync_registers()
             dev.regs.tick()
             dev.regs.internal_write("STAT", cycle + 1)
         sim.clock_value = cycle + 1

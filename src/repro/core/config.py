@@ -60,6 +60,11 @@ class DeviceConfig:
         SERDES rate per lane; validated against the link count.
     block_size:
         Maximum request block in bytes for the default address map.
+    ecc_enabled:
+        Protect stored data with the in-DRAM SECDED codec and attach
+        the RAS subsystem (``repro.ras``).  Off by default: the paper's
+        model has no in-DRAM error layer, and with ECC off the datapath
+        is bit-for-bit the unprotected one.
     """
 
     num_links: int = 4
@@ -71,6 +76,7 @@ class DeviceConfig:
     xbar_depth: int = 128
     link_rate_gbps: float = 10.0
     block_size: int = 64
+    ecc_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.num_links not in VALID_LINK_COUNTS:
@@ -202,6 +208,20 @@ class SimConfig:
     #: Age (in cycles) after which a queued packet is expired with a
     #: QUEUE_TIMEOUT error response; 0 disables zombie protection.
     queue_timeout: int = 0
+    #: RAS subsystem knobs (active only with ``device.ecc_enabled``).
+    #: Seed for the per-device fault RNG streams.
+    ras_seed: int = 1
+    #: Transient-upset rate: expected single-bit upsets per bank per
+    #: 1e9 device cycles (FIT-style).  0 disables transient faults.
+    ras_fit_rate: float = 0.0
+    #: Hard faults placed at init, uniformly over banks: stuck-at data
+    #: bits and whole failed DRAM rows.
+    ras_stuck_cells: int = 0
+    ras_row_faults: int = 0
+    #: Patrol scrubber: every ``ras_scrub_interval`` cycles scrub up to
+    #: ``ras_scrub_rows`` touched rows (0 interval disables the patrol).
+    ras_scrub_interval: int = 0
+    ras_scrub_rows: int = 4
 
     def __post_init__(self) -> None:
         if self.num_devs <= 0:
@@ -239,6 +259,14 @@ class SimConfig:
             raise InitError("refresh_cycles must be below refresh_interval")
         if self.queue_timeout < 0:
             raise InitError("queue_timeout must be >= 0")
+        if self.ras_fit_rate < 0:
+            raise InitError("ras_fit_rate must be >= 0")
+        if self.ras_stuck_cells < 0 or self.ras_row_faults < 0:
+            raise InitError("ras fault counts must be >= 0")
+        if self.ras_scrub_interval < 0:
+            raise InitError("ras_scrub_interval must be >= 0")
+        if self.ras_scrub_rows < 1:
+            raise InitError("ras_scrub_rows must be >= 1")
 
     @property
     def host_cub(self) -> int:

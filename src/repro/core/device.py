@@ -28,7 +28,7 @@ class HMCDevice:
     """One simulated HMC device: structure hierarchy + registers."""
 
     __slots__ = ("dev_id", "config", "amap", "regs", "jtag",
-                 "links", "xbars", "quads", "vaults")
+                 "links", "xbars", "quads", "vaults", "ras")
 
     def __init__(self, dev_id: int, config: DeviceConfig) -> None:
         self.dev_id = dev_id
@@ -42,6 +42,9 @@ class HMCDevice:
         )
         self.regs = RegisterFile()
         self.jtag = JTAGInterface(self.regs)
+        #: RAS controller (repro.ras.controller.RasController), attached
+        #: by the simulator when config.ecc_enabled; None otherwise.
+        self.ras = None
 
         lanes = 16 if config.num_links == 4 else 8
         prefix = f"dev{dev_id}."
@@ -171,6 +174,8 @@ class HMCDevice:
         for l in self.links:
             l.tx_packets = l.rx_packets = 0
             l.tx_flits = l.rx_flits = 0
+        if self.ras is not None:
+            self.ras.reset()
 
     def unlink(self) -> None:
         """Clear link endpoint configuration (full re-topology)."""

@@ -57,6 +57,7 @@ class HMCSim:
         num_drams: int = 8,
         capacity: int = 2,
         xbar_depth: int = 128,
+        ecc_enabled: bool = False,
         trace_mask: EventType = EventType.NONE,
         **engine_kw,
     ) -> None:
@@ -69,6 +70,7 @@ class HMCSim:
                 capacity=capacity,
                 queue_depth=queue_depth,
                 xbar_depth=xbar_depth,
+                ecc_enabled=ecc_enabled,
             )
             config = SimConfig(device=device, num_devs=num_devs, **engine_kw)
         elif engine_kw:
@@ -80,6 +82,13 @@ class HMCSim:
         self.clock_value: int = 0
         self.tracer = Tracer(mask=trace_mask)
         self.engine = ClockEngine(self)
+        if config.device.ecc_enabled:
+            # Deferred import: the RAS subsystem never loads (and costs
+            # nothing) in the default unprotected configuration.
+            from repro.ras.controller import RasController
+
+            for d in self.devices:
+                d.ras = RasController(d, config, self.tracer)
         #: Enforce one structural hop per sub-cycle stage (paper §IV.C).
         self.enforce_hop_limit = True
 
@@ -515,7 +524,7 @@ class HMCSim:
 
     def stats(self) -> Dict[str, int]:
         """Aggregate counters across the simulation object."""
-        return {
+        out = {
             "cycles": self.clock_value,
             "packets_sent": self.packets_sent,
             "packets_received": self.packets_received,
@@ -526,6 +535,11 @@ class HMCSim:
             "latency_penalties": sum(d.total_latency_penalties for d in self.devices),
             "requests_processed": sum(d.total_requests_processed for d in self.devices),
         }
+        if any(d.ras is not None for d in self.devices):
+            out["ras"] = {
+                d.dev_id: d.ras.stats() for d in self.devices if d.ras is not None
+            }
+        return out
 
     def reset(self) -> None:
         """Reset devices and clock; topology is preserved (§V.A)."""

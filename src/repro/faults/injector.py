@@ -5,8 +5,9 @@ Two injectors cover the common scenarios:
 * :class:`BitErrorInjector` — a Bernoulli process per transmitted bit
   (a classical BER model), driven by a seeded generator so runs are
   reproducible;
-* :class:`ScheduledInjector` — corrupt exactly the Nth, Mth, ...
-  transmissions (regression tests and targeted what-if studies).
+* :class:`ScheduledInjector` — corrupt exactly the scheduled
+  transmission ordinals, counted **0-based** (ordinal 0 is the first
+  transmission) — regression tests and targeted what-if studies.
 
 Both corrupt *copies* of the wire words; the caller decides what the
 corrupted transmission means (usually: receiver CRC check fails and the
@@ -80,9 +81,15 @@ class ScheduledInjector:
         self.corrupted_transmissions = 0
 
     def corrupt(self, words: Sequence[int]) -> List[int]:
-        """Return *words*, corrupted iff this ordinal is scheduled."""
+        """Return *words*, corrupted iff this ordinal is scheduled.
+
+        Ordinals are 0-based: the first call to ``corrupt`` is
+        ordinal 0, so ``transmissions`` equals the ordinal of the call
+        about to happen.
+        """
         out = [int(w) & _MASK64 for w in words]
         ordinal = self.transmissions
+        assert ordinal >= 0, "transmission ordinals are 0-based"
         self.transmissions += 1
         if ordinal in self._targets and out:
             # Flip a bit in the middle word: survives header AND tail

@@ -1,0 +1,23 @@
+"""In-DRAM RAS subsystem: SECDED ECC, fault models, patrol scrubbing.
+
+See :mod:`repro.ras.codec` for the Hamming(72,64) codec,
+:mod:`repro.ras.faultmap` for the seeded fault models,
+:mod:`repro.ras.scrubber` for the patrol scrubber and
+:mod:`repro.ras.controller` for the per-device wiring, and
+``docs/ras.md`` for the full subsystem description.
+"""
+
+from repro.ras.codec import CE, CLEAN, UE, decode, decode_word, encode, encode_word
+from repro.ras.controller import BankRas, RasController
+from repro.ras.faultmap import DeviceFaultMap, UpsetRecord
+from repro.ras.log import RasEvent, RasLog
+from repro.ras.scrubber import PatrolScrubber
+
+__all__ = [
+    "CLEAN", "CE", "UE",
+    "encode", "decode", "encode_word", "decode_word",
+    "RasController", "BankRas",
+    "DeviceFaultMap", "UpsetRecord",
+    "RasEvent", "RasLog",
+    "PatrolScrubber",
+]

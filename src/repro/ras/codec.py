@@ -1,0 +1,184 @@
+"""Vectorized Hamming(72,64) SECDED codec.
+
+Every 64-bit DRAM word is protected by an 8-bit check field: seven
+Hamming check bits plus one overall-parity bit — the classic SECDED
+(single-error-correct, double-error-detect) arrangement used by ECC
+DIMMs and by the stacked DRAM dies this subsystem models.
+
+Codeword layout (1-based Hamming positions 1..71):
+
+* positions that are powers of two (1, 2, 4, ..., 64) hold the seven
+  Hamming check bits;
+* the remaining 64 positions hold the data bits, in ascending order;
+* an eighth check bit (stored in bit 7 of the check byte) is the
+  overall parity of the data word and the seven Hamming bits.
+
+Decoding computes the 7-bit syndrome and the overall parity:
+
+==========  ========  =====================================
+syndrome    parity    classification
+==========  ========  =====================================
+0           even      clean
+any         odd       single-bit error → corrected (CE)
+nonzero     even      double-bit error → uncorrectable (UE)
+invalid     odd       multi-bit alias → uncorrectable (UE)
+==========  ========  =====================================
+
+Triple and larger odd-weight errors can alias to a CE — the usual
+SECDED guarantee covers at most two flipped bits per codeword.
+
+The encode/decode kernels are vectorized over numpy ``uint64`` arrays:
+check-bit generation is seven mask-and-parity folds, and correction is
+a single 128-entry syndrome-table lookup (``_SYNDROME_TABLE``) applied
+to whole word batches at once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Decode classifications per word.
+CLEAN = 0
+#: Corrected (single-bit) error.
+CE = 1
+#: Detected-uncorrectable (double/multi-bit) error.
+UE = 2
+
+#: Data-word width and check-field width in bits.
+DATA_BITS = 64
+CHECK_BITS = 8
+
+#: Bits an injected fault may target per codeword: 64 data bits, then
+#: the seven Hamming check bits (64..70), then the overall parity (71).
+CODEWORD_BITS = 72
+
+#: Hamming positions (1-based) of the 64 data bits: everything in
+#: [1, 71] that is not a power of two.
+DATA_POSITIONS: Tuple[int, ...] = tuple(
+    p for p in range(1, 72) if p & (p - 1)
+)
+assert len(DATA_POSITIONS) == DATA_BITS
+
+#: 64-bit masks: data bits participating in Hamming check bit j.
+_DATA_MASKS = np.array(
+    [
+        sum(1 << i for i, p in enumerate(DATA_POSITIONS) if (p >> j) & 1)
+        for j in range(7)
+    ],
+    dtype=np.uint64,
+)
+
+#: Syndrome → meaning: data bit index to flip (0..63), 64 for an error
+#: confined to a check bit (data already correct), -1 for a syndrome no
+#: single-bit error can produce (multi-bit → UE).
+_SYNDROME_TABLE = np.full(128, -1, dtype=np.int16)
+_SYNDROME_TABLE[0] = 64  # overall-parity bit itself flipped
+for _j in range(7):
+    _SYNDROME_TABLE[1 << _j] = 64  # Hamming check bit flipped
+for _i, _p in enumerate(DATA_POSITIONS):
+    _SYNDROME_TABLE[_p] = _i
+
+_U1 = np.uint64(1)
+
+
+def _parity64(x: np.ndarray) -> np.ndarray:
+    """Bitwise parity of each uint64 element (0 or 1, as uint8)."""
+    x = x ^ (x >> np.uint64(32))
+    x = x ^ (x >> np.uint64(16))
+    x = x ^ (x >> np.uint64(8))
+    x = x ^ (x >> np.uint64(4))
+    x = x ^ (x >> np.uint64(2))
+    x = x ^ (x >> np.uint64(1))
+    return (x & _U1).astype(np.uint8)
+
+
+def _parity8(x: np.ndarray) -> np.ndarray:
+    """Bitwise parity of each uint8 element."""
+    x = x ^ (x >> np.uint8(4))
+    x = x ^ (x >> np.uint8(2))
+    x = x ^ (x >> np.uint8(1))
+    return x & np.uint8(1)
+
+
+def encode(words) -> np.ndarray:
+    """Check bytes for a batch of 64-bit data *words*.
+
+    Returns a ``uint8`` array: bits 0..6 are the Hamming check bits,
+    bit 7 the overall parity over data + Hamming bits.
+    """
+    data = np.asarray(words, dtype=np.uint64)
+    checks = np.zeros(data.shape, dtype=np.uint8)
+    for j in range(7):
+        checks |= _parity64(data & _DATA_MASKS[j]) << np.uint8(j)
+    overall = _parity64(data) ^ _parity8(checks)
+    return checks | (overall << np.uint8(7))
+
+
+def decode(words, checks) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode received (data, check) pairs.
+
+    Returns ``(corrected_words, corrected_checks, status)`` where
+    *status* holds :data:`CLEAN` / :data:`CE` / :data:`UE` per word.
+    CE words come back corrected (data and check field both repaired);
+    UE words are returned as received.
+    """
+    data = np.array(words, dtype=np.uint64, copy=True)
+    chk = np.array(checks, dtype=np.uint8, copy=True)
+    syn = np.zeros(data.shape, dtype=np.uint8)
+    for j in range(7):
+        syn |= (
+            _parity64(data & _DATA_MASKS[j]) ^ ((chk >> np.uint8(j)) & np.uint8(1))
+        ) << np.uint8(j)
+    odd = (_parity64(data) ^ _parity8(chk)).astype(bool)
+    look = _SYNDROME_TABLE[syn]
+
+    status = np.zeros(data.shape, dtype=np.uint8)
+    data_ce = odd & (look >= 0) & (look < DATA_BITS)
+    check_ce = odd & (look == DATA_BITS)
+    ue = (~odd & (syn != 0)) | (odd & (look < 0))
+
+    if data_ce.any():
+        idx = np.nonzero(data_ce)
+        data[idx] ^= _U1 << look[idx].astype(np.uint64)
+    fixed = data_ce | check_ce
+    if fixed.any():
+        chk[fixed] = encode(data[fixed])
+    status[fixed] = CE
+    status[ue] = UE
+    return data, chk, status
+
+
+# -- scalar conveniences ------------------------------------------------------
+
+
+def encode_word(word: int) -> int:
+    """Check byte for one 64-bit data word."""
+    return int(encode(np.array([word], dtype=np.uint64))[0])
+
+
+def decode_word(word: int, check: int) -> Tuple[int, int, int]:
+    """Decode one (word, check) pair → (corrected, fixed_check, status)."""
+    d, c, s = decode(
+        np.array([word], dtype=np.uint64), np.array([check], dtype=np.uint8)
+    )
+    return int(d[0]), int(c[0]), int(s[0])
+
+
+def flip(word: int, check: int, bit: int) -> Tuple[int, int]:
+    """Flip codeword *bit* (0..71) of a (word, check) pair.
+
+    Bits 0..63 target the data word; 64..70 the Hamming check bits;
+    71 the overall-parity bit.
+    """
+    if not 0 <= bit < CODEWORD_BITS:
+        raise ValueError(f"codeword bit must be in [0, {CODEWORD_BITS}), got {bit}")
+    if bit < DATA_BITS:
+        return word ^ (1 << bit), check
+    return word, check ^ (1 << (bit - DATA_BITS))
+
+
+#: Check byte of the all-zero word — the implicit check value of every
+#: never-written (sparse) storage atom.
+ZERO_CHECK: int = encode_word(0)

@@ -1,0 +1,89 @@
+"""RAS event log: corrected / uncorrectable error records + counters.
+
+Every ECC decode that finds a fault — on the demand read path or under
+the patrol scrubber — is recorded here with its full physical locality
+(vault, bank, atom, word half) and its discovery source.  The log is
+the ground truth the RAS registers (``RASCE`` / ``RASUE``) mirror and
+the reliability report aggregates; tests compare two runs' logs
+tuple-for-tuple to prove seeded determinism.
+
+The event list is bounded (counters are not): once ``max_events``
+records accumulate, further events only bump the counters and
+``dropped`` — paper-scale reliability sweeps stay memory-bounded the
+same way the trace aggregators do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Discovery sources.
+SOURCE_ACCESS = "access"
+SOURCE_SCRUB = "scrub"
+
+
+@dataclass(frozen=True)
+class RasEvent:
+    """One corrected or uncorrectable error observation."""
+
+    #: "CE" (corrected) or "UE" (detected-uncorrectable).
+    kind: str
+    #: Internal clock tick at discovery.
+    cycle: int
+    vault: int
+    bank: int
+    #: 16-byte atom index within the bank.
+    atom: int
+    #: Which 64-bit word of the atom (0 or 1); -1 when both halves.
+    half: int
+    #: Discovery path: "access" (demand read) or "scrub" (patrol).
+    source: str
+
+    def as_tuple(self) -> Tuple:
+        return (self.kind, self.cycle, self.vault, self.bank,
+                self.atom, self.half, self.source)
+
+
+class RasLog:
+    """Append-only RAS event log with CE/UE counters."""
+
+    __slots__ = ("events", "ce_count", "ue_count", "dropped", "max_events")
+
+    def __init__(self, max_events: int = 65536) -> None:
+        self.events: List[RasEvent] = []
+        self.ce_count = 0
+        self.ue_count = 0
+        self.dropped = 0
+        self.max_events = max_events
+
+    def _append(self, event: RasEvent) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    def record_ce(self, cycle: int, vault: int, bank: int, atom: int,
+                  half: int, source: str) -> None:
+        """A single-bit error was found and corrected."""
+        self.ce_count += 1
+        self._append(RasEvent("CE", cycle, vault, bank, atom, half, source))
+
+    def record_ue(self, cycle: int, vault: int, bank: int, atom: int,
+                  half: int, source: str) -> None:
+        """A detected-uncorrectable (multi-bit) error was found."""
+        self.ue_count += 1
+        self._append(RasEvent("UE", cycle, vault, bank, atom, half, source))
+
+    def as_tuples(self) -> List[Tuple]:
+        """Comparable flat form (determinism tests)."""
+        return [e.as_tuple() for e in self.events]
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.ce_count = 0
+        self.ue_count = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,128 @@
+"""Patrol scrubber: background ECC sweep over the stacked DRAM.
+
+The scrubber walks every bank's *touched* rows (a row is
+``ATOMS_PER_ROW`` consecutive 16-byte atoms; untouched atoms hold no
+state to decay in the sparse storage model) in a fixed round-robin
+order — vault by vault, bank by bank, row by row.  Every
+``ras_scrub_interval`` internal clock ticks it runs one step in the
+RAS sub-cycle of the clock engine, scrubbing up to ``ras_scrub_rows``
+rows: each atom is read through the SECDED codec, CEs are corrected
+and written back (``corrected-scrub``), UEs are logged.
+
+The patrol traffic is modelled as *timing-neutral*: it rides the idle
+bandwidth of the internal DRAM interface and does not occupy banks or
+delay demand requests, so enabling ECC and scrubbing never changes
+simulated cycle counts — only the RAS log, counters and registers.
+The bandwidth a real device would spend is reported analytically by
+the reliability report (atoms scrubbed × atom size / elapsed cycles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List
+
+from repro.ras.faultmap import ATOMS_PER_ROW
+from repro.ras.log import SOURCE_SCRUB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ras.controller import RasController
+
+
+class PatrolScrubber:
+    """Round-robin background scrubber for one device."""
+
+    __slots__ = (
+        "ctl", "interval", "rows_per_step",
+        "_vault_i", "_bank_i", "_rows",
+        "atoms_scrubbed", "rows_scrubbed", "passes", "steps",
+    )
+
+    def __init__(self, ctl: "RasController", interval: int,
+                 rows_per_step: int) -> None:
+        self.ctl = ctl
+        #: Clock ticks between scrub steps; 0 disables the patrol.
+        self.interval = interval
+        self.rows_per_step = rows_per_step
+        self.reset()
+
+    def reset(self) -> None:
+        self._vault_i = -1
+        self._bank_i = -1
+        #: Rows (lists of atom indices) still queued in the current bank.
+        self._rows: Deque[List[int]] = deque()
+        self.atoms_scrubbed = 0
+        self.rows_scrubbed = 0
+        #: Completed full-device patrol passes.
+        self.passes = 0
+        self.steps = 0
+
+    # -- patrol walk ---------------------------------------------------------
+
+    def _advance_bank(self) -> None:
+        """Move to the next bank in patrol order and queue its rows."""
+        dev = self.ctl.device
+        self._bank_i += 1
+        if self._vault_i < 0 or self._bank_i >= len(dev.vaults[self._vault_i].banks):
+            self._bank_i = 0
+            self._vault_i += 1
+            if self._vault_i >= len(dev.vaults):
+                self._vault_i = 0
+                self.passes += 1
+        bank = dev.vaults[self._vault_i].banks[self._bank_i]
+        atoms = bank.touched_atoms()
+        row: List[int] = []
+        row_id = -1
+        for atom in atoms:
+            r = atom // ATOMS_PER_ROW
+            if r != row_id:
+                if row:
+                    self._rows.append(row)
+                row = []
+                row_id = r
+            row.append(atom)
+        if row:
+            self._rows.append(row)
+
+    def _scrub_one_row(self) -> bool:
+        """Scrub the next queued row; False when the device is empty."""
+        dev = self.ctl.device
+        nbanks = sum(len(v.banks) for v in dev.vaults)
+        tried = 0
+        while not self._rows:
+            if tried >= nbanks:
+                return False
+            self._advance_bank()
+            tried += 1
+        atoms = self._rows.popleft()
+        bank = dev.vaults[self._vault_i].banks[self._bank_i]
+        bank.ras.check_atoms(atoms, SOURCE_SCRUB)
+        self.atoms_scrubbed += len(atoms)
+        self.rows_scrubbed += 1
+        return True
+
+    # -- entry points --------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        """One scheduled scrub step: up to ``rows_per_step`` rows."""
+        self.steps += 1
+        for _ in range(self.rows_per_step):
+            if not self._scrub_one_row():
+                return
+
+    def scrub_all(self) -> int:
+        """Immediate full sweep of every touched atom on the device.
+
+        Returns the number of atoms scrubbed.  Used by tests and the
+        ``ras`` CLI sweep to close out a run (a finite patrol interval
+        may not have completed a pass when the workload drains).
+        """
+        before = self.atoms_scrubbed
+        for vault in self.ctl.device.vaults:
+            for bank in vault.banks:
+                atoms = bank.touched_atoms()
+                if atoms:
+                    bank.ras.check_atoms(atoms, SOURCE_SCRUB)
+                    self.atoms_scrubbed += len(atoms)
+        self.passes += 1
+        return self.atoms_scrubbed - before

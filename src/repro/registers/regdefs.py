@@ -80,6 +80,11 @@ REGISTER_MAP: Tuple[RegDef, ...] = (
     RegDef("CTR", 0x2F0000, RegClass.RW, desc="feature control"),
     RegDef("CTS", 0x2F0001, RegClass.RO, desc="feature status"),
     RegDef("STAT", 0x2F0002, RegClass.RO, desc="device status / clock snapshot"),
+    # RAS counters (repro.ras): mirrored each cycle by the RAS
+    # controller; RWS — a host write of any value clears the counter.
+    RegDef("RASCE", 0x2B0005, RegClass.RWS, desc="corrected-error count (write to clear)"),
+    RegDef("RASUE", 0x2B0006, RegClass.RWS, desc="uncorrectable-error count (write to clear)"),
+    RegDef("RASSCR", 0x2B0007, RegClass.RWS, desc="patrol-scrub atom count (write to clear)"),
 )
 
 _PHYS_TO_LINEAR: Dict[int, int] = {r.phys: i for i, r in enumerate(REGISTER_MAP)}

@@ -90,6 +90,14 @@ class RegisterFile:
 
     # -- internal (device-logic) access -----------------------------------------
 
+    def was_strobed(self, name: str) -> bool:
+        """True iff a host wrote RWS register *name* this cycle.
+
+        Valid until :meth:`tick` runs; device logic uses this to see
+        write-to-clear strobes before the value self-clears.
+        """
+        return index_by_name(name) in self._pending_clear
+
     def internal_write(self, name: str, value: int) -> None:
         """Device-logic write; may target RO status registers."""
         self._values[index_by_name(name)] = value & _MASK64

@@ -53,6 +53,31 @@ class BinaryTraceError(ValueError):
     """Malformed binary trace stream."""
 
 
+def _pack_type(etype: int) -> int:
+    """Fit an EventType value into the u16 record field.
+
+    Values up to SUBCYCLE (0x8000) are stored verbatim — every stream
+    written before event types outgrew 16 bits stays byte-identical.
+    Larger single-flag types store as ``0x8000 | log2(value)`` (e.g.
+    RAS_CE = 1<<16 → 0x8010); no legacy flag other than SUBCYCLE itself
+    has bit 15 set, so the escape range is unambiguous.
+    """
+    if etype <= 0x8000:
+        return etype
+    if etype & (etype - 1):
+        raise BinaryTraceError(
+            f"cannot encode composite event type 0x{etype:x}"
+        )
+    return 0x8000 | (etype.bit_length() - 1)
+
+
+def _unpack_type(value: int) -> int:
+    """Inverse of :func:`_pack_type`."""
+    if value & 0x8000 and value != 0x8000:
+        return 1 << (value & 0x7FFF)
+    return value
+
+
 def write_file_header(stream: IO[bytes], num_vaults: int) -> None:
     stream.write(_FILE_HEADER.pack(FILE_MAGIC, FILE_VERSION, num_vaults, 0))
 
@@ -80,7 +105,7 @@ def encode_event(event: TraceEvent) -> bytes:
         raise BinaryTraceError("extras blob exceeds 64 KiB")
     head = _RECORD.pack(
         RECORD_MAGIC,
-        int(event.type),
+        _pack_type(int(event.type)),
         event.cycle,
         event.dev if -128 <= event.dev < 128 else -1,
         event.link if -128 <= event.link < 128 else -1,
@@ -115,7 +140,7 @@ def decode_event(stream: IO[bytes]) -> Optional[TraceEvent]:
             raise BinaryTraceError("truncated extras blob")
         extras = json.loads(blob)
     return TraceEvent(
-        type=EventType(etype),
+        type=EventType(_unpack_type(etype)),
         cycle=cycle,
         dev=dev,
         link=link,

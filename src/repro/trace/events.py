@@ -55,6 +55,15 @@ class EventType(enum.IntFlag):
     MODE_ACCESS = 1 << 14
     #: Sub-cycle stage marker (full-granularity tracing).
     SUBCYCLE = 1 << 15
+    #: In-DRAM corrected error (single-bit, repaired by SECDED).
+    RAS_CE = 1 << 16
+    #: In-DRAM detected-uncorrectable error (multi-bit).
+    RAS_UE = 1 << 17
+    #: Patrol scrubber step completed.
+    RAS_SCRUB = 1 << 18
+
+    #: All RAS (in-DRAM reliability) events.
+    RAS = RAS_CE | RAS_UE | RAS_SCRUB
 
     #: Everything except per-sub-cycle markers.
     STANDARD = (
@@ -73,6 +82,9 @@ class EventType(enum.IntFlag):
         | CHAIN_HOP
         | PKT_EXPIRED
         | MODE_ACCESS
+        | RAS_CE
+        | RAS_UE
+        | RAS_SCRUB
     )
     #: Full verbosity, including sub-cycle markers.
     ALL = STANDARD | SUBCYCLE

@@ -71,6 +71,9 @@ class RandomAccessResult:
     sim_stats: Dict[str, int]
     #: Figure-5 aggregation, populated when tracing was requested.
     trace_stats: Optional[TraceStats] = None
+    #: The simulation object, kept only when ``keep_sim`` was requested
+    #: (post-run inspection, e.g. the reliability report's final scrub).
+    sim: Optional[HMCSim] = None
 
     @property
     def cycles_per_request(self) -> float:
@@ -116,6 +119,7 @@ def run_random_access(
     trace: bool = False,
     trace_mask: EventType = EventType.FIGURE5,
     max_cycles: int = 50_000_000,
+    keep_sim: bool = False,
 ) -> RandomAccessResult:
     """Run the paper's random-access experiment on one configuration.
 
@@ -156,4 +160,5 @@ def run_random_access(
         run=run,
         sim_stats=sim.stats(),
         trace_stats=stats,
+        sim=sim if keep_sim else None,
     )

@@ -14,6 +14,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode"])
 
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_unknown_command_main_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["explode"])
+        assert exc.value.code != 0
+
     def test_device_args(self):
         args = build_parser().parse_args(
             ["fig5", "--links", "8", "--banks", "16", "--capacity", "8"])
@@ -59,6 +70,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "transmissions" in out
         assert "abandoned" in out
+
+    def test_ras(self, capsys):
+        assert main([
+            "ras", "--requests", "256",
+            "--fit-rates", "0,2e6", "--scrub-intervals", "0,64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FIT rate" in out
+        assert "bw ovh" in out
+
+    def test_ras_rejects_malformed_sweep_lists(self, capsys):
+        assert main(["ras", "--fit-rates", "abc"]) == 2
+        assert "invalid sweep list" in capsys.readouterr().err
 
     def test_replay(self, tmp_path, capsys):
         trace = tmp_path / "t.txt"

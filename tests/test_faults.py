@@ -74,6 +74,20 @@ class TestScheduledInjector:
         with pytest.raises(ValueError):
             ScheduledInjector({0}, bit=64)
 
+    def test_ordinals_are_zero_based(self):
+        """Regression: ordinal 0 means the *first* transmission.
+
+        ``ScheduledInjector({n})`` corrupts the (n+1)-th call to
+        ``corrupt`` — the scheduled ordinals count from zero, exactly
+        like ``transmissions`` before the call.
+        """
+        inj = ScheduledInjector({0}, bit=0)
+        assert inj.corrupt([8]) == [9]              # ordinal 0 = first call
+        assert inj.corrupt([8]) == [8]
+        inj = ScheduledInjector({2}, bit=0)
+        assert [inj.corrupt([8]) for _ in range(4)] == [[8], [8], [9], [8]]
+        assert inj.remaining == 0
+
 
 class TestLinkFaultModel:
     def test_clean_link(self):

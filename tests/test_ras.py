@@ -1,0 +1,475 @@
+"""Tests for the in-DRAM RAS subsystem (repro.ras).
+
+Covers the SECDED codec property guarantees (k=0 clean, k=1 corrected,
+k=2 detected-uncorrectable), the fault models, the patrol scrubber, the
+RAS registers (write-to-clear, MODE_READ + JTAG visibility), seeded
+determinism, and the acceptance end-to-end scenarios: ECC-off
+invariance, zero-fault invariance, no silent corruption under injected
+single-bit faults, and double-bit faults surfacing as UEs.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DeviceConfig, SimConfig
+from repro.core.simulator import HMCSim
+from repro.packets.commands import CMD
+from repro.packets.packet import build_memrequest
+from repro.ras import codec
+from repro.ras.faultmap import (
+    CORRECTED_ACCESS,
+    CORRECTED_SCRUB,
+    OVERWRITTEN,
+    PENDING,
+    DeviceFaultMap,
+)
+from repro.registers.regdefs import RegClass, REGISTER_MAP, index_by_name, physical_index
+from repro.trace.binfmt import decode_event, encode_event
+from repro.trace.events import EventType, TraceEvent
+from repro.trace.tracer import MemorySink
+from repro.workloads.random_access import RandomAccessConfig, run_random_access
+
+WORDS = st.integers(min_value=0, max_value=(1 << 64) - 1)
+BITS = st.integers(min_value=0, max_value=codec.CODEWORD_BITS - 1)
+
+RASCE_PHYS = physical_index(index_by_name("RASCE"))
+RASUE_PHYS = physical_index(index_by_name("RASUE"))
+RASSCR_PHYS = physical_index(index_by_name("RASSCR"))
+
+
+def _ecc_sim(links: int = 1, **ras_kw) -> HMCSim:
+    cfg = SimConfig(device=DeviceConfig(ecc_enabled=True), **ras_kw)
+    sim = HMCSim(cfg)
+    for link in range(links):
+        sim.attach_host(0, link)
+    return sim
+
+
+def _locate(dev, addr: int):
+    """(vault, bank, atom) triple of a device byte address."""
+    d = dev.amap.decode(addr)
+    rel = d.dram * dev.amap.block_size + d.offset
+    return d.vault, d.bank, rel // 16
+
+
+class TestCodecProperties:
+    """The SECDED guarantees, property-tested over random words."""
+
+    @given(WORDS)
+    def test_k0_clean_roundtrip(self, word):
+        check = codec.encode_word(word)
+        w, c, status = codec.decode_word(word, check)
+        assert status == codec.CLEAN
+        assert (w, c) == (word, check)
+
+    @given(WORDS, BITS)
+    def test_k1_corrected_to_original(self, word, bit):
+        check = codec.encode_word(word)
+        w2, c2 = codec.flip(word, check, bit)
+        w, c, status = codec.decode_word(w2, c2)
+        assert status == codec.CE
+        assert w == word
+        assert c == check
+
+    @given(WORDS, BITS, BITS)
+    def test_k2_flagged_uncorrectable(self, word, b0, b1):
+        if b0 == b1:
+            return
+        check = codec.encode_word(word)
+        w2, c2 = codec.flip(*codec.flip(word, check, b0), b1)
+        _, _, status = codec.decode_word(w2, c2)
+        assert status == codec.UE
+
+    @settings(max_examples=20)
+    @given(st.lists(WORDS, min_size=1, max_size=64))
+    def test_vectorized_matches_scalar(self, words):
+        arr = np.array(words, dtype=np.uint64)
+        checks = codec.encode(arr)
+        for i, w in enumerate(words):
+            assert int(checks[i]) == codec.encode_word(w)
+        d, c, s = codec.decode(arr, checks)
+        assert (s == codec.CLEAN).all()
+        assert (d == arr).all()
+
+    def test_zero_check_constant(self):
+        assert codec.ZERO_CHECK == codec.encode_word(0)
+
+    def test_flip_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            codec.flip(0, 0, codec.CODEWORD_BITS)
+
+
+class TestFaultMap:
+    def test_overlay_none_when_clean(self):
+        fm = DeviceFaultMap()
+        assert fm.overlay(0, 0, 5, 1, 2, 3, 4) is None
+
+    def test_upset_flips_and_resolves(self):
+        fm = DeviceFaultMap()
+        rec = fm.add_upset(10, 0, 1, 7, bit=3)
+        w0, w1, c0, c1 = fm.overlay(0, 1, 7, 0, 0, 0, 0)
+        assert w0 == 1 << 3 and (w1, c0, c1) == (0, 0, 0)
+        assert rec.outcome == PENDING
+        fm.resolve(0, 1, 7, CORRECTED_ACCESS)
+        assert rec.outcome == CORRECTED_ACCESS
+        assert fm.overlay(0, 1, 7, 0, 0, 0, 0) is None
+        assert fm.pending_upsets == 0
+
+    def test_check_bit_upset_targets_check_field(self):
+        fm = DeviceFaultMap()
+        fm.add_upset(0, 0, 0, 0, bit=codec.DATA_BITS)  # first check bit, half 0
+        w0, w1, c0, c1 = fm.overlay(0, 0, 0, 0, 0, 0, 0)
+        assert (w0, w1, c1) == (0, 0, 0) and c0 == 1
+
+    def test_upset_bounds(self):
+        fm = DeviceFaultMap()
+        with pytest.raises(ValueError):
+            fm.add_upset(0, 0, 0, 0, bit=2 * codec.CODEWORD_BITS)
+
+    def test_stuck_cell_forces_value(self):
+        fm = DeviceFaultMap()
+        fm.add_stuck(0, 0, 3, bit=5, value=1)
+        w0, _, _, _ = fm.overlay(0, 0, 3, 0, 0, 0, 0)
+        assert w0 == 1 << 5
+        # Stuck state survives resolve (it is a hard fault).
+        fm.resolve(0, 0, 3, CORRECTED_SCRUB)
+        assert fm.overlay(0, 0, 3, 0, 0, 0, 0) is not None
+
+    def test_row_fault_covers_whole_row(self):
+        fm = DeviceFaultMap()
+        fm.add_row_fault(0, 0, row=1)
+        from repro.ras.faultmap import ATOMS_PER_ROW
+
+        assert fm.overlay(0, 0, ATOMS_PER_ROW, 0, 0, 0, 0) is not None
+        assert fm.overlay(0, 0, ATOMS_PER_ROW - 1, 0, 0, 0, 0) is None
+
+
+class TestEccDatapath:
+    def test_single_bit_corrected_on_access(self):
+        sim = _ecc_sim()
+        dev = sim.devices[0]
+        dev.poke(0x1000, [0xDEAD, 0xBEEF])
+        v, b, atom = _locate(dev, 0x1000)
+        dev.ras.inject_upset(v, b, atom, bit=7)
+        assert dev.peek(0x1000) == [0xDEAD, 0xBEEF]
+        assert dev.ras.log.ce_count == 1
+        assert dev.ras.log.ue_count == 0
+        # Writeback repaired the stored copy: next read is clean.
+        assert dev.peek(0x1000) == [0xDEAD, 0xBEEF]
+        assert dev.ras.log.ce_count == 1
+        assert dev.ras.faults.upsets[0].outcome == CORRECTED_ACCESS
+
+    def test_parity_and_check_bit_upsets_corrected(self):
+        sim = _ecc_sim()
+        dev = sim.devices[0]
+        dev.poke(0x2000, [5, 6])
+        v, b, atom = _locate(dev, 0x2000)
+        for bit in (codec.DATA_BITS, codec.CODEWORD_BITS - 1,
+                    codec.CODEWORD_BITS + 9):
+            dev.ras.inject_upset(v, b, atom, bit=bit)
+            assert dev.peek(0x2000) == [5, 6]
+        assert dev.ras.log.ce_count == 3
+        assert dev.ras.log.ue_count == 0
+
+    def test_double_bit_surfaces_as_ue_not_silent(self):
+        sim = _ecc_sim()
+        dev = sim.devices[0]
+        dev.poke(0x3000, [0x1234, 0x5678])
+        v, b, atom = _locate(dev, 0x3000)
+        dev.ras.inject_double(v, b, atom)
+        got = dev.peek(0x3000)
+        assert got[0] != 0x1234          # data observed corrupted...
+        assert dev.ras.log.ue_count == 1  # ...but loudly, as a UE
+        assert dev.ras.log.events[-1].kind == "UE"
+
+    def test_overwrite_clears_pending_fault(self):
+        sim = _ecc_sim()
+        dev = sim.devices[0]
+        dev.poke(0x4000, [1, 2])
+        v, b, atom = _locate(dev, 0x4000)
+        rec = dev.ras.inject_upset(v, b, atom, bit=0)
+        dev.poke(0x4000, [3, 4])
+        assert rec.outcome == OVERWRITTEN
+        assert dev.peek(0x4000) == [3, 4]
+        assert dev.ras.log.ce_count == 0
+
+    def test_stuck_cell_recurs_after_correction(self):
+        sim = _ecc_sim()
+        dev = sim.devices[0]
+        dev.poke(0x5000, [0, 0])
+        v, b, atom = _locate(dev, 0x5000)
+        dev.ras.inject_stuck(v, b, atom, bit=5, value=1)
+        assert dev.peek(0x5000) == [0, 0]
+        assert dev.peek(0x5000) == [0, 0]
+        # Hard fault: every observation re-detects the flipped cell.
+        assert dev.ras.log.ce_count == 2
+
+    def test_row_fault_reads_as_ue(self):
+        sim = _ecc_sim()
+        dev = sim.devices[0]
+        dev.poke(0x6000, [7, 8])
+        v, b, atom = _locate(dev, 0x6000)
+        from repro.ras.faultmap import ATOMS_PER_ROW
+
+        dev.ras.inject_row_fault(v, b, atom // ATOMS_PER_ROW)
+        dev.peek(0x6000)
+        assert dev.ras.log.ue_count == 2  # both 64-bit halves flagged
+
+
+class TestRasRegisters:
+    def _counts(self, sim):
+        return (sim.jtag_reg_read(0, RASCE_PHYS),
+                sim.jtag_reg_read(0, RASUE_PHYS),
+                sim.jtag_reg_read(0, RASSCR_PHYS))
+
+    def test_register_classes(self):
+        for name in ("RASCE", "RASUE", "RASSCR"):
+            assert REGISTER_MAP[index_by_name(name)].cls is RegClass.RWS
+
+    def test_zero_faults_read_zero_via_mode_read_and_jtag(self):
+        sim = _ecc_sim(links=4, ras_scrub_interval=0)
+        dev = sim.devices[0]
+        dev.poke(0x100, [1, 2])
+        sim.send(build_memrequest(0, 0x100, 1, CMD.RD16, link=0))
+        sim.clock(20)
+        assert list(sim.recv().payload) == [1, 2]
+        assert self._counts(sim) == (0, 0, 0)
+        for phys in (RASCE_PHYS, RASUE_PHYS, RASSCR_PHYS):
+            sim.send(build_memrequest(0, phys, 9, CMD.MD_RD, link=0))
+            sim.clock(10)
+            assert sim.recv().payload[0] == 0
+
+    def test_counters_visible_through_both_paths(self):
+        sim = _ecc_sim(links=4)
+        dev = sim.devices[0]
+        dev.poke(0x700, [1, 2])
+        v, b, atom = _locate(dev, 0x700)
+        dev.ras.inject_upset(v, b, atom, bit=3)
+        dev.ras.inject_double(v, b, atom, half=1)
+        dev.peek(0x700)
+        sim.clock(1)  # stage 6 mirrors the counters
+        assert sim.jtag_reg_read(0, RASCE_PHYS) == dev.ras.log.ce_count >= 1
+        assert sim.jtag_reg_read(0, RASUE_PHYS) == dev.ras.log.ue_count >= 1
+        sim.send(build_memrequest(0, RASUE_PHYS, 5, CMD.MD_RD, link=0))
+        sim.clock(10)
+        assert sim.recv().payload[0] == dev.ras.log.ue_count
+
+    def test_write_to_clear(self):
+        sim = _ecc_sim()
+        dev = sim.devices[0]
+        dev.poke(0x800, [1, 2])
+        v, b, atom = _locate(dev, 0x800)
+        dev.ras.inject_upset(v, b, atom, bit=1)
+        dev.peek(0x800)
+        sim.clock(1)
+        assert sim.jtag_reg_read(0, RASCE_PHYS) == 1
+        sim.jtag_reg_write(0, RASCE_PHYS, 1)  # any value clears
+        sim.clock(1)
+        assert sim.jtag_reg_read(0, RASCE_PHYS) == 0
+        # Counting resumes from zero, not from the pre-clear total.
+        dev.ras.inject_upset(v, b, atom, bit=2)
+        dev.peek(0x800)
+        sim.clock(1)
+        assert sim.jtag_reg_read(0, RASCE_PHYS) == 1
+        assert dev.ras.log.ce_count == 2
+
+
+class TestScrubber:
+    def test_scrub_all_covers_every_touched_atom(self):
+        sim = _ecc_sim()
+        dev = sim.devices[0]
+        for i in range(32):
+            dev.poke(i * 64, [i, i + 1])
+        touched = sum(
+            len(bank.touched_atoms()) for v in dev.vaults for bank in v.banks
+        )
+        assert dev.ras.scrub_all() == touched
+
+    def test_patrol_corrects_pending_upset(self):
+        sim = _ecc_sim(ras_scrub_interval=4, ras_scrub_rows=8)
+        dev = sim.devices[0]
+        dev.poke(0x900, [9, 9])
+        v, b, atom = _locate(dev, 0x900)
+        rec = dev.ras.inject_upset(v, b, atom, bit=11)
+        # Never accessed by the host: only the patrol can repair it.
+        sim.clock(200)
+        assert rec.outcome == CORRECTED_SCRUB
+        assert dev.ras.scrub_ce == 1
+        assert dev.ras.faults.pending_upsets == 0
+        assert dev.peek(0x900) == [9, 9]
+        assert sim.jtag_reg_read(0, RASSCR_PHYS) == dev.ras.scrubber.atoms_scrubbed
+
+    def test_disabled_scrubber_never_steps(self):
+        sim = _ecc_sim(ras_scrub_interval=0)
+        sim.devices[0].poke(0, [1, 1])
+        sim.clock(50)
+        assert sim.devices[0].ras.scrubber.steps == 0
+        assert sim.devices[0].ras.scrubber.atoms_scrubbed == 0
+
+
+class TestDeterminism:
+    def _run(self, ras_seed):
+        scfg = SimConfig(
+            device=DeviceConfig(ecc_enabled=True),
+            ras_seed=ras_seed,
+            ras_fit_rate=5e6,
+            ras_scrub_interval=32,
+        )
+        result = run_random_access(
+            scfg.device,
+            RandomAccessConfig(num_requests=512, seed=3),
+            sim_config=scfg,
+            keep_sim=True,
+        )
+        dev = result.sim.devices[0]
+        log = dev.ras.log.as_tuples()
+        upsets = [(r.cycle, r.vault, r.bank, r.atom, r.bit, r.outcome)
+                  for r in dev.ras.faults.upsets]
+        return result.cycles, log, upsets
+
+    def test_same_seed_identical_logs(self):
+        assert self._run(11) == self._run(11)
+
+    def test_different_seed_diverges(self):
+        a, b = self._run(11), self._run(12)
+        assert a[2] != b[2]  # different upset placement
+
+    def test_config_fault_placement_survives_reset(self):
+        sim = _ecc_sim(ras_stuck_cells=5, ras_row_faults=2)
+        dev = sim.devices[0]
+        before = (dict(dev.ras.faults.stuck), set(dev.ras.faults.failed_rows))
+        sim.reset()
+        after = (dict(dev.ras.faults.stuck), set(dev.ras.faults.failed_rows))
+        assert before == after
+
+
+class TestAcceptance:
+    """The ISSUE's end-to-end acceptance scenarios."""
+
+    def test_ecc_on_zero_faults_cycles_unchanged(self):
+        cfg = RandomAccessConfig(num_requests=512, seed=1)
+        base = run_random_access(DeviceConfig(), cfg)
+        ecc = run_random_access(
+            DeviceConfig(ecc_enabled=True),
+            cfg,
+            sim_config=SimConfig(
+                device=DeviceConfig(ecc_enabled=True), ras_scrub_interval=64
+            ),
+        )
+        assert ecc.cycles == base.cycles
+        r = ecc.sim_stats["ras"][0]
+        assert r["ce"] == 0 and r["ue"] == 0
+
+    def test_injected_single_bit_faults_never_silent(self):
+        """Every injected upset is corrected on access, by the
+        scrubber, or overwritten — none is left pending or silently
+        absorbed — and a deliberate double-bit fault lands as a UE in
+        the log and the register counters."""
+        scfg = SimConfig(
+            device=DeviceConfig(ecc_enabled=True),
+            ras_seed=5,
+            ras_fit_rate=2e5,
+            ras_scrub_interval=32,
+            ras_scrub_rows=8,
+        )
+        result = run_random_access(
+            scfg.device,
+            RandomAccessConfig(num_requests=2048, seed=2),
+            sim_config=scfg,
+            keep_sim=True,
+        )
+        sim = result.sim
+        dev = sim.devices[0]
+        assert dev.ras.upsets_injected > 0
+        dev.ras.scrub_all()  # close the patrol over late arrivals
+        assert dev.ras.faults.pending_upsets == 0
+        allowed = {CORRECTED_ACCESS, CORRECTED_SCRUB, OVERWRITTEN}
+        assert all(r.outcome in allowed for r in dev.ras.faults.upsets)
+        assert dev.ras.log.ue_count == 0  # single-bit faults never escalate
+
+        # Deliberate double-bit fault: a loud UE everywhere.
+        dev.poke(0xA000, [1, 2])
+        v, b, atom = _locate(dev, 0xA000)
+        dev.ras.inject_double(v, b, atom)
+        dev.peek(0xA000)
+        assert dev.ras.log.ue_count == 1
+        sim.clock(1)
+        assert sim.jtag_reg_read(0, RASUE_PHYS) >= 1
+
+
+class TestRasTracing:
+    def test_ce_and_ue_events_emitted(self):
+        sim = _ecc_sim()
+        sink = sim.trace_to_memory(mask=EventType.RAS)
+        dev = sim.devices[0]
+        dev.poke(0xB00, [1, 2])
+        v, b, atom = _locate(dev, 0xB00)
+        dev.ras.inject_upset(v, b, atom, bit=4)
+        dev.peek(0xB00)
+        dev.ras.inject_double(v, b, atom)
+        dev.peek(0xB00)
+        types = [e.type for e in sink.events]
+        assert EventType.RAS_CE in types
+        assert EventType.RAS_UE in types
+        ce = next(e for e in sink.events if e.type is EventType.RAS_CE)
+        assert (ce.vault, ce.bank) == (v, b)
+        assert ce.extra["atom"] == atom
+
+    def test_scrub_step_event(self):
+        sim = _ecc_sim(ras_scrub_interval=8)
+        sink = sim.trace_to_memory(mask=EventType.RAS_SCRUB)
+        sim.devices[0].poke(0, [1, 1])
+        sim.clock(20)
+        assert any(e.type is EventType.RAS_SCRUB for e in sink.events)
+
+    def test_binfmt_roundtrip_ras_types(self):
+        for etype in (EventType.RAS_CE, EventType.RAS_UE, EventType.RAS_SCRUB):
+            ev = TraceEvent(type=etype, cycle=42, dev=0, vault=3, bank=1,
+                            extra={"atom": 9, "half": 0, "source": "scrub"})
+            back = decode_event(io.BytesIO(encode_event(ev)))
+            assert back.type is etype
+            assert back.extra == ev.extra
+
+    def test_binfmt_legacy_bytes_unchanged(self):
+        # Every pre-RAS event type still stores its raw value verbatim
+        # in the u16 type field (byte-for-byte stream compatibility).
+        import struct
+
+        for etype in (EventType.RQST_READ, EventType.MODE_ACCESS,
+                      EventType.SUBCYCLE):
+            blob = encode_event(TraceEvent(type=etype, cycle=1))
+            (_, raw_type) = struct.unpack_from("<HH", blob)
+            assert raw_type == int(etype)
+
+
+class TestReliabilityAnalysis:
+    def test_sweep_grid_and_render(self):
+        from repro.analysis.reliability import ras_sweep, render_reliability
+
+        cells = ras_sweep(
+            DeviceConfig(),
+            fit_rates=[0.0, 5e6],
+            scrub_intervals=[0, 64],
+            cfg=RandomAccessConfig(num_requests=256, seed=1),
+        )
+        assert len(cells) == 4
+        clean = cells[0]
+        assert clean.ce == clean.ue == clean.upsets_injected == 0
+        noisy_scrubbed = cells[3]
+        assert noisy_scrubbed.upsets_injected > 0
+        assert noisy_scrubbed.upsets_pending == 0
+        assert noisy_scrubbed.atoms_scrubbed > 0
+        assert 0 < noisy_scrubbed.scrub_bw_overhead
+        text = render_reliability(cells)
+        assert "FIT rate" in text and "bw ovh" in text
+
+    def test_statdump_includes_ras(self):
+        from repro.analysis.statdump import dump_stats
+
+        sim = _ecc_sim()
+        tree = dump_stats(sim)
+        assert "ras" in tree["devices"][0]
