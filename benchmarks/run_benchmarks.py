@@ -1,0 +1,261 @@
+#!/usr/bin/env python
+"""Clock-engine benchmark runner: active vs naive scheduler.
+
+Runs the Table I random-access configurations plus the clock-engine
+scenarios (idle stepping, think-time pointer chase, chained drain)
+under both schedulers, asserts cycle-count equivalence per scenario,
+and writes a JSON snapshot (``BENCH_clock_engine.json`` at the repo
+root by default) with wall times, cycles/sec and speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --out /tmp/b.json
+
+Exit status is non-zero when any scenario's schedulers disagree on the
+total cycle count — a regression of the bit-identical contract that the
+golden test (tests/test_scheduler_equivalence.py) enforces in depth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.tables import PAPER_CONFIGS  # noqa: E402
+from repro.core.config import DeviceConfig, SimConfig  # noqa: E402
+from repro.core.simulator import HMCSim  # noqa: E402
+from repro.host.host import Host  # noqa: E402
+from repro.packets.commands import CMD  # noqa: E402
+from repro.packets.packet import build_memrequest  # noqa: E402
+from repro.topology.builder import build_chain  # noqa: E402
+from repro.workloads.pointer_chase import pointer_chase_run  # noqa: E402
+from repro.workloads.random_access import (  # noqa: E402
+    RandomAccessConfig,
+    run_random_access,
+)
+
+SCHEDULERS = ("naive", "active")
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _timed(fn, repeat: int = 1):
+    """Run *fn* *repeat* times; returns (best wall seconds, cycles).
+
+    Min-of-N because shared/virtualised hosts show double-digit-percent
+    wall-time noise; the minimum is the least-perturbed sample.  Cycle
+    counts must agree across repeats (the simulator is deterministic).
+    """
+    best = None
+    cycles = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        c = fn()
+        wall = time.perf_counter() - t0
+        if cycles is None:
+            cycles = c
+        elif c != cycles:
+            raise AssertionError(f"non-deterministic cycle count: {c} != {cycles}")
+        if best is None or wall < best:
+            best = wall
+    return best, cycles
+
+
+# ----------------------------------------------------------------------
+# Scenarios.  Each returns total simulated cycles so the runner can
+# assert scheduler equivalence.
+# ----------------------------------------------------------------------
+
+def _table1_scenario(label: str, device: DeviceConfig, num_requests: int):
+    def run(scheduler: str) -> int:
+        scfg = SimConfig(device=device, scheduler=scheduler)
+        result = run_random_access(
+            device, RandomAccessConfig(num_requests=num_requests),
+            sim_config=scfg,
+        )
+        return result.cycles
+
+    return run
+
+
+def _idle_scenario(cycles: int):
+    """Pure idle stepping: the fast-forward best case."""
+
+    def run(scheduler: str) -> int:
+        scfg = SimConfig(
+            device=DeviceConfig(num_links=4, num_banks=8, capacity=2),
+            scheduler=scheduler,
+        )
+        sim = HMCSim(scfg)
+        sim.attach_host(0, 0)
+        sim.run(cycles)
+        return sim.clock_value
+
+    return run
+
+
+def _pointer_chase_scenario(hops: int, think_cycles: int):
+    """Dependent loads with host think time (latency-bound pattern)."""
+
+    def run(scheduler: str) -> int:
+        scfg = SimConfig(
+            device=DeviceConfig(num_links=4, num_banks=8, capacity=2),
+            scheduler=scheduler,
+        )
+        sim = HMCSim(scfg)
+        for link in range(4):
+            sim.attach_host(0, link)
+        host = Host(sim)
+        pointer_chase_run(
+            sim, host, num_nodes=256, hops=hops, think_cycles=think_cycles
+        )
+        return sim.clock_value
+
+    return run
+
+
+def _chained_drain_scenario(num_devs: int, num_requests: int):
+    """Pre-loaded chain drained to quiescence via clock_until."""
+
+    def run(scheduler: str) -> int:
+        scfg = SimConfig(
+            device=DeviceConfig(num_links=4, num_banks=8, capacity=2),
+            num_devs=num_devs,
+            scheduler=scheduler,
+        )
+        sim = HMCSim(scfg)
+        build_chain(sim, host_links=1)
+        for i in range(num_requests):
+            pkt = build_memrequest(
+                i % num_devs, (i * 977 % 4096) * 64, i % 512, CMD.RD64, link=0
+            )
+            while not sim.try_send(pkt):
+                sim.clock()
+                sim.recv_all()
+
+        # The predicate drains host-visible responses each cycle (the
+        # host-link response queue is finite; an undrained host would
+        # back-pressure the chain and never quiesce).
+        def drained_and_quiescent(s):
+            s.recv_all()
+            return s.is_quiescent
+
+        sim.clock_until(drained_and_quiescent, max_cycles=100_000)
+        return sim.clock_value
+
+    return run
+
+
+def build_scenarios(smoke: bool):
+    reqs = 256 if smoke else 8192
+    scenarios = []
+    for label, device in PAPER_CONFIGS.items():
+        scenarios.append(
+            (f"table1_random_access[{label}]", _table1_scenario(label, device, reqs))
+        )
+    scenarios.append(
+        ("idle_clock", _idle_scenario(10_000 if smoke else 1_000_000))
+    )
+    scenarios.append(
+        (
+            "pointer_chase_think200",
+            _pointer_chase_scenario(
+                hops=64 if smoke else 512, think_cycles=200
+            ),
+        )
+    )
+    scenarios.append(
+        ("chained_drain", _chained_drain_scenario(4, 64 if smoke else 256))
+    )
+    return scenarios
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="small request counts for CI (seconds, not minutes)",
+    )
+    ap.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_clock_engine.json",
+        help="output JSON path (default: BENCH_clock_engine.json at repo root)",
+    )
+    ap.add_argument(
+        "--repeat", type=int, default=None,
+        help="samples per (scenario, scheduler); wall time is the best "
+        "sample (default: 3 full, 1 smoke)",
+    )
+    args = ap.parse_args(argv)
+    repeat = args.repeat if args.repeat is not None else (1 if args.smoke else 3)
+
+    report = {
+        "benchmark": "clock_engine",
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "smoke": args.smoke,
+        "repeat": repeat,
+        "generated_unix": int(time.time()),
+        "scenarios": [],
+    }
+    failures = 0
+    for name, scenario in build_scenarios(args.smoke):
+        row = {"name": name, "runs": {}}
+        cycles_seen = {}
+        for sched in SCHEDULERS:
+            wall, cycles = _timed(lambda s=sched: scenario(s), repeat)
+            cycles_seen[sched] = cycles
+            row["runs"][sched] = {
+                "wall_s": round(wall, 4),
+                "cycles": cycles,
+                "cycles_per_sec": round(cycles / wall, 1) if wall else None,
+            }
+        row["cycles_match"] = len(set(cycles_seen.values())) == 1
+        if not row["cycles_match"]:
+            failures += 1
+            print(f"FAIL {name}: scheduler cycle mismatch {cycles_seen}",
+                  file=sys.stderr)
+        naive_w = row["runs"]["naive"]["wall_s"]
+        active_w = row["runs"]["active"]["wall_s"]
+        row["speedup_active_vs_naive"] = (
+            round(naive_w / active_w, 2) if active_w else None
+        )
+        report["scenarios"].append(row)
+        print(
+            f"{name:42s} naive {naive_w:8.3f}s  active {active_w:8.3f}s  "
+            f"speedup {row['speedup_active_vs_naive']}x  "
+            f"cycles={cycles_seen['active']}"
+        )
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        print(f"{failures} scenario(s) broke scheduler equivalence",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

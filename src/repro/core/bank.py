@@ -33,14 +33,21 @@ class DRAM:
 
     DRAMs are data-width slices of the bank storage; HMC-Sim keeps them
     as structural leaves (locality bookkeeping, per-slice access counts)
-    while the bank implements the unified block store.
+    while the bank implements the unified block store.  Every slice
+    participates in every bank access, so the per-slice count is a view
+    of the bank's shared counter rather than eight separate increments
+    on the access hot path.
     """
 
-    __slots__ = ("dram_id", "accesses")
+    __slots__ = ("dram_id", "bank")
 
-    def __init__(self, dram_id: int) -> None:
+    def __init__(self, dram_id: int, bank: "Bank" = None) -> None:
         self.dram_id = dram_id
-        self.accesses = 0
+        self.bank = bank
+
+    @property
+    def accesses(self) -> int:
+        return self.bank.dram_access_count if self.bank is not None else 0
 
 
 class Bank:
@@ -54,7 +61,7 @@ class Bank:
     __slots__ = ("bank_id", "capacity_bytes", "drams", "_blocks",
                  "busy_until", "reads", "writes", "atomics", "conflicts",
                  "column_fetches", "open_row", "row_hits", "row_misses",
-                 "ras")
+                 "ras", "dram_access_count")
 
     def __init__(self, bank_id: int, capacity_bytes: int, num_drams: int = 8) -> None:
         if capacity_bytes <= 0 or capacity_bytes % ATOM_BYTES:
@@ -64,7 +71,9 @@ class Bank:
             )
         self.bank_id = bank_id
         self.capacity_bytes = capacity_bytes
-        self.drams: List[DRAM] = [DRAM(i) for i in range(num_drams)]
+        self.drams: List[DRAM] = [DRAM(i, self) for i in range(num_drams)]
+        #: Accesses seen by each DRAM slice (all slices move together).
+        self.dram_access_count = 0
         # Sparse storage: atom index -> (word0, word1).
         self._blocks: Dict[int, Tuple[int, int]] = {}
         #: First cycle at which the bank is free again.
@@ -141,8 +150,7 @@ class Bank:
     def _touch_drams(self, nbytes: int) -> None:
         # All DRAM slices participate in every access (they form the
         # data width of the bank).
-        for d in self.drams:
-            d.accesses += 1
+        self.dram_access_count += 1
 
     def read(self, byte_addr: int, nbytes: int) -> List[int]:
         """Read *nbytes* from bank-relative *byte_addr* as 64-bit words."""
@@ -275,7 +283,6 @@ class Bank:
         self.reads = self.writes = self.atomics = 0
         self.conflicts = 0
         self.column_fetches = 0
-        for d in self.drams:
-            d.accesses = 0
+        self.dram_access_count = 0
         if self.ras is not None:
             self.ras.reset()

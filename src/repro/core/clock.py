@@ -13,11 +13,31 @@ only progressed by a single internal stage per sub-cycle operation":
 5. register response packets with crossbar response queues —
    root devices first, then children (avoids false congestion);
 6. update the internal 64-bit clock value.
+
+Two schedulers drive the stages (``SimConfig.scheduler``):
+
+``"naive"``
+    The reference full walk: every stage visits every vault and
+    crossbar of every device, every cycle.
+
+``"active"`` (default)
+    Active-set scheduling: every :class:`~repro.core.queueing.PacketQueue`
+    keeps its id registered in its device's active set exactly while it
+    is non-empty, so stages 1–5 visit only the queues that can possibly
+    make progress.  When the whole simulation is quiescent (no
+    schedulable packet anywhere), :meth:`ClockEngine.advance`
+    fast-forwards the clock across the dead window in closed form —
+    bounded by the next refresh, RAS upset or patrol-scrub cycle, which
+    still run as real ticks.
+
+Both schedulers produce bit-identical cycle counts, trace event
+streams, ``stage_counts`` and register state
+(tests/test_scheduler_equivalence.py enforces this).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, List
 
 from repro.core.device import HMCDevice
 from repro.trace.events import EventType
@@ -26,35 +46,159 @@ from repro.packets.packet import Packet
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.simulator import HMCSim
 
+# Hot-path event masks as plain ints: stage helpers test these against
+# ``tracer.live_mask`` so disabled tracing skips event construction (and
+# IntFlag arithmetic) entirely.
+_EV_SUBCYCLE = int(EventType.SUBCYCLE)
+_EV_PKT_EXPIRED = int(EventType.PKT_EXPIRED)
+_EV_XBAR_RSP_STALL = int(EventType.XBAR_RSP_STALL)
+_EV_RSP_REGISTERED = int(EventType.RSP_REGISTERED)
+
 
 class ClockEngine:
     """Drives the sub-cycle stages over every device of one HMCSim."""
 
-    __slots__ = ("sim", "stage_counts")
+    __slots__ = ("sim", "stage_counts", "_active", "_roots", "_children",
+                 "_topo_epoch")
 
     def __init__(self, sim: "HMCSim") -> None:
         self.sim = sim
         #: Packets moved / processed per stage (1..6), lifetime totals.
         self.stage_counts = [0] * 7
+        self._active = sim.config.scheduler == "active"
+        # Root/child device lists, cached until the topology changes.
+        self._roots: List[HMCDevice] = []
+        self._children: List[HMCDevice] = []
+        self._topo_epoch = -1
+
+    # ------------------------------------------------------------------
+
+    def _sync_topology(self) -> None:
+        """Refresh topology-derived caches after attach_host/connect."""
+        epoch = self.sim._topology_epoch
+        if epoch == self._topo_epoch:
+            return
+        devices = self.sim.devices
+        self._roots = [d for d in devices if d.is_root]
+        self._children = [d for d in devices if not d.is_root]
+        for d in devices:
+            d.sync_activity_bindings()
+        self._topo_epoch = epoch
+
+    # ------------------------------------------------------------------
+
+    def advance(self, cycles: int) -> None:
+        """Run *cycles* clock cycles, fast-forwarding quiescent windows.
+
+        With the naive scheduler this is exactly *cycles* calls to
+        :meth:`tick`.  With the active scheduler, windows in which no
+        queue holds a schedulable packet are skipped in closed form (see
+        :meth:`_idle_skip_bound` for what bounds a window); every cycle
+        with any possible observable work runs as a real tick.
+        """
+        self._sync_topology()
+        if not self._active:
+            for _ in range(cycles):
+                self.tick()
+            return
+        remaining = cycles
+        devices = self.sim.devices
+        while remaining > 0:
+            if all(d.is_idle() for d in devices):
+                skip = self._idle_skip_bound(remaining)
+                if skip > 0:
+                    self._fast_forward(skip)
+                    remaining -= skip
+                    continue
+            self.tick()
+            remaining -= 1
+
+    def _idle_skip_bound(self, limit: int) -> int:
+        """Cycles that may be skipped from now without observable effect.
+
+        Returns 0 when this cycle must run for real.  A cycle is
+        skippable only when nothing cycle-dependent can happen in it:
+
+        * no SUBCYCLE tracing (stage markers are per-cycle events);
+        * no pending RWS register strobe (``regs.tick`` must clear it);
+        * no DRAM refresh due (staggered residue condition);
+        * no RAS transient-upset arrival or patrol-scrub step due.
+        """
+        sim = self.sim
+        if sim.tracer.live_mask & _EV_SUBCYCLE:
+            return 0
+        cfg = sim.config
+        cycle = sim.clock_value
+        skip = limit
+        interval = cfg.refresh_interval
+        if interval:
+            # A refresh fires at cycle t iff (t + vault_id) % interval
+            # == 0 for some vault, i.e. iff (-t) % interval < m below.
+            m = min(cfg.device.num_vaults, interval)
+            r = (-cycle) % interval
+            if r < m:
+                return 0
+            skip = min(skip, r - m + 1)
+        for dev in sim.devices:
+            if dev.regs.has_pending_strobes:
+                return 0
+            ras = dev.ras
+            if ras is not None:
+                if not ras.registers_synced():
+                    # Out-of-band fault injection bumped a counter since
+                    # the last stage-6 mirror; run a real tick to sync.
+                    return 0
+                nxt = ras._next_upset
+                if nxt is not None:
+                    if nxt <= cycle:
+                        return 0
+                    skip = min(skip, nxt - cycle)
+                interval = ras.scrubber.interval
+                if interval:
+                    r = cycle % interval
+                    if r == 0:
+                        return 0
+                    skip = min(skip, interval - r)
+        return skip
+
+    def _fast_forward(self, cycles: int) -> None:
+        """Apply *cycles* quiescent ticks in closed form.
+
+        Per skipped cycle the only state a real tick would change is the
+        clock itself, stage-6 accounting, the STAT register and the RAS
+        controller's cycle cursor — everything else was proven inert by
+        :meth:`_idle_skip_bound`.
+        """
+        sim = self.sim
+        end = sim.clock_value + cycles
+        for dev in sim.devices:
+            dev.regs.internal_write("STAT", end)
+            if dev.ras is not None:
+                dev.ras.cycle = end - 1
+        sim.clock_value = end
+        self.stage_counts[6] += cycles
 
     # ------------------------------------------------------------------
 
     def tick(self) -> None:
         """Run one full clock cycle (all six sub-cycle stages)."""
+        self._sync_topology()
+        active = self._active
         sim = self.sim
         cycle = sim.clock_value
         tracer = sim.tracer
         cfg = sim.config
-        roots = [d for d in sim.devices if d.is_root]
-        children = [d for d in sim.devices if not d.is_root]
-        mark = tracer.enabled_for(EventType.SUBCYCLE)
+        roots = self._roots
+        children = self._children
+        mark = tracer.live_mask & _EV_SUBCYCLE
 
         # Stage 1: child-device crossbars.
         if mark:
             tracer.event(EventType.SUBCYCLE, cycle, stage=1)
         moved = 0
         for dev in children:
-            moved += self._route_device_requests(dev, cycle)
+            if not active or dev.act_xbar_rqst:
+                moved += self._route_device_requests(dev, cycle, active)
         self.stage_counts[1] += moved
 
         # Stage 2: root-device crossbars.
@@ -62,7 +206,8 @@ class ClockEngine:
             tracer.event(EventType.SUBCYCLE, cycle, stage=2)
         moved = 0
         for dev in roots:
-            moved += self._route_device_requests(dev, cycle)
+            if not active or dev.act_xbar_rqst:
+                moved += self._route_device_requests(dev, cycle, active)
         self.stage_counts[2] += moved
 
         # Optional DRAM refresh, staggered across vaults so the whole
@@ -78,11 +223,24 @@ class ClockEngine:
         if mark:
             tracer.event(EventType.SUBCYCLE, cycle, stage=3)
         conflicts = 0
+        window = cfg.conflict_window
         for dev in sim.devices:
-            for vault in dev.vaults:
-                conflicts += vault.recognize_conflicts(
-                    cycle, dev.amap, cfg.conflict_window, tracer, dev.dev_id
-                )
+            if active:
+                act = dev.act_vault_rqst
+                if not act:
+                    continue
+                vaults = dev.vaults
+                amap = dev.amap
+                dev_id = dev.dev_id
+                for vid in sorted(act):
+                    conflicts += vaults[vid].recognize_conflicts(
+                        cycle, amap, window, tracer, dev_id
+                    )
+            else:
+                for vault in dev.vaults:
+                    conflicts += vault.recognize_conflicts(
+                        cycle, dev.amap, window, tracer, dev.dev_id
+                    )
         self.stage_counts[3] += conflicts
 
         # Stage 4: vault request processing.
@@ -94,17 +252,29 @@ class ClockEngine:
             if cfg.row_policy == "open"
             else None
         )
+        width = cfg.vault_issue_width
+        busy = cfg.bank_busy_cycles
         for dev in sim.devices:
-            for vault in dev.vaults:
-                issued += vault.process_requests(
-                    cycle,
-                    dev.amap,
-                    cfg.vault_issue_width,
-                    cfg.bank_busy_cycles,
-                    tracer,
-                    dev.dev_id,
-                    row_timing=row_timing,
-                )
+            if active:
+                act = dev.act_vault_rqst
+                if not act:
+                    continue
+                vaults = dev.vaults
+                amap = dev.amap
+                dev_id = dev.dev_id
+                # Sorted snapshot: ascending vault order like the full
+                # walk; processing may empty queues (mutating the set).
+                for vid in sorted(act):
+                    issued += vaults[vid].process_requests(
+                        cycle, amap, width, busy, tracer, dev_id,
+                        row_timing=row_timing,
+                    )
+            else:
+                for vault in dev.vaults:
+                    issued += vault.process_requests(
+                        cycle, dev.amap, width, busy, tracer, dev.dev_id,
+                        row_timing=row_timing,
+                    )
         self.stage_counts[4] += issued
 
         # RAS sub-step (only on ECC-enabled devices): transient fault
@@ -120,9 +290,9 @@ class ClockEngine:
             tracer.event(EventType.SUBCYCLE, cycle, stage=5)
         moved = 0
         for dev in roots:
-            moved += self._register_device_responses(dev, cycle)
+            moved += self._register_device_responses(dev, cycle, active)
         for dev in children:
-            moved += self._register_device_responses(dev, cycle)
+            moved += self._register_device_responses(dev, cycle, active)
         self.stage_counts[5] += moved
 
         # Stage 6: update the internal clock value.
@@ -142,15 +312,23 @@ class ClockEngine:
     # Stage 1/2 helper.
     # ------------------------------------------------------------------
 
-    def _route_device_requests(self, dev: HMCDevice, cycle: int) -> int:
+    def _route_device_requests(
+        self, dev: HMCDevice, cycle: int, active: bool = False
+    ) -> int:
         moved = 0
         cfg = self.sim.config
         n = len(dev.xbars)
         # Link service order: fixed priority, or per-cycle rotation for
         # fair arbitration of contended vault queue slots.
         start = cycle % n if cfg.xbar_arbitration == "rotating" else 0
+        act = dev.act_xbar_rqst if active else None
         for i in range(n):
-            xbar = dev.xbars[(start + i) % n]
+            idx = (start + i) % n
+            if act is not None and idx not in act:
+                # Empty request queue: the full walk would scan it and
+                # move nothing (route_requests is a no-op when empty).
+                continue
+            xbar = dev.xbars[idx]
             moved += xbar.route_requests(
                 dev, self.sim, cycle, cfg.xbar_moves_per_cycle, self.sim.tracer
             )
@@ -160,12 +338,16 @@ class ClockEngine:
     # Stage 5 helpers.
     # ------------------------------------------------------------------
 
-    def _register_device_responses(self, dev: HMCDevice, cycle: int) -> int:
-        moved = self._cross_chain_responses(dev, cycle)
-        moved += self._drain_vault_responses(dev, cycle)
+    def _register_device_responses(
+        self, dev: HMCDevice, cycle: int, active: bool = False
+    ) -> int:
+        moved = self._cross_chain_responses(dev, cycle, active)
+        moved += self._drain_vault_responses(dev, cycle, active)
         return moved
 
-    def _drain_vault_responses(self, dev: HMCDevice, cycle: int) -> int:
+    def _drain_vault_responses(
+        self, dev: HMCDevice, cycle: int, active: bool = False
+    ) -> int:
         """Move vault response queues into crossbar response queues.
 
         The route stack's top record names the link this response must
@@ -174,9 +356,19 @@ class ClockEngine:
         """
         sim = self.sim
         tracer = sim.tracer
+        live = tracer.live_mask
         per_vault = sim.config.xbar_moves_per_cycle
         moved = 0
-        for vault in dev.vaults:
+        if active:
+            act = dev.act_vault_rsp
+            if not act:
+                return 0
+            # Ascending vault order like the full walk; draining empties
+            # queues mid-loop, so iterate a sorted snapshot.
+            vaults = [dev.vaults[vid] for vid in sorted(act)]
+        else:
+            vaults = dev.vaults
+        for vault in vaults:
             for _ in range(per_vault):
                 pkt = vault.rsp.peek()
                 if pkt is None:
@@ -187,38 +379,41 @@ class ClockEngine:
                     # it (zombie prevention, §V.B) and record the event.
                     vault.rsp.pop()
                     sim.dropped_responses += 1
-                    tracer.event(
-                        EventType.PKT_EXPIRED,
-                        cycle,
-                        dev=dev.dev_id,
-                        vault=vault.vault_id,
-                        serial=pkt.serial,
-                    )
+                    if live & _EV_PKT_EXPIRED:
+                        tracer.event(
+                            EventType.PKT_EXPIRED,
+                            cycle,
+                            dev=dev.dev_id,
+                            vault=vault.vault_id,
+                            serial=pkt.serial,
+                        )
                     continue
                 xbar = dev.xbars[link_id]
                 if xbar.rsp.is_full:
-                    tracer.event(
-                        EventType.XBAR_RSP_STALL,
-                        cycle,
-                        dev=dev.dev_id,
-                        link=link_id,
-                        vault=vault.vault_id,
-                        serial=pkt.serial,
-                    )
+                    if live & _EV_XBAR_RSP_STALL:
+                        tracer.event(
+                            EventType.XBAR_RSP_STALL,
+                            cycle,
+                            dev=dev.dev_id,
+                            link=link_id,
+                            vault=vault.vault_id,
+                            serial=pkt.serial,
+                        )
                     break
                 vault.rsp.pop()
                 if pkt.route_stack and pkt.route_stack[-1][0] == dev.dev_id:
                     pkt.route_stack.pop()
                 xbar.rsp.push(pkt, cycle)
                 moved += 1
-                tracer.event(
-                    EventType.RSP_REGISTERED,
-                    cycle,
-                    dev=dev.dev_id,
-                    link=link_id,
-                    vault=vault.vault_id,
-                    serial=pkt.serial,
-                )
+                if live & _EV_RSP_REGISTERED:
+                    tracer.event(
+                        EventType.RSP_REGISTERED,
+                        cycle,
+                        dev=dev.dev_id,
+                        link=link_id,
+                        vault=vault.vault_id,
+                        serial=pkt.serial,
+                    )
         return moved
 
     def _egress_link_for(self, pkt: Packet, dev: HMCDevice) -> int | None:
@@ -234,7 +429,9 @@ class ClockEngine:
             return pkt.ingress_link
         return None
 
-    def _cross_chain_responses(self, dev: HMCDevice, cycle: int) -> int:
+    def _cross_chain_responses(
+        self, dev: HMCDevice, cycle: int, active: bool = False
+    ) -> int:
         """Move responses across chain links toward the host.
 
         Responses sitting in a chain-link crossbar response queue hop to
@@ -244,9 +441,20 @@ class ClockEngine:
         """
         sim = self.sim
         tracer = sim.tracer
+        live = tracer.live_mask
         moves = sim.config.xbar_moves_per_cycle
         moved = 0
-        for xbar in dev.xbars:
+        if active:
+            act = dev.act_xbar_rsp
+            if not act:
+                return 0
+            # Only chain-link response queues are ever bound into
+            # act_xbar_rsp (sync_activity_bindings), so membership
+            # already implies the is_chain_link filter below.
+            xbars = [dev.xbars[lid] for lid in sorted(act)]
+        else:
+            xbars = dev.xbars
+        for xbar in xbars:
             link = dev.links[xbar.link_id]
             if not link.is_chain_link:
                 continue
@@ -266,23 +474,25 @@ class ClockEngine:
                 if next_link is None:
                     xbar.rsp.pop()
                     sim.dropped_responses += 1
-                    tracer.event(
-                        EventType.PKT_EXPIRED,
-                        cycle,
-                        dev=dev.dev_id,
-                        link=xbar.link_id,
-                        serial=pkt.serial,
-                    )
+                    if live & _EV_PKT_EXPIRED:
+                        tracer.event(
+                            EventType.PKT_EXPIRED,
+                            cycle,
+                            dev=dev.dev_id,
+                            link=xbar.link_id,
+                            serial=pkt.serial,
+                        )
                     continue
                 dest = peer_dev.xbars[next_link].rsp
                 if dest.is_full:
-                    tracer.event(
-                        EventType.XBAR_RSP_STALL,
-                        cycle,
-                        dev=dev.dev_id,
-                        link=xbar.link_id,
-                        serial=pkt.serial,
-                    )
+                    if live & _EV_XBAR_RSP_STALL:
+                        tracer.event(
+                            EventType.XBAR_RSP_STALL,
+                            cycle,
+                            dev=dev.dev_id,
+                            link=xbar.link_id,
+                            serial=pkt.serial,
+                        )
                     break
                 xbar.rsp.pop()
                 if pkt.route_stack and pkt.route_stack[-1][0] == peer_dev.dev_id:

@@ -17,12 +17,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.addressing.address_map import AddressMap
 from repro.core.quad import closest_quad_of_link, quad_of_vault
 from repro.core.queueing import PacketQueue
 from repro.packets.commands import CommandClass
 from repro.packets.packet import ErrStat, Packet, build_response
 from repro.trace.events import EventType
 from repro.trace.tracer import Tracer
+
+# Plain-int event masks: ``int & IntFlag`` invokes the slow Flag
+# __rand__ path, so hot guards test against these instead.
+_EV_XBAR_RQST_STALL = int(EventType.XBAR_RQST_STALL)
+_EV_LATENCY_PENALTY = int(EventType.LATENCY_PENALTY)
+_EV_CHAIN_HOP = int(EventType.CHAIN_HOP)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.device import HMCDevice
@@ -70,54 +77,73 @@ class CrossbarUnit:
         pass each other (preserving link→bank stream order).  Returns
         the number of packets moved.
         """
-        if self.rqst.is_empty or moves <= 0:
+        rqst = self.rqst
+        if not rqst._q or moves <= 0:
             return 0
         self._expire_zombies(device, sim, cycle, tracer)
+        if not rqst._q:
+            return 0
         hop_limit = sim is not None and sim.enforce_hop_limit
         penalty = sim.config.nonlocal_penalty_cycles if sim is not None else 0
         moved = 0
         blocked_vaults = set()
-        i = 0
-        while i < len(self.rqst) and moved < moves:
-            pkt = self.rqst.peek(i)
-            age = cycle - self.rqst.stamp_at(i)
-            if pkt.cub == device.dev_id:
-                vault_id = self._target_vault(pkt, device)
+        removed: list = []
+        dev_id = device.dev_id
+        my_quad = closest_quad_of_link(self.link_id)
+        mode_vault = my_quad * 4
+        amap = device.amap
+        if amap.__class__ is AddressMap:
+            vs, vmask, vault_of = amap._vs, amap._vault_mask, None
+        else:
+            vs, vmask, vault_of = 0, 0, amap.vault_of
+        num_vaults = len(device.vaults)
+        pos = -1
+        # Single in-order pass with batched prefix removal — the old
+        # positional peek/pop walk paid O(k) deque access per visited
+        # slot, O(n^2) per stage on deep queues.
+        for pos, (pkt, stamp) in enumerate(zip(rqst._q, rqst._stamps)):
+            if moved >= moves:
+                pos -= 1  # this entry was not scanned
+                break
+            age = cycle - stamp
+            if pkt.cub == dev_id:
+                cls = pkt.cls
+                if cls is CommandClass.MODE_READ or cls is CommandClass.MODE_WRITE:
+                    vault_id = mode_vault
+                elif vault_of is None:
+                    vault_id = (pkt.addr >> vs) & vmask
+                else:
+                    vault_id = vault_of(pkt.addr)
                 # Transit time through the registered crossbar input:
                 # one cycle, plus the routed-latency penalty when the
                 # ingress link is not co-located with the target quad.
                 need = 1
-                local_quad = vault_id < len(device.vaults) and (
-                    quad_of_vault(vault_id) == closest_quad_of_link(self.link_id)
+                local_quad = vault_id < num_vaults and (
+                    vault_id // 4 == my_quad  # quad_of_vault, inlined
                 )
                 if not local_quad:
                     need += penalty
                 if hop_limit and age < need:
                     # Not ready: later same-vault packets must not pass.
                     blocked_vaults.add(vault_id)
-                    i += 1
                     continue
                 if vault_id in blocked_vaults:
-                    i += 1
                     continue
                 if self._route_local(pkt, vault_id, local_quad, device,
                                      cycle, tracer, blocked_vaults):
-                    self.rqst.pop_at(i)
+                    removed.append(pos)
                     moved += 1
-                else:
-                    i += 1
             else:
                 # One-hop-per-cycle for chained forwards.
                 if hop_limit and age < 1:
-                    i += 1
                     continue
                 if self._route_remote(pkt, device, sim, cycle, tracer):
-                    self.rqst.pop_at(i)
+                    removed.append(pos)
                     moved += 1
-                else:
-                    # Remote stall (peer queue full / no route handled
-                    # inside): leave in place, keep scanning.
-                    i += 1
+                # Remote stall (peer queue full / no route handled
+                # inside): leave in place, keep scanning.
+        if removed:
+            rqst.remove_positions(removed, pos + 1)
         return moved
 
     def _target_vault(self, pkt: Packet, device: "HMCDevice") -> int:
@@ -151,28 +177,30 @@ class CrossbarUnit:
         if vault.rqst.is_full:
             self.stall_events += 1
             blocked_vaults.add(vault_id)
-            tracer.event(
-                EventType.XBAR_RQST_STALL,
-                cycle,
-                dev=device.dev_id,
-                link=self.link_id,
-                vault=vault_id,
-                serial=pkt.serial,
-            )
+            if tracer.live_mask & _EV_XBAR_RQST_STALL:
+                tracer.event(
+                    EventType.XBAR_RQST_STALL,
+                    cycle,
+                    dev=device.dev_id,
+                    link=self.link_id,
+                    vault=vault_id,
+                    serial=pkt.serial,
+                )
             return False
         if not local_quad:
             # "Higher latencies are detected due to the physical locality
             # of the queue versus the destination vault" (§IV.C.2).
             self.latency_events += 1
-            tracer.event(
-                EventType.LATENCY_PENALTY,
-                cycle,
-                dev=device.dev_id,
-                link=self.link_id,
-                quad=quad_of_vault(vault_id),
-                vault=vault_id,
-                serial=pkt.serial,
-            )
+            if tracer.live_mask & _EV_LATENCY_PENALTY:
+                tracer.event(
+                    EventType.LATENCY_PENALTY,
+                    cycle,
+                    dev=device.dev_id,
+                    link=self.link_id,
+                    quad=quad_of_vault(vault_id),
+                    vault=vault_id,
+                    serial=pkt.serial,
+                )
         vault.rqst.push(pkt, cycle)
         self.routed_local += 1
         return True
@@ -208,14 +236,15 @@ class CrossbarUnit:
         peer_xbar = peer.xbars[peer_link]
         if peer_xbar.rqst.is_full:
             self.stall_events += 1
-            tracer.event(
-                EventType.XBAR_RQST_STALL,
-                cycle,
-                dev=device.dev_id,
-                link=self.link_id,
-                serial=pkt.serial,
-                extra={"remote": True, "target_cub": pkt.cub},
-            )
+            if tracer.live_mask & _EV_XBAR_RQST_STALL:
+                tracer.event(
+                    EventType.XBAR_RQST_STALL,
+                    cycle,
+                    dev=device.dev_id,
+                    link=self.link_id,
+                    serial=pkt.serial,
+                    extra={"remote": True, "target_cub": pkt.cub},
+                )
             return False
         pkt.route_stack.append((peer_dev_id, peer_link))
         pkt.hops += 1
@@ -224,14 +253,15 @@ class CrossbarUnit:
         peer.links[peer_link].count_rx(pkt.num_flits)
         peer_xbar.rqst.push(pkt, cycle)
         self.routed_remote += 1
-        tracer.event(
-            EventType.CHAIN_HOP,
-            cycle,
-            dev=device.dev_id,
-            link=egress_link,
-            serial=pkt.serial,
-            extra={"to_dev": peer_dev_id, "to_link": peer_link},
-        )
+        if tracer.live_mask & _EV_CHAIN_HOP:
+            tracer.event(
+                EventType.CHAIN_HOP,
+                cycle,
+                dev=device.dev_id,
+                link=egress_link,
+                serial=pkt.serial,
+                extra={"to_dev": peer_dev_id, "to_link": peer_link},
+            )
         return True
 
     def _reject(

@@ -28,7 +28,9 @@ class HMCDevice:
     """One simulated HMC device: structure hierarchy + registers."""
 
     __slots__ = ("dev_id", "config", "amap", "regs", "jtag",
-                 "links", "xbars", "quads", "vaults", "ras")
+                 "links", "xbars", "quads", "vaults", "ras",
+                 "act_xbar_rqst", "act_xbar_rsp",
+                 "act_vault_rqst", "act_vault_rsp")
 
     def __init__(self, dev_id: int, config: DeviceConfig) -> None:
         self.dev_id = dev_id
@@ -78,6 +80,22 @@ class HMCDevice:
             for q in range(config.num_quads)
         ]
 
+        # Active sets (active-set scheduling): each set holds the ids of
+        # the queues of that kind currently non-empty, maintained by the
+        # queues themselves via PacketQueue.bind_activity.  Crossbar
+        # response queues join act_xbar_rsp only on chain links (host
+        # links are terminal — the host drains them out-of-band), bound
+        # by sync_activity_bindings once the topology is known.
+        self.act_xbar_rqst: set = set()
+        self.act_xbar_rsp: set = set()
+        self.act_vault_rqst: set = set()
+        self.act_vault_rsp: set = set()
+        for v in self.vaults:
+            v.rqst.bind_activity(self.act_vault_rqst, v.vault_id)
+            v.rsp.bind_activity(self.act_vault_rsp, v.vault_id)
+        for x in self.xbars:
+            x.rqst.bind_activity(self.act_xbar_rqst, x.link_id)
+
     # -- topology-derived properties ------------------------------------------
 
     @property
@@ -95,6 +113,34 @@ class HMCDevice:
 
     def configured_links(self) -> List[int]:
         return [l.link_id for l in self.links if l.configured]
+
+    def sync_activity_bindings(self) -> None:
+        """Rebind crossbar response queues after a topology change.
+
+        Chain-link response queues drive stage 5 work and so participate
+        in ``act_xbar_rsp``; host-link (and unconfigured) response queues
+        are drained only by the host via ``recv`` and stay unbound, so a
+        waiting response does not block whole-sim quiescence.
+        """
+        for x in self.xbars:
+            if self.links[x.link_id].is_chain_link:
+                x.rsp.bind_activity(self.act_xbar_rsp, x.link_id)
+            else:
+                x.rsp.bind_activity(None, None)
+
+    def is_idle(self) -> bool:
+        """True iff no schedulable queue on this device holds a packet.
+
+        Host-link crossbar response queues don't count (see
+        :meth:`sync_activity_bindings`): packets there wait on the host,
+        not on the clock.
+        """
+        return not (
+            self.act_xbar_rqst
+            or self.act_vault_rqst
+            or self.act_vault_rsp
+            or self.act_xbar_rsp
+        )
 
     # -- aggregate statistics ----------------------------------------------------
 

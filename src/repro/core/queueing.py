@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Deque, Iterator, List, Optional, Tuple
 
 from repro.packets.packet import Packet
@@ -48,7 +49,8 @@ class PacketQueue:
     """
 
     __slots__ = ("depth", "name", "_q", "_stamps", "high_water",
-                 "total_enqueued", "total_dequeued", "total_stalls")
+                 "total_enqueued", "total_dequeued", "total_stalls",
+                 "_act_set", "_act_key", "special_count")
 
     def __init__(self, depth: int, name: str = "") -> None:
         if depth <= 0:
@@ -62,6 +64,32 @@ class PacketQueue:
         self.total_enqueued = 0
         self.total_dequeued = 0
         self.total_stalls = 0
+        # Activity notification: while bound, this queue keeps its key in
+        # the given set exactly when it is non-empty (active-set scheduling
+        # support; plain (set, key) state so checkpoints pickle cleanly).
+        self._act_set: Optional[set] = None
+        self._act_key: Optional[int] = None
+        #: Queued FLOW/MODE packets (``Packet.is_special``) — lets the
+        #: vault issue stage prove a scan useless without walking it.
+        self.special_count = 0
+
+    # -- activity binding ------------------------------------------------------
+
+    def bind_activity(self, act_set: Optional[set], key: Optional[int]) -> None:
+        """Bind (or unbind, with ``None``) this queue to an active set.
+
+        While bound, ``key`` is present in ``act_set`` iff the queue holds
+        at least one packet; the binding is reconciled immediately.
+        """
+        if self._act_set is not None and self._act_set is not act_set:
+            self._act_set.discard(self._act_key)
+        self._act_set = act_set
+        self._act_key = key
+        if act_set is not None:
+            if self._q:
+                act_set.add(key)
+            else:
+                act_set.discard(key)
 
     # -- capacity ------------------------------------------------------------
 
@@ -92,9 +120,13 @@ class PacketQueue:
         if len(self._q) >= self.depth:
             self.total_stalls += 1
             return False
+        if not self._q and self._act_set is not None:
+            self._act_set.add(self._act_key)
         self._q.append(pkt)
         self._stamps.append(cycle)
         self.total_enqueued += 1
+        if pkt.is_special:
+            self.special_count += 1
         if len(self._q) > self.high_water:
             self.high_water = len(self._q)
         return True
@@ -110,6 +142,10 @@ class PacketQueue:
         pkt = self._q.popleft()
         self._stamps.popleft()
         self.total_dequeued += 1
+        if pkt.is_special:
+            self.special_count -= 1
+        if not self._q and self._act_set is not None:
+            self._act_set.discard(self._act_key)
         return pkt
 
     def pop_at(self, index: int) -> Packet:
@@ -130,6 +166,10 @@ class PacketQueue:
         self._stamps.popleft()
         self._stamps.rotate(index)
         self.total_dequeued += 1
+        if pkt.is_special:
+            self.special_count -= 1
+        if not self._q and self._act_set is not None:
+            self._act_set.discard(self._act_key)
         return pkt
 
     def stamp_at(self, index: int) -> int:
@@ -146,8 +186,6 @@ class PacketQueue:
         Deque indexing is O(k) at position k; scanning stages use this
         O(1)-per-step iterator instead.
         """
-        from itertools import islice
-
         return islice(self._q, n)
 
     def snapshot(self) -> Tuple[List[Packet], List[int]]:
@@ -168,6 +206,36 @@ class PacketQueue:
         self.total_dequeued += len(self._q) - len(packets)
         self._q = deque(packets)
         self._stamps = deque(stamps)
+        self.special_count = sum(1 for p in packets if p.is_special)
+        if not self._q and self._act_set is not None:
+            self._act_set.discard(self._act_key)
+
+    def remove_positions(self, positions: List[int], scanned: Optional[int] = None) -> None:
+        """Remove the entries at ascending FIFO *positions* in one pass.
+
+        Deletion runs back-to-front so earlier positions stay valid;
+        per-element cost is deque ``__delitem__`` (C-level, O(distance
+        from the nearer end)), which beats a Python-level prefix rebuild
+        for the near-head removals the scheduler scan stages produce.
+        FIFO order of the survivors is preserved; removed entries count
+        as dequeued (same accounting as ``pop``).  *scanned* is accepted
+        for callers that track their scan depth but is not needed.
+        """
+        if not positions:
+            return
+        q = self._q
+        stamps = self._stamps
+        specials = 0
+        for i in reversed(positions):
+            if q[i].is_special:
+                specials += 1
+            del q[i]
+            del stamps[i]
+        if specials:
+            self.special_count -= specials
+        self.total_dequeued += len(positions)
+        if not q and self._act_set is not None:
+            self._act_set.discard(self._act_key)
 
     def iter_with_stamps(self) -> Iterator[Tuple[Packet, int]]:
         """Iterate (packet, enqueue_cycle) pairs in FIFO order."""
@@ -190,6 +258,10 @@ class PacketQueue:
                 keep_s.append(stamp)
         self._q = keep_q
         self._stamps = keep_s
+        if expired:
+            self.special_count -= sum(1 for p in expired if p.is_special)
+        if not keep_q and self._act_set is not None:
+            self._act_set.discard(self._act_key)
         return expired
 
     # -- slot view --------------------------------------------------------------
@@ -206,6 +278,9 @@ class PacketQueue:
         self.total_dequeued += len(self._q)
         self._q.clear()
         self._stamps.clear()
+        self.special_count = 0
+        if self._act_set is not None:
+            self._act_set.discard(self._act_key)
         return out
 
     def reset(self) -> None:
@@ -216,6 +291,9 @@ class PacketQueue:
         self.total_enqueued = 0
         self.total_dequeued = 0
         self.total_stalls = 0
+        self.special_count = 0
+        if self._act_set is not None:
+            self._act_set.discard(self._act_key)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"PacketQueue({self.name!r}, {len(self._q)}/{self.depth})"

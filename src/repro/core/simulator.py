@@ -39,6 +39,9 @@ from repro.packets.packet import Packet
 from repro.trace.events import EventType, TraceEvent
 from repro.trace.tracer import MemorySink, Sink, Tracer
 
+# Plain-int event mask (avoid IntFlag __rand__ in the recv hot path).
+_EV_RSP_DELIVERED = int(EventType.RSP_DELIVERED)
+
 LinkPeer = Union[str, Tuple[int, int]]  # "host" or (dev_id, link_id)
 
 
@@ -92,7 +95,10 @@ class HMCSim:
         #: Enforce one structural hop per sub-cycle stage (paper §IV.C).
         self.enforce_hop_limit = True
 
-        # Topology state.
+        # Topology state.  The epoch bumps on every topology mutation so
+        # the clock engine can refresh its cached root/child lists and
+        # queue activity bindings lazily.
+        self._topology_epoch = 0
         self._link_peers: Dict[Tuple[int, int], LinkPeer] = {}
         self._routes: Optional[Dict[int, Dict[int, Tuple[int, int, int]]]] = None
         self._host_links: List[Tuple[int, int]] = []
@@ -141,6 +147,7 @@ class HMCSim:
         if self.config.link_token_flits > 0:
             self._tokens[(dev, link)] = LinkTokens(self.config.link_token_flits)
         self._routes = None
+        self._topology_epoch += 1
 
     def connect(self, dev_a: int, link_a: int, dev_b: int, link_b: int) -> None:
         """Chain two devices: dev_a.link_a <-> dev_b.link_b.
@@ -165,6 +172,7 @@ class HMCSim:
         self._link_peers[(dev_a, link_a)] = (dev_b, link_b)
         self._link_peers[(dev_b, link_b)] = (dev_a, link_a)
         self._routes = None
+        self._topology_epoch += 1
 
     def link_config(
         self,
@@ -382,20 +390,26 @@ class HMCSim:
         if dev is not None or link is not None:
             if dev is None or link is None:
                 raise HMCError("recv needs both dev and link, or neither")
-            pairs = [(dev, link)]
+            if self._link_peers.get((dev, link)) != "host":
+                raise TopologyError(
+                    f"dev {dev} link {link} is not attached to the host"
+                )
+            host_links = ((dev, link),)
+            n, rotor = 1, 0
         else:
-            n = len(self._host_links)
+            # _host_links entries are host-attached by construction
+            # (attach_host is the only writer), so no per-pair peer
+            # check is needed on this hot path.
+            host_links = self._host_links
+            n = len(host_links)
             if n == 0:
                 raise TopologyError("no host link configured")
-            pairs = [
-                self._host_links[(self._recv_rotor + i) % n] for i in range(n)
-            ]
-            self._recv_rotor = (self._recv_rotor + 1) % n
-        for d, l in pairs:
-            if self._link_peers.get((d, l)) != "host":
-                raise TopologyError(f"dev {d} link {l} is not attached to the host")
+            rotor = self._recv_rotor
+            self._recv_rotor = (rotor + 1) % n
+        for i in range(n):
+            d, l = host_links[(rotor + i) % n]
             xbar = self.devices[d].xbars[l]
-            if not xbar.rsp.is_empty:
+            if xbar.rsp._q:
                 pkt = xbar.rsp.pop()
                 pkt.completed_at = self.clock_value
                 pkt.delivered_from = (d, l)
@@ -406,20 +420,32 @@ class HMCSim:
                     flits = self._outstanding_flits.pop((d, l, pkt.tag), 0)
                     if flits:
                         tokens.restore(flits)
-                self.tracer.event(
-                    EventType.RSP_DELIVERED,
-                    self.clock_value,
-                    dev=d,
-                    link=l,
-                    serial=pkt.serial,
-                )
+                if self.tracer.live_mask & _EV_RSP_DELIVERED:
+                    self.tracer.event(
+                        EventType.RSP_DELIVERED,
+                        self.clock_value,
+                        dev=d,
+                        link=l,
+                        serial=pkt.serial,
+                    )
                 return pkt
         raise NoDataError("no response packets pending")
 
     def recv_all(self) -> List[Packet]:
         """Drain every pending host-visible response."""
+        self._check_alive()
         out: List[Packet] = []
+        devices = self.devices
+        host_links = self._host_links
         while True:
+            if host_links and not any(
+                devices[d].xbars[l].rsp._q for d, l in host_links
+            ):
+                # Nothing pending: the terminal empty poll still advances
+                # the fairness rotor, exactly like a failing recv() would,
+                # without paying for exception construction every cycle.
+                self._recv_rotor = (self._recv_rotor + 1) % len(host_links)
+                return out
             try:
                 out.append(self.recv())
             except NoDataError:
@@ -434,8 +460,46 @@ class HMCSim:
         """
         self._check_alive()
         self.validate_topology()
-        for _ in range(cycles):
-            self.engine.tick()
+        self.engine.advance(cycles)
+
+    def run(self, cycles: int) -> None:
+        """Batched stepping: advance *cycles* cycles in one call.
+
+        Alias of :meth:`clock` with a required cycle count — the
+        preferred spelling for long idle or drain windows, where the
+        active scheduler fast-forwards quiescent stretches in closed
+        form instead of ticking them one by one.
+        """
+        self.clock(cycles)
+
+    def clock_until(self, pred, max_cycles: int = 1_000_000) -> int:
+        """Clock until ``pred(self)`` is true; return cycles advanced.
+
+        The predicate is evaluated before each cycle (so a predicate
+        that already holds advances zero cycles) with single-cycle
+        precision.  Raises :class:`HMCError` if *max_cycles* cycles pass
+        without the predicate holding.
+        """
+        self._check_alive()
+        self.validate_topology()
+        advanced = 0
+        while not pred(self):
+            if advanced >= max_cycles:
+                raise HMCError(
+                    f"clock_until: predicate still false after {max_cycles} cycles"
+                )
+            self.engine.advance(1)
+            advanced += 1
+        return advanced
+
+    @property
+    def is_quiescent(self) -> bool:
+        """True iff no queue anywhere holds a schedulable packet.
+
+        Host-visible response queues do not count — those wait on the
+        host's ``recv``, not on the clock.
+        """
+        return all(d.is_idle() for d in self.devices)
 
     # ==================================================================
     # Link-error simulation (paper §IV.5 "error simulation").

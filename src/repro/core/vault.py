@@ -19,10 +19,17 @@ from typing import TYPE_CHECKING, List, Optional
 from repro.addressing.address_map import AddressMap
 from repro.core.bank import Bank
 from repro.core.queueing import PacketQueue
-from repro.packets.commands import CMD, CommandClass
+from repro.packets.commands import CMD, REQUEST_DATA_BYTES, CommandClass
 from repro.packets.packet import ErrStat, Packet, build_response
 from repro.trace.events import EventType, TraceEvent
 from repro.trace.tracer import Tracer
+
+# Plain-int event masks (avoid IntFlag __rand__ in hot guards).
+_EV_BANK_CONFLICT = int(EventType.BANK_CONFLICT)
+_EV_VAULT_RSP_STALL = int(EventType.VAULT_RSP_STALL)
+_EV_RQST_READ = int(EventType.RQST_READ)
+_EV_RQST_WRITE = int(EventType.RQST_WRITE)
+_EV_RQST_ATOMIC = int(EventType.RQST_ATOMIC)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.device import HMCDevice
@@ -93,21 +100,31 @@ class Vault:
         if occupancy == 0:
             return 0
         limit = min(window, occupancy)
-        seen_banks = set()
         conflicts = 0
-        trace_on = tracer.enabled_for(EventType.BANK_CONFLICT)
+        trace_on = tracer.live_mask & _EV_BANK_CONFLICT
+        banks = self.banks
+        # Per-bank busy state as a bitmask (static: this pass is
+        # read-only), plus a seen-bank bitmask built during the scan.
+        busy_mask = 0
+        for i, b in enumerate(banks):
+            if cycle < b.busy_until:
+                busy_mask |= 1 << i
+        seen = 0
+        # Classic contiguous maps decode with one shift+mask; custom
+        # (scattered-bit) maps go through their bank_of method.
+        if amap.__class__ is AddressMap:
+            bs, bmask, bank_of = amap._bs, amap._bank_mask, None
+        else:
+            bs, bmask, bank_of = 0, 0, amap.bank_of
         for pkt in self.rqst.iter_first(limit):
-            cls = pkt.cls
-            if cls is CommandClass.FLOW or cls in (
-                CommandClass.MODE_READ,
-                CommandClass.MODE_WRITE,
-            ):
+            if pkt.is_special:  # FLOW / MODE: no bank access
                 continue
-            bank = amap.bank_of(pkt.addr)
-            busy = self.banks[bank].is_busy(cycle)
-            if bank in seen_banks or busy:
+            addr = pkt.addr
+            bank = (addr >> bs) & bmask if bank_of is None else bank_of(addr)
+            bit = 1 << bank
+            if (seen | busy_mask) & bit:
                 conflicts += 1
-                self.banks[bank].conflicts += 1
+                banks[bank].conflicts += 1
                 if trace_on:
                     tracer.emit(
                         TraceEvent(
@@ -118,10 +135,13 @@ class Vault:
                             vault=self.vault_id,
                             bank=bank,
                             serial=pkt.serial,
-                            extra={"addr": pkt.addr, "busy": busy},
+                            extra={
+                                "addr": pkt.addr,
+                                "busy": bool(busy_mask & bit),
+                            },
                         )
                     )
-            seen_banks.add(bank)
+            seen |= bit
         self.conflict_count += conflicts
         return conflicts
 
@@ -150,64 +170,94 @@ class Vault:
         switches the banks to the open-row timing policy; otherwise the
         paper's constant-time closed model applies.
         """
-        if self.rqst.is_empty or issue_width <= 0:
+        rqst = self.rqst
+        if not rqst._q or issue_width <= 0:
             return 0
-        # Snapshot-and-rebuild: positional deque access is O(k) at
-        # position k, so the scan operates on list copies and installs
-        # the survivors in one pass (FIFO order preserved).
-        packets, stamps = self.rqst.snapshot()
-        keep_p: list = []
-        keep_s: list = []
-        issued = 0
-        blocked_banks = set()
         banks = self.banks
-        for pkt, stamp in zip(packets, stamps):
+        specials = rqst.special_count
+        # Per-bank busy state as one bitmask: static for the whole scan
+        # (banks occupied mid-scan are covered by the blocked mask).
+        busy_mask = 0
+        free = 0
+        for i, b in enumerate(banks):
+            if cycle >= b.busy_until:
+                free += 1
+            else:
+                busy_mask |= 1 << i
+        if free == 0 and not specials:
+            # Every bank is mid-access and no FLOW/MODE packet is queued:
+            # the FIFO scan below could not issue or remove anything.
+            self.issue_stall_cycles += 1
+            return 0
+        # Scan the FIFO prefix in place, collecting the positions of
+        # retired packets for one batched prefix removal.  The scan stops
+        # at the issue-width limit, or as soon as every bank that was
+        # free this cycle has been blocked (by an issue or a stall) with
+        # no FLOW/MODE packet remaining ahead — past that point the walk
+        # is provably side-effect-free, so skipping it is exact.
+        issued = 0
+        removed: list = []
+        blocked = busy_mask  # banks that may not issue this scan
+        rsp = self.rsp
+        rsp_q = rsp._q
+        rsp_depth = rsp.depth
+        if amap.__class__ is AddressMap:
+            bs, bmask, bank_of = amap._bs, amap._bank_mask, None
+        else:
+            bs, bmask, bank_of = 0, 0, amap.bank_of
+        stall_trace = tracer.live_mask & _EV_VAULT_RSP_STALL
+        closed = 0
+        pos = -1
+        for pos, pkt in enumerate(rqst._q):
             if issued >= issue_width:
-                keep_p.append(pkt)
-                keep_s.append(stamp)
-                continue
-            cls = pkt.cls
-            # Flow packets carry no memory operation: consume silently.
-            if cls is CommandClass.FLOW:
-                continue
-            if cls in (CommandClass.MODE_READ, CommandClass.MODE_WRITE):
-                if self.rsp.is_full:
+                pos -= 1  # this entry was not scanned
+                break
+            if pkt.is_special:
+                specials -= 1
+                # Flow packets carry no memory operation: consume silently.
+                if pkt.cls is CommandClass.FLOW:
+                    removed.append(pos)
+                elif len(rsp_q) >= rsp_depth:
                     self.rsp_stall_count += 1
-                    keep_p.append(pkt)
-                    keep_s.append(stamp)
-                    continue
-                self._do_mode(pkt, cycle, tracer, dev_id)
-                issued += 1
+                else:
+                    self._do_mode(pkt, cycle, tracer, dev_id)
+                    issued += 1
+                    removed.append(pos)
+                if not specials and closed >= free:
+                    break
                 continue
-            bank_id = amap.bank_of(pkt.addr)
-            if bank_id in blocked_banks or banks[bank_id].is_busy(cycle):
+            addr = pkt.addr
+            bank_id = (addr >> bs) & bmask if bank_of is None else bank_of(addr)
+            bit = 1 << bank_id
+            if blocked & bit:
                 # Conflict: this packet (and all later same-bank packets)
                 # must wait.
-                blocked_banks.add(bank_id)
-                keep_p.append(pkt)
-                keep_s.append(stamp)
                 continue
-            if pkt.expects_response and self.rsp.is_full:
+            if pkt.expects_response and len(rsp_q) >= rsp_depth:
                 self.rsp_stall_count += 1
-                tracer.event(
-                    EventType.VAULT_RSP_STALL,
-                    cycle,
-                    dev=dev_id,
-                    quad=self.quad_id,
-                    vault=self.vault_id,
-                    serial=pkt.serial,
-                )
+                if stall_trace:
+                    tracer.event(
+                        EventType.VAULT_RSP_STALL,
+                        cycle,
+                        dev=dev_id,
+                        quad=self.quad_id,
+                        vault=self.vault_id,
+                        serial=pkt.serial,
+                    )
                 # Preserve order: later same-bank packets may not pass.
-                blocked_banks.add(bank_id)
-                keep_p.append(pkt)
-                keep_s.append(stamp)
-                continue
-            self._execute(pkt, bank_id, cycle, amap, bank_busy_cycles,
-                          tracer, dev_id, row_timing)
-            blocked_banks.add(bank_id)  # one access per bank per cycle
-            issued += 1
-        self.rqst.replace_contents(keep_p, keep_s)
-        if issued == 0 and keep_p:
+                blocked |= bit
+            else:
+                self._execute(pkt, bank_id, cycle, amap, bank_busy_cycles,
+                              tracer, dev_id, row_timing)
+                blocked |= bit  # one access per bank per cycle
+                issued += 1
+                removed.append(pos)
+            closed += 1
+            if closed >= free and not specials:
+                break
+        if removed:
+            rqst.remove_positions(removed, pos + 1)
+        if issued == 0 and rqst._q:
             self.issue_stall_cycles += 1
         return issued
 
@@ -259,8 +309,6 @@ class Vault:
         cls = pkt.cls
         nbytes = max(pkt.data_bytes, 16)
         if cls is CommandClass.READ:
-            from repro.packets.commands import REQUEST_DATA_BYTES
-
             nbytes = REQUEST_DATA_BYTES[pkt.cmd]
         rel = self._bank_rel_addr(amap, pkt.addr)
         is_bwr = pkt.cmd in (CMD.BWR, CMD.P_BWR)
@@ -290,46 +338,49 @@ class Vault:
             mask = (pkt.payload[1] if len(pkt.payload) > 1 else 0xFF) & 0xFF
             bank.masked_write(rel, data, mask)
             self.wr_count += 1
-            tracer.event(
-                EventType.RQST_WRITE,
-                cycle,
-                dev=dev_id,
-                quad=self.quad_id,
-                vault=self.vault_id,
-                bank=bank_id,
-                serial=pkt.serial,
-                extra={"addr": pkt.addr, "bwr": True},
-            )
+            if tracer.live_mask & _EV_RQST_WRITE:
+                tracer.event(
+                    EventType.RQST_WRITE,
+                    cycle,
+                    dev=dev_id,
+                    quad=self.quad_id,
+                    vault=self.vault_id,
+                    bank=bank_id,
+                    serial=pkt.serial,
+                    extra={"addr": pkt.addr, "bwr": True},
+                )
             if pkt.expects_response:
                 self._push_response(build_response(pkt), pkt, cycle)
         elif cls is CommandClass.READ:
             data = bank.read(rel, nbytes)
             self.rd_count += 1
-            tracer.event(
-                EventType.RQST_READ,
-                cycle,
-                dev=dev_id,
-                quad=self.quad_id,
-                vault=self.vault_id,
-                bank=bank_id,
-                serial=pkt.serial,
-                extra={"addr": pkt.addr},
-            )
+            if tracer.live_mask & _EV_RQST_READ:
+                tracer.event(
+                    EventType.RQST_READ,
+                    cycle,
+                    dev=dev_id,
+                    quad=self.quad_id,
+                    vault=self.vault_id,
+                    bank=bank_id,
+                    serial=pkt.serial,
+                    extra={"addr": pkt.addr},
+                )
             rsp = build_response(pkt, data=data)
             self._push_response(rsp, pkt, cycle)
         elif cls in (CommandClass.WRITE, CommandClass.POSTED_WRITE):
             bank.write(rel, list(pkt.payload))
             self.wr_count += 1
-            tracer.event(
-                EventType.RQST_WRITE,
-                cycle,
-                dev=dev_id,
-                quad=self.quad_id,
-                vault=self.vault_id,
-                bank=bank_id,
-                serial=pkt.serial,
-                extra={"addr": pkt.addr},
-            )
+            if tracer.live_mask & _EV_RQST_WRITE:
+                tracer.event(
+                    EventType.RQST_WRITE,
+                    cycle,
+                    dev=dev_id,
+                    quad=self.quad_id,
+                    vault=self.vault_id,
+                    bank=bank_id,
+                    serial=pkt.serial,
+                    extra={"addr": pkt.addr},
+                )
             if pkt.expects_response:
                 rsp = build_response(pkt)
                 self._push_response(rsp, pkt, cycle)
@@ -340,16 +391,17 @@ class Vault:
             else:
                 old = bank.atomic_add16(rel, ops)
             self.atomic_count += 1
-            tracer.event(
-                EventType.RQST_ATOMIC,
-                cycle,
-                dev=dev_id,
-                quad=self.quad_id,
-                vault=self.vault_id,
-                bank=bank_id,
-                serial=pkt.serial,
-                extra={"addr": pkt.addr},
-            )
+            if tracer.live_mask & _EV_RQST_ATOMIC:
+                tracer.event(
+                    EventType.RQST_ATOMIC,
+                    cycle,
+                    dev=dev_id,
+                    quad=self.quad_id,
+                    vault=self.vault_id,
+                    bank=bank_id,
+                    serial=pkt.serial,
+                    extra={"addr": pkt.addr},
+                )
             if pkt.expects_response:
                 rsp = build_response(pkt, data=old)
                 self._push_response(rsp, pkt, cycle)

@@ -294,7 +294,7 @@ def is_flow(cmd: CMD) -> bool:
 
 def is_posted(cmd: CMD) -> bool:
     """True for posted requests, which never generate a response packet."""
-    c = CMD(cmd)
+    c = cmd if cmd.__class__ is CMD else CMD(cmd)
     return c in _POSTED_WRITES or c in _POSTED_ATOMICS
 
 
@@ -343,7 +343,8 @@ def response_flits(cmd: CMD) -> int:
     mode-write responses are a single FLIT; mode-read responses carry one
     register FLIT; posted and flow packets yield no response.
     """
-    cmd = CMD(cmd)
+    if cmd.__class__ is not CMD:
+        cmd = CMD(cmd)
     if not expects_response(cmd):
         return 0
     cls = command_class(cmd)
@@ -360,7 +361,7 @@ def response_flits(cmd: CMD) -> int:
 
 def response_cmd_for(cmd: CMD) -> CMD:
     """Response command a device sends for a successful request *cmd*."""
-    cls = command_class(CMD(cmd))
+    cls = command_class(cmd if cmd.__class__ is CMD else CMD(cmd))
     if cls is CommandClass.READ or cls is CommandClass.ATOMIC:
         return CMD.RD_RS
     if cls is CommandClass.WRITE:

@@ -284,15 +284,22 @@ def decode_tail(word: int, response: bool) -> dict:
 
 _packet_serial = itertools.count()
 
+#: Per-command classification cache: CMD -> (cls, is_response,
+#: expects_response, is_special, request_flits).  Commands are a small
+#: closed set; caching skips four table lookups per packet construction.
+_CLASS_CACHE: dict = {}
 
-@dataclass
+
+@dataclass(slots=True)
 class Packet:
     """A single HMC packet plus simulator-side bookkeeping.
 
     Wire-visible state lives in the explicit fields; encode/decode
     round-trips exactly through :meth:`encode` / :meth:`decode`.
     Simulation metadata (timestamps, hop counts, ingress link) is carried
-    alongside but never serialised.
+    alongside but never serialised.  Slotted (like ``PacketQueue`` and
+    ``Vault``): packets are the highest-volume allocation in a run and
+    the classification shortcuts below are read on every sub-cycle stage.
     """
 
     cmd: CMD
@@ -332,21 +339,43 @@ class Packet:
     #: response was delivered on — the tag's correlation domain.
     delivered_from: Optional[Tuple[int, int]] = None
 
+    # --- classification shortcuts, cached at construction (command and
+    # --- payload length are immutable afterwards); plain slots so the
+    # --- hot stages read attributes instead of calling properties.
+    cls: CommandClass = field(init=False, repr=False, compare=False)
+    is_response: bool = field(init=False, repr=False, compare=False)
+    expects_response: bool = field(init=False, repr=False, compare=False)
+    #: FLOW or MODE command — serviced by the vault issue logic without
+    #: touching a bank (the queue keeps a count for scheduling shortcuts).
+    is_special: bool = field(init=False, repr=False, compare=False)
+    num_flits: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
-        self.cmd = CMD(self.cmd)
-        self.payload = tuple(int(w) & _MASK64 for w in self.payload)
-        # Classification is consulted on every sub-cycle stage the packet
-        # passes through; cache it once (command and payload length are
-        # immutable after construction).
-        cls = command_class(self.cmd)
-        self._cls = cls
-        self._is_response = cls is CommandClass.RESPONSE
-        self._expects_response = expects_response(self.cmd)
-        if self._is_response:
-            expected = 1 + len(self.payload) // 2 if self.payload else 1
+        cmd = self.cmd
+        if cmd.__class__ is not CMD:
+            cmd = CMD(cmd)
+            self.cmd = cmd
+        payload = self.payload
+        self.payload = payload = tuple([int(w) & _MASK64 for w in payload]) if payload else ()
+        info = _CLASS_CACHE.get(cmd)
+        if info is None:
+            cls = command_class(cmd)
+            is_rsp = cls is CommandClass.RESPONSE
+            info = (
+                cls,
+                is_rsp,
+                expects_response(cmd),
+                cls in (CommandClass.FLOW, CommandClass.MODE_READ,
+                        CommandClass.MODE_WRITE),
+                None if is_rsp else request_flits(cmd),
+            )
+            _CLASS_CACHE[cmd] = info
+        self.cls, self.is_response, self.expects_response, self.is_special, req_flits = info
+        if self.is_response:
+            expected = 1 + len(payload) // 2 if payload else 1
         else:
-            expected = request_flits(self.cmd)
-        self._num_flits = expected
+            expected = req_flits
+        self.num_flits = expected
         have = 1 + len(self.payload) // 2
         if len(self.payload) % 2 != 0:
             raise ValueError("payload must be whole FLITs (even 64-bit word count)")
@@ -362,29 +391,9 @@ class Packet:
         if not 0 <= self.cub <= MAX_CUB:
             raise ValueError(f"cube id out of range: {self.cub}")
 
-    # -- classification shortcuts (cached at construction) -----------------
-
-    @property
-    def cls(self) -> CommandClass:
-        """The packet's :class:`~repro.packets.commands.CommandClass`."""
-        return self._cls
-
-    @property
-    def is_response(self) -> bool:
-        return self._is_response
-
     @property
     def is_request(self) -> bool:
-        return not self._is_response
-
-    @property
-    def expects_response(self) -> bool:
-        return self._expects_response
-
-    @property
-    def num_flits(self) -> int:
-        """Total packet length in FLITs (LNG field value)."""
-        return self._num_flits
+        return not self.is_response
 
     @property
     def data_bytes(self) -> int:
@@ -516,7 +525,8 @@ def build_memrequest(
     the exact FLIT count the command requires, matching the C behaviour
     of reading a caller buffer of the prescribed length.
     """
-    cmd = CMD(cmd)
+    if cmd.__class__ is not CMD:
+        cmd = CMD(cmd)
     if is_response(cmd):
         raise ValueError(f"{cmd.name} is a response command")
     flits = request_flits(cmd)

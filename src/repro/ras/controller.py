@@ -266,6 +266,21 @@ class RasController:
                 self._reg_base[name] = total
             regs.internal_write(name, total - self._reg_base[name])
 
+    def registers_synced(self) -> bool:
+        """True iff :meth:`sync_registers` would rewrite identical values.
+
+        Lets the clock engine fast-forward quiescent cycles: when the
+        mirrors are current (and no strobe is pending, which the engine
+        checks separately), skipping the per-cycle sync is unobservable.
+        """
+        regs = self.device.regs
+        base = self._reg_base
+        return (
+            regs.peek("RASCE") == self.log.ce_count - base["RASCE"]
+            and regs.peek("RASUE") == self.log.ue_count - base["RASUE"]
+            and regs.peek("RASSCR") == self.scrubber.atoms_scrubbed - base["RASSCR"]
+        )
+
     def _inject_random_upset(self, cycle: int) -> None:
         dev = self.device
         v = int(self.rng.integers(len(dev.vaults)))

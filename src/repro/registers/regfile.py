@@ -98,6 +98,19 @@ class RegisterFile:
         """
         return index_by_name(name) in self._pending_clear
 
+    @property
+    def has_pending_strobes(self) -> bool:
+        """True iff an RWS strobe is waiting for its self-clearing tick.
+
+        The clock engine's quiescence fast-forward must not skip a cycle
+        in which :meth:`tick` would clear a strobe.
+        """
+        return bool(self._pending_clear)
+
+    def peek(self, name: str) -> int:
+        """Device-logic read: no access accounting, no class checks."""
+        return self._values[index_by_name(name)]
+
     def internal_write(self, name: str, value: int) -> None:
         """Device-logic write; may target RO status registers."""
         self._values[index_by_name(name)] = value & _MASK64

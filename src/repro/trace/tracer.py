@@ -128,24 +128,42 @@ class Tracer:
     lets hot paths skip event construction entirely when tracing is off.
     """
 
-    __slots__ = ("mask", "_sinks", "emitted", "dropped")
+    __slots__ = ("_mask", "_sinks", "emitted", "dropped", "live_mask")
 
     def __init__(
         self,
         mask: EventType = EventType.STANDARD,
         sinks: Optional[Sequence[Sink]] = None,
     ) -> None:
-        self.mask = mask
         self._sinks: List[Sink] = list(sinks) if sinks else []
         self.emitted = 0
         self.dropped = 0
+        #: Plain-int mask that is non-zero only when at least one sink is
+        #: attached — hot loops test ``live_mask & etype`` with int
+        #: arithmetic instead of calling :meth:`enabled_for`.
+        self.live_mask = 0
+        self.mask = mask
+
+    @property
+    def mask(self) -> EventType:
+        return self._mask
+
+    @mask.setter
+    def mask(self, mask: EventType) -> None:
+        self._mask = mask
+        self._refresh_live_mask()
+
+    def _refresh_live_mask(self) -> None:
+        self.live_mask = int(self._mask) if self._sinks else 0
 
     def add_sink(self, sink: Sink) -> Sink:
         self._sinks.append(sink)
+        self._refresh_live_mask()
         return sink
 
     def remove_sink(self, sink: Sink) -> None:
         self._sinks.remove(sink)
+        self._refresh_live_mask()
 
     @property
     def sinks(self) -> List[Sink]:
@@ -153,11 +171,12 @@ class Tracer:
 
     def enabled_for(self, etype: EventType) -> bool:
         """True iff events of *etype* would be recorded."""
-        return bool(self.mask & etype) and bool(self._sinks)
+        return bool(self.live_mask & etype)
 
     def emit(self, event: TraceEvent) -> None:
         """Dispatch *event* to every sink if its type passes the mask."""
-        if not (self.mask & event.type) or not self._sinks:
+        # ``.value`` sidesteps IntFlag.__rand__ (plain int arithmetic).
+        if not (self.live_mask & event.type.value):
             self.dropped += 1
             return
         self.emitted += 1
@@ -166,10 +185,13 @@ class Tracer:
 
     def event(self, etype: EventType, cycle: int, **kw) -> None:
         """Convenience: construct and emit in one call (cold paths)."""
-        if not (self.mask & etype) or not self._sinks:
+        if not (self.live_mask & etype.value):
             self.dropped += 1
             return
-        self.emit(TraceEvent(type=etype, cycle=cycle, **kw))
+        ev = TraceEvent(type=etype, cycle=cycle, **kw)
+        self.emitted += 1
+        for sink in self._sinks:
+            sink.emit(ev)
 
     def close(self) -> None:
         for sink in self._sinks:

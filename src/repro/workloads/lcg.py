@@ -126,8 +126,17 @@ class LCG:
         """
         if bound <= 0:
             raise ValueError("bound must be positive")
-        return (self.next() * bound) >> 31
+        self._state = s = (self._state * 1103515245 + 12345) & _MASK32
+        return ((s & 0x7FFFFFFF) * bound) >> 31
 
     def next_u64(self) -> int:
-        """64-bit value from three draws."""
-        return (self.next() << 33) | (self.next() << 2) | (self.next() & 0x3)
+        """64-bit value from three draws (state step inlined: this is
+        the payload-generation hot path)."""
+        s = self._state
+        s = (s * 1103515245 + 12345) & _MASK32
+        a = s & 0x7FFFFFFF
+        s = (s * 1103515245 + 12345) & _MASK32
+        b = s & 0x7FFFFFFF
+        s = (s * 1103515245 + 12345) & _MASK32
+        self._state = s
+        return (a << 33) | (b << 2) | (s & 0x3)

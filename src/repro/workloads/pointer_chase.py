@@ -71,12 +71,19 @@ def pointer_chase_run(
     seed: int = 1,
     cub: int = 0,
     max_cycles_per_hop: int = 10_000,
+    think_cycles: int = 0,
 ) -> ChaseResult:
     """Write a chase table into the device, then chase it.
 
     Each node stores its successor's address in its first 64-bit word;
     the chase issues one dependent read at a time and waits for the
     response before continuing.
+
+    *think_cycles* models host compute between dependent loads (the
+    classic latency-bound pattern: chase, compute on the node, chase
+    again).  The device is quiescent for that window, so the active
+    scheduler's :meth:`HMCSim.run` fast-forwards it in closed form
+    while the naive scheduler ticks every cycle.
     """
     if node_bytes not in WRITE_CMD_FOR_BYTES:
         raise ValueError(f"unsupported node size {node_bytes}")
@@ -119,6 +126,8 @@ def pointer_chase_run(
                 raise RuntimeError("pointer chase response never arrived")
         latencies.append(sim.clock_value - sent_at)
         addr = rsp.payload[0] if rsp.payload else 0
+        if think_cycles:
+            sim.run(think_cycles)
     return ChaseResult(
         hops=hops,
         cycles=sim.clock_value - start_cycle,
