@@ -67,7 +67,7 @@ def xbar_stats(x) -> Dict[str, Any]:
 
 
 def link_stats(l) -> Dict[str, Any]:
-    return {
+    out = {
         "configured": l.configured,
         "host_link": l.is_host_link,
         "chain_link": l.is_chain_link,
@@ -78,6 +78,11 @@ def link_stats(l) -> Dict[str, Any]:
         "rate_gbps": l.rate_gbps,
         "lanes": l.lanes,
     }
+    if l.fault_state is not None:
+        out["health"] = l.health
+        out["effective_lanes"] = l.effective_lanes()
+        out["effective_bandwidth_gbps"] = l.effective_bandwidth_gbps()
+    return out
 
 
 def device_stats(dev) -> Dict[str, Any]:
@@ -131,6 +136,14 @@ def dump_stats(sim: HMCSim, include_banks: bool = True) -> Dict[str, Any]:
         tree["faults"] = {
             f"dev{d}.link{l}": stats for (d, l), stats in sim.fault_stats().items()
         }
+    if sim._link_fault_states:
+        # In-band retry/degradation: config knobs + the full structured
+        # link report (health, counters, retry pointers, watchdog trips).
+        tree["config"]["link_ber"] = sim.config.link_ber
+        tree["config"]["link_drop_rate"] = sim.config.link_drop_rate
+        tree["config"]["link_seed"] = sim.config.link_seed
+        tree["config"]["watchdog_cycles"] = sim.config.watchdog_cycles
+        tree["link_report"] = sim.link_report()
     return tree
 
 

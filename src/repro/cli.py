@@ -48,6 +48,65 @@ def _add_device_args(p: argparse.ArgumentParser) -> None:
                    help="write the full statistics tree to this file")
 
 
+def _add_link_fault_args(p: argparse.ArgumentParser) -> None:
+    """In-band link fault / watchdog knobs shared by workload runners."""
+    p.add_argument("--link-ber", type=float, default=0.0,
+                   help="per-bit error rate on every configured link")
+    p.add_argument("--link-drop-rate", type=float, default=0.0,
+                   help="whole-packet drop probability on every link")
+    p.add_argument("--link-seed", type=int, default=1,
+                   help="seed for the per-link fault RNGs")
+    p.add_argument("--watchdog-cycles", type=int, default=0,
+                   help="abort when no forward progress for this many "
+                        "cycles (0 = watchdog off)")
+
+
+def _link_fault_kwargs(args) -> dict:
+    """SimConfig keyword overrides from the link-fault CLI flags."""
+    kw = {}
+    if getattr(args, "link_ber", 0.0):
+        kw["link_ber"] = args.link_ber
+    if getattr(args, "link_drop_rate", 0.0):
+        kw["link_drop_rate"] = args.link_drop_rate
+    if getattr(args, "link_seed", 1) != 1:
+        kw["link_seed"] = args.link_seed
+    if getattr(args, "watchdog_cycles", 0):
+        kw["watchdog_cycles"] = args.watchdog_cycles
+    return kw
+
+
+def _run_guarded(host, stream, sim, cub: int = 0):
+    """Drive the host loop, converting typed engine aborts into a
+    diagnostic dump plus a nonzero exit instead of a traceback."""
+    from repro.core.errors import LinkDeadError, WatchdogError
+
+    try:
+        return host.run(stream, cub=cub), 0
+    except (LinkDeadError, WatchdogError) as exc:
+        import json
+
+        kind = "watchdog" if isinstance(exc, WatchdogError) else "link failure"
+        print(f"aborted ({kind}): {exc}", file=sys.stderr)
+        print(json.dumps(exc.report, indent=2, default=str), file=sys.stderr)
+        return None, 3
+
+
+def _print_link_fault_summary(sim) -> None:
+    faults = sim.stats().get("link_faults")
+    if not faults:
+        return
+    print("in-band link fault summary:")
+    for key, st in sorted(faults.items()):
+        print(f"  {key}: health={st['health']} "
+              f"tx={st['transmissions']:,} crc={st['crc_failures']:,} "
+              f"drops={st['drops']:,} irtry={st['irtry_events']:,} "
+              f"recovered={st['recovered']:,} "
+              f"recovery_cycles={st['recovery_cycles']:,}")
+    if sim.link_failures or sim.watchdog_trips:
+        print(f"  link_failures={sim.link_failures} "
+              f"watchdog_trips={sim.watchdog_trips}")
+
+
 def _maybe_dump(args, sim) -> None:
     if getattr(args, "stats_json", None):
         from repro.analysis.statdump import to_json
@@ -100,10 +159,15 @@ def cmd_bandwidth(args) -> int:
     device = _device_from_args(args)
     sim = topo.build_simple(HMCSim(
         num_devs=1, num_links=device.num_links,
-        num_banks=device.num_banks, capacity=device.capacity))
+        num_banks=device.num_banks, capacity=device.capacity,
+        **_link_fault_kwargs(args)))
     host = Host(sim)
     cfg = RandomAccessConfig(num_requests=args.requests, seed=args.seed)
-    res = host.run(random_access_requests(device.capacity_bytes, cfg))
+    res, rc = _run_guarded(
+        host, random_access_requests(device.capacity_bytes, cfg), sim)
+    if res is None:
+        _maybe_dump(args, sim)
+        return rc
     report = bw.measure(sim, cycle_ghz=args.ghz)
     print(bw.render(report))
     dist = LatencyDistribution.from_samples(res.latencies)
@@ -111,6 +175,7 @@ def cmd_bandwidth(args) -> int:
     from repro.analysis.energy import estimate, render as render_energy
 
     print(render_energy(estimate(sim)))
+    _print_link_fault_summary(sim)
     _maybe_dump(args, sim)
     return 0
 
@@ -118,6 +183,33 @@ def cmd_bandwidth(args) -> int:
 def cmd_faults(args) -> int:
     from repro.faults.link_model import LinkFaultModel
 
+    device = _device_from_args(args)
+    cfg = RandomAccessConfig(num_requests=args.requests, seed=args.seed)
+    if args.link_ber or args.link_drop_rate:
+        # In-band mode: fault states ride every link of a chained
+        # topology; retries, degradation and the watchdog all consume
+        # simulated cycles inside the engine.
+        sim = topo.build_chain(HMCSim(
+            num_devs=args.devices, num_links=args.links,
+            num_banks=args.banks, capacity=args.capacity,
+            link_max_retries=args.max_retries,
+            **_link_fault_kwargs(args)))
+        host = Host(sim)
+        # Target the far end of the chain so every request and response
+        # crosses the chain links (and their fault gates).
+        far = args.devices - 1
+        res, rc = _run_guarded(
+            host, random_access_requests(device.capacity_bytes, cfg), sim,
+            cub=far)
+        if res is None:
+            _maybe_dump(args, sim)
+            return rc
+        print(f"requests: {res.requests_sent:,}  "
+              f"responses: {res.responses_received:,} "
+              f" errors: {res.errors_received}  cycles: {res.cycles:,}")
+        _print_link_fault_summary(sim)
+        _maybe_dump(args, sim)
+        return 0
     sim = topo.build_simple(HMCSim(
         num_devs=1, num_links=args.links, num_banks=args.banks,
         capacity=args.capacity), host_links=1)
@@ -125,8 +217,6 @@ def cmd_faults(args) -> int:
         0, 0, LinkFaultModel(ber=args.ber, drop_rate=args.drop, seed=args.seed),
         max_retries=args.max_retries)
     host = Host(sim)
-    device = _device_from_args(args)
-    cfg = RandomAccessConfig(num_requests=args.requests, seed=args.seed)
     res = host.run(random_access_requests(device.capacity_bytes, cfg))
     print(f"requests: {res.requests_sent:,}  responses: {res.responses_received:,} "
           f" errors: {res.errors_received}")
@@ -166,14 +256,18 @@ def cmd_replay(args) -> int:
     device = _device_from_args(args)
     sim = topo.build_simple(HMCSim(
         num_devs=1, num_links=device.num_links,
-        num_banks=device.num_banks, capacity=device.capacity))
+        num_banks=device.num_banks, capacity=device.capacity,
+        **_link_fault_kwargs(args)))
     host = Host(sim)
     with open(args.trace) as fh:
         stream = list(replay_address_trace(fh, device.capacity_bytes))
-    res = host.run(stream)
+    res, rc = _run_guarded(host, stream, sim)
+    if res is None:
+        return rc
     print(f"replayed {res.requests_sent:,} trace records in {res.cycles:,} cycles "
           f"({res.throughput:.2f} req/cycle), "
           f"mean latency {res.mean_latency:.1f}")
+    _print_link_fault_summary(sim)
     return 0
 
 
@@ -215,18 +309,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bandwidth", help="bandwidth/latency for a random run")
     _add_device_args(p)
+    _add_link_fault_args(p)
     p.add_argument("--ghz", type=float, default=bw.DEFAULT_CYCLE_GHZ)
     p.set_defaults(func=cmd_bandwidth)
 
     p = sub.add_parser("faults", help="error-simulation run over a noisy link")
     _add_device_args(p)
+    _add_link_fault_args(p)
     p.add_argument("--ber", type=float, default=1e-4)
     p.add_argument("--drop", type=float, default=0.0)
     p.add_argument("--max-retries", type=int, default=16)
+    p.add_argument("--devices", type=int, default=2,
+                   help="chain length for the in-band (--link-ber/"
+                        "--link-drop-rate) mode")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("replay", help="replay a flat R/W address trace file")
     _add_device_args(p)
+    _add_link_fault_args(p)
     p.add_argument("trace", help="path to a 'R/W <hex-addr> [size]' trace file")
     p.set_defaults(func=cmd_replay)
 

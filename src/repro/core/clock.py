@@ -40,6 +40,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List
 
 from repro.core.device import HMCDevice
+from repro.core.errors import WatchdogError
+from repro.faults.inband import TX_DEAD, TX_OK, LinkHealth
 from repro.trace.events import EventType
 from repro.packets.packet import Packet
 
@@ -59,7 +61,7 @@ class ClockEngine:
     """Drives the sub-cycle stages over every device of one HMCSim."""
 
     __slots__ = ("sim", "stage_counts", "_active", "_roots", "_children",
-                 "_topo_epoch")
+                 "_topo_epoch", "_wd_last_cycle", "_wd_marker")
 
     def __init__(self, sim: "HMCSim") -> None:
         self.sim = sim
@@ -70,6 +72,11 @@ class ClockEngine:
         self._roots: List[HMCDevice] = []
         self._children: List[HMCDevice] = []
         self._topo_epoch = -1
+        # No-progress watchdog (armed iff config.watchdog_cycles > 0):
+        # the cycle at which the progress signature last changed, and
+        # that signature (None until the first check).
+        self._wd_last_cycle = 0
+        self._wd_marker = None
 
     # ------------------------------------------------------------------
 
@@ -102,10 +109,23 @@ class ClockEngine:
                 self.tick()
             return
         remaining = cycles
-        devices = self.sim.devices
+        sim = self.sim
+        devices = sim.devices
+        wd = sim.config.watchdog_cycles
         while remaining > 0:
             if all(d.is_idle() for d in devices):
                 skip = self._idle_skip_bound(remaining)
+                if wd and skip > 0:
+                    # The watchdog deadline is an observable event: clamp
+                    # the fast-forward so the tick at exactly
+                    # last_progress + watchdog_cycles runs for real and
+                    # fires at the same cycle the naive walk would.
+                    self._wd_refresh(sim.clock_value)
+                    if self._wd_stuck():
+                        skip = min(
+                            skip,
+                            self._wd_last_cycle + wd - sim.clock_value,
+                        )
                 if skip > 0:
                     self._fast_forward(skip)
                     remaining -= skip
@@ -130,6 +150,14 @@ class ClockEngine:
         cfg = sim.config
         cycle = sim.clock_value
         skip = limit
+        if sim._link_fault_states:
+            devices = sim.devices
+            for state in sim._link_fault_states:
+                if not state.registers_synced(devices):
+                    # A host-boundary transmission attempt bumped a link
+                    # counter since the last stage-6 mirror; run a real
+                    # tick so the LRS registers publish it.
+                    return 0
         interval = cfg.refresh_interval
         if interval:
             # A refresh fires at cycle t iff (t + vault_id) % interval
@@ -188,6 +216,8 @@ class ClockEngine:
         cycle = sim.clock_value
         tracer = sim.tracer
         cfg = sim.config
+        if cfg.watchdog_cycles:
+            self._wd_check(cycle)
         roots = self._roots
         children = self._children
         mark = tracer.live_mask & _EV_SUBCYCLE
@@ -298,6 +328,14 @@ class ClockEngine:
         # Stage 6: update the internal clock value.
         if mark:
             tracer.event(EventType.SUBCYCLE, cycle, stage=6)
+        if sim._link_fault_states:
+            # Mirror per-link health/retry counters into the LRS
+            # registers of every endpoint device before the register
+            # tick, so host writes strobed this cycle rebase the
+            # write-to-clear deltas (same pattern as the RAS mirror).
+            devices = sim.devices
+            for state in sim._link_fault_states:
+                state.sync_registers(devices)
         for dev in sim.devices:
             if dev.ras is not None:
                 # Mirror RAS counters before the register tick so host
@@ -307,6 +345,122 @@ class ClockEngine:
             dev.regs.internal_write("STAT", cycle + 1)
         sim.clock_value = cycle + 1
         self.stage_counts[6] += 1
+
+    # ------------------------------------------------------------------
+    # No-progress watchdog.
+    # ------------------------------------------------------------------
+
+    def _wd_signature(self) -> tuple:
+        """Everything that counts as forward progress.
+
+        Stage 1/2/4/5 move counters, host send/recv totals, dropped
+        responses (a dead link actively draining stranded work is still
+        progress), and in-band link transmissions (a replaying link is
+        working toward recovery, not livelocked).
+        """
+        sim = self.sim
+        sc = self.stage_counts
+        tx = 0
+        for state in sim._link_fault_states:
+            tx += state.stats.transmissions
+        return (
+            sc[1],
+            sc[2],
+            sc[4],
+            sc[5],
+            sim.packets_sent,
+            sim.packets_received,
+            sim.dropped_responses,
+            tx,
+        )
+
+    def _wd_refresh(self, cycle: int) -> None:
+        """Record *cycle* as the last-progress point if anything moved."""
+        sig = self._wd_signature()
+        if sig != self._wd_marker:
+            self._wd_marker = sig
+            self._wd_last_cycle = cycle
+
+    def _wd_stuck(self) -> bool:
+        """True iff pending work cannot complete without intervention.
+
+        Either a device holds queued packets that stages are not moving,
+        or flow-control tokens are outstanding with no deliverable
+        response left anywhere the host could drain them from — the
+        dropped-TRET deadlock.
+        """
+        sim = self.sim
+        for d in sim.devices:
+            if not d.is_idle():
+                return True
+        link_faults = sim._link_faults
+        if link_faults:
+            devices = sim.devices
+            for d, l in sim._host_links:
+                state = link_faults.get((d, l))
+                if (
+                    state is not None
+                    and state.health is LinkHealth.FAILED
+                    and devices[d].xbars[l].rsp._q
+                ):
+                    # Responses stranded behind a dead host link can
+                    # never be delivered.
+                    return True
+        tokens = sim._tokens
+        if tokens and any(t.available < t.capacity for t in tokens.values()):
+            link_faults = sim._link_faults
+            devices = sim.devices
+            for d, l in sim._host_links:
+                if devices[d].xbars[l].rsp._q:
+                    state = link_faults.get((d, l)) if link_faults else None
+                    if state is None or state.health is not LinkHealth.FAILED:
+                        # A response the host can still receive exists;
+                        # the tokens it holds are recoverable.
+                        return False
+            return True
+        return False
+
+    def _wd_check(self, cycle: int) -> None:
+        """Tick-start watchdog: abort when stuck past the deadline."""
+        self._wd_refresh(cycle)
+        wd = self.sim.config.watchdog_cycles
+        if cycle - self._wd_last_cycle >= wd and self._wd_stuck():
+            self._wd_abort(cycle)
+
+    def _wd_abort(self, cycle: int) -> None:
+        sim = self.sim
+        sim.watchdog_trips += 1
+        report = sim.link_report()
+        report.update(
+            {
+                "last_progress_cycle": self._wd_last_cycle,
+                "watchdog_cycles": sim.config.watchdog_cycles,
+                "pending_packets": sim.pending_packets,
+                "in_flight": sim.in_flight,
+                "queues": {
+                    f"dev{d.dev_id}": {
+                        "xbar_rqst": [len(x.rqst) for x in d.xbars],
+                        "xbar_rsp": [len(x.rsp) for x in d.xbars],
+                        "vault_rqst": [len(v.rqst) for v in d.vaults],
+                        "vault_rsp": [len(v.rsp) for v in d.vaults],
+                    }
+                    for d in sim.devices
+                },
+            }
+        )
+        sim.tracer.event(
+            EventType.WATCHDOG,
+            cycle,
+            extra={
+                "last_progress_cycle": self._wd_last_cycle,
+                "in_flight": sim.in_flight,
+            },
+        )
+        raise WatchdogError(
+            f"no forward progress for {cycle - self._wd_last_cycle} cycles "
+            f"at cycle {cycle} with work outstanding (livelock)",
+            report=report,
+        )
 
     # ------------------------------------------------------------------
     # Stage 1/2 helper.
@@ -463,6 +617,12 @@ class ClockEngine:
                 continue
             peer_dev_id, peer_link = peer
             peer_dev = sim.devices[peer_dev_id]
+            link_faults = sim._link_faults
+            fault_state = (
+                link_faults.get((dev.dev_id, xbar.link_id))
+                if link_faults
+                else None
+            )
             for _ in range(moves):
                 pkt = xbar.rsp.peek()
                 if pkt is None:
@@ -494,6 +654,29 @@ class ClockEngine:
                             serial=pkt.serial,
                         )
                     break
+                if fault_state is not None:
+                    # In-band gate: the response hop runs the link retry
+                    # protocol.  A failure keeps it queued for the replay
+                    # window; a dead link strands it (dropped, tokens
+                    # leak — the watchdog's deadlock scenario).
+                    status = fault_state.try_transmit(
+                        (dev.dev_id, xbar.link_id), pkt, cycle, tracer
+                    )
+                    if status is not TX_OK:
+                        if status is TX_DEAD:
+                            sim._note_link_failure(fault_state)
+                            xbar.rsp.pop()
+                            sim.dropped_responses += 1
+                            if live & _EV_PKT_EXPIRED:
+                                tracer.event(
+                                    EventType.PKT_EXPIRED,
+                                    cycle,
+                                    dev=dev.dev_id,
+                                    link=xbar.link_id,
+                                    serial=pkt.serial,
+                                )
+                            continue
+                        break
                 xbar.rsp.pop()
                 if pkt.route_stack and pkt.route_stack[-1][0] == peer_dev.dev_id:
                     pkt.route_stack.pop()

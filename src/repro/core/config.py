@@ -228,6 +228,28 @@ class SimConfig:
     #: ``ras_scrub_rows`` touched rows (0 interval disables the patrol).
     ras_scrub_interval: int = 0
     ras_scrub_rows: int = 4
+    #: In-band link fault injection (repro.faults.inband): with a
+    #: nonzero BER or drop rate, every configured link auto-attaches an
+    #: :class:`~repro.faults.inband.InbandLinkState` whose fault model
+    #: every in-simulation traversal runs through.  Both zero ⇒ no
+    #: in-band state at all, and the engine's fault path is never
+    #: consulted (fault-free runs stay bit-identical to a build without
+    #: this subsystem).
+    link_ber: float = 0.0
+    link_drop_rate: float = 0.0
+    #: Base seed for the per-link fault RNG streams (each link derives a
+    #: distinct deterministic child seed from its canonical endpoint).
+    link_seed: int = 1
+    #: Consecutive failed transmissions on one link direction before the
+    #: link takes a degradation step (FULL → HALF → FAILED).
+    link_max_retries: int = 8
+    #: Simulated cycles one IRTRY exchange + replay window occupies.
+    link_retry_delay: int = 4
+    #: No-progress watchdog: abort with a typed
+    #: :class:`~repro.core.errors.WatchdogError` when no forward
+    #: progress happened for this many cycles while work or tokens are
+    #: still outstanding.  0 disables the watchdog.
+    watchdog_cycles: int = 0
 
     def __post_init__(self) -> None:
         if self.num_devs <= 0:
@@ -277,6 +299,18 @@ class SimConfig:
             raise InitError("ras_scrub_interval must be >= 0")
         if self.ras_scrub_rows < 1:
             raise InitError("ras_scrub_rows must be >= 1")
+        if not 0.0 <= self.link_ber <= 1.0:
+            raise InitError(f"link_ber must be in [0, 1], got {self.link_ber}")
+        if not 0.0 <= self.link_drop_rate <= 1.0:
+            raise InitError(
+                f"link_drop_rate must be in [0, 1], got {self.link_drop_rate}"
+            )
+        if self.link_max_retries < 0:
+            raise InitError("link_max_retries must be >= 0")
+        if self.link_retry_delay < 0:
+            raise InitError("link_retry_delay must be >= 0")
+        if self.watchdog_cycles < 0:
+            raise InitError("watchdog_cycles must be >= 0")
 
     @property
     def host_cub(self) -> int:

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.addressing.address_map import AddressMap
 from repro.core.quad import closest_quad_of_link, quad_of_vault
 from repro.core.queueing import PacketQueue
+from repro.faults.inband import TX_DEAD, TX_OK
 from repro.packets.commands import CommandClass
 from repro.packets.packet import ErrStat, Packet, build_response
 from repro.trace.events import EventType
@@ -246,6 +247,22 @@ class CrossbarUnit:
                     extra={"remote": True, "target_cub": pkt.cub},
                 )
             return False
+        link_faults = sim._link_faults
+        if link_faults:
+            state = link_faults.get((device.dev_id, egress_link))
+            if state is not None:
+                # In-band gate: the chain hop crosses the link retry
+                # protocol.  A failed transmission leaves the packet
+                # queued for the replay window; a dead link leaves it
+                # for rerouting (next_hop now avoids FAILED links) or a
+                # misroute error response when no path survives.
+                status = state.try_transmit(
+                    (device.dev_id, egress_link), pkt, cycle, tracer
+                )
+                if status is not TX_OK:
+                    if status is TX_DEAD:
+                        sim._note_link_failure(state)
+                    return False
         pkt.route_stack.append((peer_dev_id, peer_link))
         pkt.hops += 1
         pkt.ingress_link = peer_link

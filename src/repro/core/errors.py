@@ -19,6 +19,12 @@ E_STALL = -2
 E_NODATA = -3
 #: Unimplemented feature.
 E_UNIMPL = -4
+#: Link failure: retry exhausted / link degraded to FAILED and the
+#: packet has no surviving path.
+E_LINKFAIL = -5
+#: No-progress watchdog abort: the simulation livelocked (tokens
+#: exhausted or queues jammed with no stage activity for N cycles).
+E_DEADLOCK = -6
 
 
 class HMCError(Exception):
@@ -59,3 +65,36 @@ class RegisterAccessError(HMCError):
     """Illegal register access (unknown index, write to RO, ...)."""
 
     errno = E_INVAL
+
+
+class LinkDeadError(HMCError):
+    """A link degraded to FAILED and the operation has no surviving path.
+
+    Raised from ``send`` when the target host link is dead, or when a
+    chained topology loses its only route to the destination cube.
+    ``report`` carries a structured run-report (per-link health, retry
+    counters, stranded work) suitable for logging or JSON dumping.
+    """
+
+    errno = E_LINKFAIL
+
+    def __init__(self, message: str, report: dict | None = None):
+        super().__init__(message)
+        self.report = report if report is not None else {}
+
+
+class WatchdogError(HMCError):
+    """The no-progress watchdog detected livelock and aborted the run.
+
+    Fired by the clock engine when no forward progress (stage activity,
+    link transmissions, host send/recv) happened for
+    ``SimConfig.watchdog_cycles`` cycles while work is still pending —
+    e.g. flow-control tokens leaked by a dead link.  ``report`` carries
+    a diagnostic dump of tokens, queues and link health.
+    """
+
+    errno = E_DEADLOCK
+
+    def __init__(self, message: str, report: dict | None = None):
+        super().__init__(message)
+        self.report = report if report is not None else {}

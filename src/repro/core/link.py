@@ -66,6 +66,10 @@ class Link:
     rate_gbps: float = 10.0
     lanes: int = 16
     flow: Optional[FlowController] = None
+    #: In-band fault/retry/degradation state covering this link, when
+    #: one is attached (:class:`repro.faults.inband.InbandLinkState`;
+    #: chain-link peers share one object).
+    fault_state: Optional[object] = field(default=None, repr=False, compare=False)
     #: Packets that crossed this link in each direction (statistics).
     tx_packets: int = 0
     rx_packets: int = 0
@@ -92,9 +96,36 @@ class Link:
         """Cube id of the far end (the non-source endpoint)."""
         return self.dst_cub
 
+    @property
+    def health(self) -> str:
+        """Degradation ladder position: FULL, HALF or FAILED.
+
+        FULL when no in-band fault state is attached (a clean link never
+        degrades).
+        """
+        if self.fault_state is None:
+            return "FULL"
+        return self.fault_state.health.name
+
+    def effective_lanes(self) -> int:
+        """Lanes usable at the current health (half when degraded, zero
+        when failed)."""
+        if self.fault_state is None:
+            return self.lanes
+        name = self.fault_state.health.name
+        if name == "FAILED":
+            return 0
+        if name == "HALF":
+            return self.lanes // 2
+        return self.lanes
+
     def raw_bandwidth_gbps(self) -> float:
         """Aggregate raw link bandwidth (lanes x rate, full duplex)."""
         return self.lanes * self.rate_gbps
+
+    def effective_bandwidth_gbps(self) -> float:
+        """Bandwidth at the current degradation level."""
+        return self.effective_lanes() * self.rate_gbps
 
     def count_tx(self, flits: int) -> None:
         self.tx_packets += 1

@@ -29,11 +29,19 @@ from repro.core.device import HMCDevice
 from repro.core.errors import (
     HMCError,
     InitError,
+    LinkDeadError,
     NoDataError,
     StallError,
     TopologyError,
 )
 from repro.core.link import EndpointType
+from repro.faults.inband import (
+    HOST_SENDER,
+    TX_DEAD,
+    TX_OK,
+    InbandLinkState,
+    LinkHealth,
+)
 from repro.packets.flow import LinkTokens
 from repro.packets.packet import Packet
 from repro.trace.events import EventType, TraceEvent
@@ -108,9 +116,20 @@ class HMCSim:
         self._tokens: Dict[Tuple[int, int], LinkTokens] = {}
         self._outstanding_flits: Dict[Tuple[int, int, int], int] = {}
 
-        # Link-error simulation: per-(dev, link) retry sessions.
+        # Link-error simulation: per-(dev, link) retry sessions
+        # (transaction granularity, zero simulated cycles).
         self._retry_sessions: Dict[Tuple[int, int], object] = {}
         self.link_errors_unrecovered = 0
+
+        # In-band link fault states (repro.faults.inband): one state per
+        # physical link, registered under every endpoint key so both
+        # sides of a chain link resolve to the same object.  Empty dict
+        # ⇒ every hot-path gate short-circuits on a falsy check and the
+        # simulation is bit-identical to a fault-free build.
+        self._link_faults: Dict[Tuple[int, int], InbandLinkState] = {}
+        self._link_fault_states: List[InbandLinkState] = []
+        self.link_failures = 0
+        self.watchdog_trips = 0
 
         # Host-side statistics.
         self.packets_sent = 0
@@ -146,6 +165,8 @@ class HMCSim:
         self._host_links.append((dev, link))
         if self.config.link_token_flits > 0:
             self._tokens[(dev, link)] = LinkTokens(self.config.link_token_flits)
+        if self.config.link_ber or self.config.link_drop_rate:
+            self._auto_attach_link_fault([(dev, link)])
         self._routes = None
         self._topology_epoch += 1
 
@@ -171,6 +192,8 @@ class HMCSim:
         lb.dst_cub, lb.dst_type = dev_a, EndpointType.DEVICE
         self._link_peers[(dev_a, link_a)] = (dev_b, link_b)
         self._link_peers[(dev_b, link_b)] = (dev_a, link_a)
+        if self.config.link_ber or self.config.link_drop_rate:
+            self._auto_attach_link_fault([(dev_a, link_a), (dev_b, link_b)])
         self._routes = None
         self._topology_epoch += 1
 
@@ -248,12 +271,19 @@ class HMCSim:
         """BFS next-hop tables over the chain-link graph.
 
         ``routes[src_dev][target_dev] = (egress_link, peer_dev, peer_link)``.
+        Links whose in-band fault state degraded to FAILED are excluded,
+        so surviving paths reroute around dead links automatically.
         """
         routes: Dict[int, Dict[int, Tuple[int, int, int]]] = {}
         adj: Dict[int, List[Tuple[int, int, int]]] = {d.dev_id: [] for d in self.devices}
+        link_faults = self._link_faults
         for (dev, link), peer in self._link_peers.items():
             if peer == "host":
                 continue
+            if link_faults:
+                state = link_faults.get((dev, link))
+                if state is not None and state.health is LinkHealth.FAILED:
+                    continue
             pd, pl = peer
             adj[dev].append((link, pd, pl))
         for src in adj:
@@ -333,10 +363,31 @@ class HMCSim:
                 raise HMCError(str(exc)) from exc
         tokens = self._tokens.get((dev, link))
         flits = pkt.num_flits
+        if tokens is not None and not tokens.can_send(flits):
+            self.send_stalls += 1
+            raise StallError(f"link tokens exhausted on dev {dev} link {link}")
+        if self._link_faults:
+            # In-band fault path: the transmission runs the link retry
+            # protocol in real simulated time.  A failure opens a replay
+            # window — the host sees a stall, clocks, and retries, so
+            # recovery cycles land in the total cycle count.
+            state = self._link_faults.get((dev, link))
+            if state is not None:
+                status = state.try_transmit(
+                    HOST_SENDER, pkt, self.clock_value, self.tracer
+                )
+                if status is not TX_OK:
+                    if status is TX_DEAD:
+                        self._note_link_failure(state)
+                        raise LinkDeadError(
+                            f"host link {link} on dev {dev} has failed",
+                            report=self.link_report(),
+                        )
+                    self.send_stalls += 1
+                    raise StallError(
+                        f"link {link} on dev {dev} in retry/replay window"
+                    )
         if tokens is not None:
-            if not tokens.can_send(flits):
-                self.send_stalls += 1
-                raise StallError(f"link tokens exhausted on dev {dev} link {link}")
             tokens.consume(flits)
             if pkt.expects_response:
                 self._outstanding_flits[(dev, link, pkt.tag)] = flits
@@ -375,6 +426,12 @@ class HMCSim:
         tokens = self._tokens.get((dev, link))
         if tokens is not None and not tokens.can_send(flits):
             return False
+        if self._link_faults:
+            state = self._link_faults.get((dev, link))
+            if state is not None and not state.ready_for(
+                HOST_SENDER, self.clock_value
+            ):
+                return False
         return True
 
     def recv(self, dev: Optional[int] = None, link: Optional[int] = None) -> Packet:
@@ -406,10 +463,26 @@ class HMCSim:
                 raise TopologyError("no host link configured")
             rotor = self._recv_rotor
             self._recv_rotor = (rotor + 1) % n
+        link_faults = self._link_faults
         for i in range(n):
             d, l = host_links[(rotor + i) % n]
             xbar = self.devices[d].xbars[l]
             if xbar.rsp._q:
+                if link_faults:
+                    # Device→host delivery crosses the link in-band too:
+                    # a failed transmission keeps the response queued for
+                    # the replay window; a dead link strands it.
+                    state = link_faults.get((d, l))
+                    if state is not None:
+                        if state.health is LinkHealth.FAILED:
+                            continue
+                        status = state.try_transmit(
+                            (d, l), xbar.rsp._q[0], self.clock_value, self.tracer
+                        )
+                        if status is not TX_OK:
+                            if status is TX_DEAD:
+                                self._note_link_failure(state)
+                            continue
                 pkt = xbar.rsp.pop()
                 pkt.completed_at = self.clock_value
                 pkt.delivered_from = (d, l)
@@ -541,6 +614,118 @@ class HMCSim:
             for key, session in self._retry_sessions.items()
         }
 
+    # -- in-band link faults (repro.faults.inband) ------------------------------
+
+    def attach_link_fault(
+        self,
+        dev: int,
+        link: int,
+        model,
+        max_retries: Optional[int] = None,
+        retry_delay: Optional[int] = None,
+    ) -> InbandLinkState:
+        """Attach an in-band fault state to any *configured* link.
+
+        Unlike :meth:`attach_fault_model` (transaction granularity, host
+        links only), the state attaches to the physical link — host or
+        chain — and every in-simulation traversal of that link runs
+        through it, consuming real simulated cycles on failure.  For a
+        chain link, one shared state is registered under both endpoint
+        keys.  Returns the created
+        :class:`~repro.faults.inband.InbandLinkState`.
+        """
+        peer = self._link_peers.get((dev, link))
+        if peer is None:
+            raise TopologyError(
+                f"dev {dev} link {link} is not configured; in-band fault "
+                f"states attach to configured links"
+            )
+        if (dev, link) in self._link_faults:
+            raise TopologyError(
+                f"dev {dev} link {link} already has an in-band fault state"
+            )
+        endpoints = [(dev, link)]
+        if peer != "host":
+            endpoints.append(peer)
+        state = InbandLinkState(
+            endpoints,
+            model,
+            max_retries=(
+                max_retries
+                if max_retries is not None
+                else self.config.link_max_retries
+            ),
+            retry_delay=(
+                retry_delay
+                if retry_delay is not None
+                else self.config.link_retry_delay
+            ),
+        )
+        for ep in state.endpoints:
+            self._link_faults[ep] = state
+            self.devices[ep[0]].links[ep[1]].fault_state = state
+        self._link_fault_states.append(state)
+        return state
+
+    def detach_link_fault(self, dev: int, link: int) -> None:
+        """Remove the in-band fault state covering (dev, link)."""
+        state = self._link_faults.get((dev, link))
+        if state is None:
+            return
+        for ep in state.endpoints:
+            self._link_faults.pop(ep, None)
+            self.devices[ep[0]].links[ep[1]].fault_state = None
+        self._link_fault_states.remove(state)
+        self._routes = None
+
+    def _auto_attach_link_fault(self, endpoints) -> None:
+        """Config-driven attach (``link_ber`` / ``link_drop_rate``).
+
+        The per-link seed derives deterministically from the canonical
+        endpoint, so a given topology + config reproduces the same fault
+        stream under either scheduler.
+        """
+        from repro.faults.link_model import LinkFaultModel
+
+        cfg = self.config
+        dev, link = endpoints[0]
+        seed = cfg.link_seed * 1_000_003 + dev * 97 + link
+        model = LinkFaultModel(
+            ber=cfg.link_ber, drop_rate=cfg.link_drop_rate, seed=seed
+        )
+        self.attach_link_fault(dev, link, model)
+
+    def _note_link_failure(self, state: InbandLinkState) -> None:
+        """React (once) to a link reaching FAILED: reroute around it."""
+        if state.failure_handled:
+            return
+        state.failure_handled = True
+        self.link_failures += 1
+        # Invalidate next-hop tables; the rebuild excludes FAILED links,
+        # so queued traffic reroutes where a path survives and misroutes
+        # (error response to the host) where none does.
+        self._routes = None
+
+    def link_report(self) -> dict:
+        """Structured run-report of every in-band link fault state."""
+        report = {
+            "cycle": self.clock_value,
+            "link_failures": self.link_failures,
+            "links": {
+                f"dev{s.endpoints[0][0]}.link{s.endpoints[0][1]}": s.report()
+                for s in self._link_fault_states
+            },
+        }
+        if self._tokens:
+            report["tokens"] = {
+                f"dev{d}.link{l}": {
+                    "available": t.available,
+                    "capacity": t.capacity,
+                }
+                for (d, l), t in sorted(self._tokens.items())
+            }
+        return report
+
     # ==================================================================
     # Out-of-band register access (paper §V.D).
     # ==================================================================
@@ -603,6 +788,13 @@ class HMCSim:
             out["ras"] = {
                 d.dev_id: d.ras.stats() for d in self.devices if d.ras is not None
             }
+        if self._link_fault_states:
+            out["link_failures"] = self.link_failures
+            out["watchdog_trips"] = self.watchdog_trips
+            out["link_faults"] = {
+                f"dev{s.endpoints[0][0]}.link{s.endpoints[0][1]}": s.stats_dict()
+                for s in self._link_fault_states
+            }
         return out
 
     def reset(self) -> None:
@@ -618,6 +810,12 @@ class HMCSim:
         self._outstanding_flits.clear()
         for t in self._tokens.values():
             t.available = t.capacity
+        if self._link_fault_states:
+            for s in self._link_fault_states:
+                s.reset()
+            self.link_failures = 0
+            self.watchdog_trips = 0
+            self._routes = None
 
     def free(self) -> None:
         """Release the simulation (C-API parity); further use raises."""

@@ -10,28 +10,48 @@ error-simulation half:
 * :mod:`repro.faults.link_model` — per-link fault models (corrupt /
   drop / clean) that the simulator consults when packets cross a host
   link;
-* :mod:`repro.faults.retry` — the link-level retry protocol: a
-  transmitter-side retry buffer keyed by FRP, CRC-based detection at
-  the receiver, IRTRY-triggered replay — modelled on the HMC 1.0 link
-  retry flow and built atop :mod:`repro.packets.flow`'s pointer state.
+* :mod:`repro.faults.retry` — the link-level retry protocol at
+  *transaction* granularity: a transmitter-side retry buffer keyed by
+  FRP, CRC-based detection at the receiver, IRTRY-triggered replay —
+  modelled on the HMC 1.0 link retry flow and built atop
+  :mod:`repro.packets.flow`'s pointer state;
+* :mod:`repro.faults.inband` — the *in-band* counterpart: per-link
+  retry/degradation state consulted by the six-stage clock engine on
+  every link traversal, so faults cost real simulated cycles, links
+  degrade FULL → HALF → FAILED, and traffic reroutes or dies.
 
-Fault models attach to host links via
-:meth:`repro.core.simulator.HMCSim.attach_fault_model`; with one
-attached, ``send`` runs each packet through a
-:class:`~repro.faults.retry.RetrySession` so corrupted transmissions
-are detected (never silently accepted) and replayed transparently,
-while statistics record every injected and recovered error.
+Transaction-granularity models attach to host links via
+:meth:`repro.core.simulator.HMCSim.attach_fault_model`; in-band models
+attach to any configured link via
+:meth:`repro.core.simulator.HMCSim.attach_link_fault` (or the
+``link_ber`` / ``link_drop_rate`` :class:`~repro.core.config.SimConfig`
+knobs, which auto-attach one per link).
 """
 
+from repro.faults.inband import (
+    HOST_SENDER,
+    TX_DEAD,
+    TX_OK,
+    TX_STALL,
+    InbandLinkState,
+    LinkHealth,
+)
 from repro.faults.injector import BitErrorInjector, ScheduledInjector
 from repro.faults.link_model import FaultKind, LinkFaultModel
-from repro.faults.retry import RetrySession, RetryStats
+from repro.faults.retry import LinkRetryExhausted, RetrySession, RetryStats
 
 __all__ = [
     "BitErrorInjector",
     "FaultKind",
+    "HOST_SENDER",
+    "InbandLinkState",
     "LinkFaultModel",
+    "LinkHealth",
+    "LinkRetryExhausted",
     "RetrySession",
     "RetryStats",
     "ScheduledInjector",
+    "TX_DEAD",
+    "TX_OK",
+    "TX_STALL",
 ]

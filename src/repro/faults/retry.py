@@ -30,13 +30,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.errors import E_LINKFAIL, HMCError
 from repro.faults.link_model import FaultKind, LinkFaultModel
 from repro.packets.flow import RetryPointerState
 from repro.packets.packet import Packet, PacketDecodeError
 
 
-class LinkRetryExhausted(RuntimeError):
-    """Raised when a packet cannot be delivered within max_retries."""
+class LinkRetryExhausted(HMCError, RuntimeError):
+    """Raised when a packet cannot be delivered within max_retries.
+
+    Subclasses both :class:`~repro.core.errors.HMCError` (so the C-style
+    facade translates it to :data:`~repro.core.errors.E_LINKFAIL`) and
+    ``RuntimeError`` (its historical base, for existing handlers).
+    """
+
+    errno = E_LINKFAIL
 
 
 @dataclass

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.errors import StallError, TopologyError
+from repro.core.errors import LinkDeadError, StallError, TopologyError
 from repro.core.quad import quad_of_vault
 from repro.core.simulator import HMCSim
 from repro.packets.commands import CMD, is_posted
@@ -188,6 +188,18 @@ class Host:
         except StallError:
             if not posted:
                 pool.release(tag)
+            return None
+        except LinkDeadError:
+            # The link degraded to FAILED: fail over to the surviving
+            # host links.  Requests already outstanding on the dead link
+            # are stranded (the engine watchdog converts that into a
+            # typed abort when armed); with no survivor the typed error
+            # propagates to the caller.
+            if not posted:
+                pool.release(tag)
+            self._host_links = [hl for hl in self._host_links if hl != (dev, link)]
+            if not self._host_links:
+                raise
             return None
         self.sent += 1
         # Exposed for wrappers that need the full correlation key.

@@ -85,6 +85,17 @@ REGISTER_MAP: Tuple[RegDef, ...] = (
     RegDef("RASCE", 0x2B0005, RegClass.RWS, desc="corrected-error count (write to clear)"),
     RegDef("RASUE", 0x2B0006, RegClass.RWS, desc="uncorrectable-error count (write to clear)"),
     RegDef("RASSCR", 0x2B0007, RegClass.RWS, desc="patrol-scrub atom count (write to clear)"),
+    # Per-link retry/health status (repro.faults.inband): mirrored each
+    # cycle on every device touching a fault-attached link; RWS — a host
+    # write of any value rebases the packed counters to zero.
+    RegDef("LRS0", 0x300000, RegClass.RWS, desc="link 0 retry status (write to clear)"),
+    RegDef("LRS1", 0x300001, RegClass.RWS, desc="link 1 retry status (write to clear)"),
+    RegDef("LRS2", 0x300002, RegClass.RWS, desc="link 2 retry status (write to clear)"),
+    RegDef("LRS3", 0x300003, RegClass.RWS, desc="link 3 retry status (write to clear)"),
+    RegDef("LRS4", 0x300004, RegClass.RWS, desc="link 4 retry status (write to clear)"),
+    RegDef("LRS5", 0x300005, RegClass.RWS, desc="link 5 retry status (write to clear)"),
+    RegDef("LRS6", 0x300006, RegClass.RWS, desc="link 6 retry status (write to clear)"),
+    RegDef("LRS7", 0x300007, RegClass.RWS, desc="link 7 retry status (write to clear)"),
 )
 
 _PHYS_TO_LINEAR: Dict[int, int] = {r.phys: i for i, r in enumerate(REGISTER_MAP)}

@@ -20,12 +20,20 @@ from repro.core.simulator import HMCSim
 HOST_NODE = "host"
 
 
-def link_graph(sim: HMCSim) -> "nx.MultiGraph":
+def _link_failed(sim: HMCSim, dev: int, link: int) -> bool:
+    state = sim._link_faults.get((dev, link)) if sim._link_faults else None
+    return state is not None and state.health.name == "FAILED"
+
+
+def link_graph(sim: HMCSim, include_failed: bool = True) -> "nx.MultiGraph":
     """Undirected multigraph of devices, chain links and host edges.
 
     Devices appear as integer nodes, the host as :data:`HOST_NODE`;
     parallel links between the same pair are preserved (MultiGraph),
-    with edge attributes recording the local link ids.
+    with edge attributes recording the local link ids.  With
+    ``include_failed`` false, links whose in-band fault state has
+    reached FAILED are omitted — the surviving fabric, matching what
+    the simulator's own rebuilt next-hop tables route over.
     """
     g = nx.MultiGraph()
     g.add_node(HOST_NODE)
@@ -33,6 +41,8 @@ def link_graph(sim: HMCSim) -> "nx.MultiGraph":
         g.add_node(dev.dev_id)
     seen = set()
     for (dev, link) in sim._link_peers:
+        if not include_failed and _link_failed(sim, dev, link):
+            continue
         peer = sim.link_peer(dev, link)
         if peer == "host":
             g.add_edge(HOST_NODE, dev, link=link)
@@ -47,14 +57,50 @@ def link_graph(sim: HMCSim) -> "nx.MultiGraph":
     return g
 
 
-def path_between(sim: HMCSim, src_dev: int, dst_dev: int) -> Optional[List[int]]:
-    """Shortest device path src -> dst over chain links, or None."""
-    g = link_graph(sim)
+def path_between(
+    sim: HMCSim, src_dev: int, dst_dev: int, include_failed: bool = True
+) -> Optional[List[int]]:
+    """Shortest device path src -> dst over chain links, or None.
+
+    ``include_failed=False`` restricts the search to surviving links,
+    answering "does a route still exist after this degradation?".
+    """
+    g = link_graph(sim, include_failed=include_failed)
     g.remove_node(HOST_NODE)  # device-fabric paths only
     try:
         return nx.shortest_path(g, src_dev, dst_dev)
     except (nx.NetworkXNoPath, nx.NodeNotFound):
         return None
+
+
+def surviving_partition(sim: HMCSim) -> List[List[int]]:
+    """Connected components of the device fabric over surviving links.
+
+    One component means the chain is still fully routable after every
+    FAILED-link exclusion; more than one pinpoints which cubes a dead
+    link stranded.
+    """
+    g = link_graph(sim, include_failed=False)
+    g.remove_node(HOST_NODE)
+    return sorted(sorted(c) for c in nx.connected_components(g))
+
+
+def link_health_report(sim: HMCSim) -> Dict[str, Dict]:
+    """Per-fault-covered-link structured health/counter report.
+
+    Keyed ``"dev<N>.link<M>"`` (one entry per endpoint sharing the
+    state object); the values are :meth:`InbandLinkState.report` dicts
+    augmented with the surviving-fabric partition count.
+    """
+    if not sim._link_fault_states:
+        return {}
+    parts = surviving_partition(sim)
+    out: Dict[str, Dict] = {}
+    for (dev, link), state in sorted(sim._link_faults.items()):
+        rep = dict(state.report())
+        rep["fabric_partitions"] = len(parts)
+        out[f"dev{dev}.link{link}"] = rep
+    return out
 
 
 def hop_count_matrix(sim: HMCSim) -> np.ndarray:

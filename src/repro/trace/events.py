@@ -61,9 +61,20 @@ class EventType(enum.IntFlag):
     RAS_UE = 1 << 17
     #: Patrol scrubber step completed.
     RAS_SCRUB = 1 << 18
+    #: In-band link transmission failed (CRC/drop): IRTRY + replay window.
+    LINK_RETRY = 1 << 19
+    #: Link demoted to half-width after max_retries consecutive failures.
+    LINK_DEGRADED = 1 << 20
+    #: Link demoted to FAILED; traffic reroutes or dies.
+    LINK_FAILED = 1 << 21
+    #: No-progress watchdog fired (livelock abort).
+    WATCHDOG = 1 << 22
 
     #: All RAS (in-DRAM reliability) events.
     RAS = RAS_CE | RAS_UE | RAS_SCRUB
+
+    #: All in-band link fault / degradation events.
+    LINK_FAULTS = LINK_RETRY | LINK_DEGRADED | LINK_FAILED
 
     #: Everything except per-sub-cycle markers.
     STANDARD = (
@@ -85,6 +96,10 @@ class EventType(enum.IntFlag):
         | RAS_CE
         | RAS_UE
         | RAS_SCRUB
+        | LINK_RETRY
+        | LINK_DEGRADED
+        | LINK_FAILED
+        | WATCHDOG
     )
     #: Full verbosity, including sub-cycle markers.
     ALL = STANDARD | SUBCYCLE

@@ -164,6 +164,47 @@ def test_kitchen_sink_engine_options_bit_identical():
     _assert_identical(naive, active)
 
 
+def test_fault_injected_chain_bit_identical():
+    """BER > 0 on every link of a chained config: retries, replay
+    windows and per-link RNG draws must land on the same cycles under
+    both schedulers — bit-for-bit, including the LRS registers."""
+    device = DeviceConfig(num_links=4, num_banks=8, capacity=2)
+    kw = dict(link_ber=2e-4, link_drop_rate=0.002, link_seed=3)
+    naive = _drive("naive", device, num_devs=2, chain=True,
+                   num_requests=300, **kw)
+    active = _drive("active", device, num_devs=2, chain=True,
+                    num_requests=300, **kw)
+    _assert_identical(naive, active)
+    faults = active["stats"]["link_faults"]
+    assert sum(v["irtry_events"] for v in faults.values()) > 0
+    assert sum(v["recovery_cycles"] for v in faults.values()) > 0
+    assert sum(v["recovered"] for v in faults.values()) > 0
+
+
+def test_fault_injection_costs_cycles():
+    """Seeded BER > 0 must measurably stretch the run vs BER = 0."""
+    device = DeviceConfig(num_links=4, num_banks=8, capacity=2)
+    clean = _drive("naive", device, num_devs=2, chain=True,
+                   num_requests=300)
+    noisy = _drive("naive", device, num_devs=2, chain=True,
+                   num_requests=300,
+                   link_ber=2e-4, link_drop_rate=0.002, link_seed=3)
+    assert noisy["cycles"] > clean["cycles"]
+    assert "link_faults" not in clean["stats"]  # baseline keys untouched
+
+
+def test_watchdog_armed_fault_free_bit_identical():
+    """An armed-but-silent watchdog must not perturb equivalence (the
+    active scheduler clamps its idle fast-forward to the deadline)."""
+    device = DeviceConfig(num_links=4, num_banks=8, capacity=2)
+    kw = dict(watchdog_cycles=100, link_ber=1e-5, link_seed=9)
+    naive = _drive("naive", device, num_devs=2, chain=True,
+                   num_requests=200, idle_tail=400, **kw)
+    active = _drive("active", device, num_devs=2, chain=True,
+                    num_requests=200, idle_tail=400, **kw)
+    _assert_identical(naive, active)
+
+
 def test_subcycle_tracing_bit_identical():
     """SUBCYCLE markers are per-cycle events: they disable fast-forward
     and must appear for every cycle under both schedulers."""
