@@ -1,26 +1,43 @@
 #!/usr/bin/env python
-"""Clock-engine benchmark runner: active vs naive scheduler.
+"""Benchmark runner: scheduler equivalence and loaded-path throughput.
 
-Runs the Table I random-access configurations plus the clock-engine
-scenarios (idle stepping, think-time pointer chase, chained drain)
-under both schedulers, asserts cycle-count equivalence per scenario,
-and writes a JSON snapshot (``BENCH_clock_engine.json`` at the repo
-root by default) with wall times, cycles/sec and speedups.
+Two scenario suites, selected with ``--suite``:
+
+``engine`` (default)
+    The Table I random-access configurations plus the clock-engine
+    scenarios (idle stepping, think-time pointer chase, chained drain)
+    under both schedulers — writes ``BENCH_clock_engine.json``.
+
+``loaded``
+    The loaded-path suite: Table I configurations untraced and with
+    full STANDARD-mask tracing into a binary sink plus online stats —
+    the workloads the packet fast path, incremental conflict tracking
+    and batched trace pipeline target — writes
+    ``BENCH_loaded_path.json``.
+
+Every scenario runs under both schedulers and asserts cycle-count
+equivalence (the bit-identical contract that
+tests/test_scheduler_equivalence.py enforces in depth).
+
+Regression gate: ``--compare <baseline.json>`` re-reads a previous
+report and exits non-zero when any matching (scenario, scheduler)
+throughput regressed more than ``--compare-threshold`` (default 10%).
+``--baseline <baseline.json>`` embeds a previous report's numbers and
+per-scenario speedups into the output instead of gating.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
     PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke    # CI
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --out /tmp/b.json
-
-Exit status is non-zero when any scenario's schedulers disagree on the
-total cycle count — a regression of the bit-identical contract that the
-golden test (tests/test_scheduler_equivalence.py) enforces in depth.
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --suite loaded
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke \
+        --compare /tmp/prev.json
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import platform
 import subprocess
@@ -38,9 +55,14 @@ from repro.host.host import Host  # noqa: E402
 from repro.packets.commands import CMD  # noqa: E402
 from repro.packets.packet import build_memrequest  # noqa: E402
 from repro.topology.builder import build_chain  # noqa: E402
+from repro.trace.binfmt import BinarySink  # noqa: E402
+from repro.trace.events import EventType  # noqa: E402
+from repro.trace.stats import TraceStats  # noqa: E402
+from repro.trace.tracer import StatsSink  # noqa: E402
 from repro.workloads.pointer_chase import pointer_chase_run  # noqa: E402
 from repro.workloads.random_access import (  # noqa: E402
     RandomAccessConfig,
+    random_access_requests,
     run_random_access,
 )
 
@@ -167,6 +189,37 @@ def _chained_drain_scenario(num_devs: int, num_requests: int):
     return run
 
 
+def _table1_fulltrace_scenario(label: str, device: DeviceConfig, num_requests: int):
+    """Table I run with full STANDARD-mask tracing to binary + stats.
+
+    The heaviest realistic trace configuration: every request/stall/
+    conflict event is serialised to the binary stream AND aggregated
+    online — the workload the batched trace pipeline targets.
+    """
+
+    def run(scheduler: str) -> int:
+        scfg = SimConfig(device=device, scheduler=scheduler)
+        sim = HMCSim(scfg)
+        for link in range(device.num_links):
+            sim.attach_host(0, link)
+        sim.set_trace_mask(EventType.STANDARD)
+        buf = io.BytesIO()
+        sink = sim.add_trace_sink(BinarySink(buf, num_vaults=device.num_vaults))
+        stats = TraceStats(num_vaults=device.num_vaults)
+        sim.add_trace_sink(StatsSink(stats))
+        host = Host(sim)
+        cfg = RandomAccessConfig(num_requests=num_requests)
+        res = host.run(random_access_requests(device.capacity_bytes, cfg), cub=0)
+        if sink.records != stats.events_seen:
+            raise AssertionError(
+                f"sink/stats divergence: {sink.records} binary records vs "
+                f"{stats.events_seen} aggregated events"
+            )
+        return res.cycles
+
+    return run
+
+
 def build_scenarios(smoke: bool):
     reqs = 256 if smoke else 8192
     scenarios = []
@@ -191,6 +244,68 @@ def build_scenarios(smoke: bool):
     return scenarios
 
 
+def build_loaded_scenarios(smoke: bool):
+    """Loaded-path suite: Table I untraced and fully traced."""
+    reqs = 256 if smoke else 8192
+    scenarios = []
+    for label, device in PAPER_CONFIGS.items():
+        scenarios.append(
+            (f"loaded_notrace[{label}]", _table1_scenario(label, device, reqs))
+        )
+    for label, device in PAPER_CONFIGS.items():
+        scenarios.append(
+            (f"loaded_fulltrace[{label}]",
+             _table1_fulltrace_scenario(label, device, reqs))
+        )
+    return scenarios
+
+
+def _compare_reports(report: dict, baseline: dict, threshold: float) -> int:
+    """Count (scenario, scheduler) pairs slower than baseline by more
+    than *threshold* (fractional cycles/sec drop)."""
+    base_rows = {r["name"]: r for r in baseline.get("scenarios", [])}
+    regressions = 0
+    for row in report["scenarios"]:
+        base = base_rows.get(row["name"])
+        if base is None:
+            continue
+        for sched, run in row["runs"].items():
+            bres = base.get("runs", {}).get(sched)
+            if not bres:
+                continue
+            cur_cps = run.get("cycles_per_sec")
+            base_cps = bres.get("cycles_per_sec")
+            if not cur_cps or not base_cps:
+                continue
+            drop = 1.0 - cur_cps / base_cps
+            if drop > threshold:
+                regressions += 1
+                print(
+                    f"REGRESSION {row['name']} [{sched}]: "
+                    f"{base_cps:,.0f} -> {cur_cps:,.0f} cycles/sec "
+                    f"({drop:.0%} slower, threshold {threshold:.0%})",
+                    file=sys.stderr,
+                )
+    return regressions
+
+
+def _embed_baseline(report: dict, baseline: dict) -> None:
+    """Attach baseline numbers and per-scheduler speedups to the report."""
+    report["baseline_git_rev"] = baseline.get("git_rev", "unknown")
+    base_rows = {r["name"]: r for r in baseline.get("scenarios", [])}
+    for row in report["scenarios"]:
+        base = base_rows.get(row["name"])
+        if base is None:
+            continue
+        row["baseline"] = base.get("runs", {})
+        speedups = {}
+        for sched, run in row["runs"].items():
+            bres = base.get("runs", {}).get(sched)
+            if bres and run.get("wall_s") and bres.get("wall_s"):
+                speedups[sched] = round(bres["wall_s"] / run["wall_s"], 2)
+        row["speedup_vs_baseline"] = speedups
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -198,19 +313,49 @@ def main(argv=None) -> int:
         help="small request counts for CI (seconds, not minutes)",
     )
     ap.add_argument(
-        "--out", type=Path, default=REPO_ROOT / "BENCH_clock_engine.json",
-        help="output JSON path (default: BENCH_clock_engine.json at repo root)",
+        "--suite", choices=("engine", "loaded"), default="engine",
+        help="scenario suite: clock-engine set or loaded-path "
+        "(traced/untraced Table I) set",
+    )
+    ap.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: BENCH_clock_engine.json or "
+        "BENCH_loaded_path.json at the repo root, by suite)",
     )
     ap.add_argument(
         "--repeat", type=int, default=None,
         help="samples per (scenario, scheduler); wall time is the best "
         "sample (default: 3 full, 1 smoke)",
     )
+    ap.add_argument(
+        "--compare", type=Path, default=None,
+        help="previous report JSON; exit non-zero when any matching "
+        "scenario's throughput regressed beyond the threshold",
+    )
+    ap.add_argument(
+        "--compare-threshold", type=float, default=0.10,
+        help="fractional cycles/sec drop that counts as a regression "
+        "for --compare (default 0.10 = 10%%)",
+    )
+    ap.add_argument(
+        "--baseline", type=Path, default=None,
+        help="previous report JSON to embed (baseline numbers plus "
+        "speedup_vs_baseline per scenario) without gating",
+    )
     args = ap.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (1 if args.smoke else 3)
+    if args.out is None:
+        args.out = REPO_ROOT / (
+            "BENCH_loaded_path.json" if args.suite == "loaded"
+            else "BENCH_clock_engine.json"
+        )
+    scenarios = (
+        build_loaded_scenarios(args.smoke) if args.suite == "loaded"
+        else build_scenarios(args.smoke)
+    )
 
     report = {
-        "benchmark": "clock_engine",
+        "benchmark": "clock_engine" if args.suite == "engine" else "loaded_path",
         "git_rev": _git_rev(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -220,7 +365,7 @@ def main(argv=None) -> int:
         "scenarios": [],
     }
     failures = 0
-    for name, scenario in build_scenarios(args.smoke):
+    for name, scenario in scenarios:
         row = {"name": name, "runs": {}}
         cycles_seen = {}
         for sched in SCHEDULERS:
@@ -248,12 +393,27 @@ def main(argv=None) -> int:
             f"cycles={cycles_seen['active']}"
         )
 
+    if args.baseline is not None:
+        _embed_baseline(report, json.loads(args.baseline.read_text()))
+        for row in report["scenarios"]:
+            sp = row.get("speedup_vs_baseline")
+            if sp:
+                print(f"{row['name']:42s} speedup vs baseline: {sp}")
+
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     if failures:
         print(f"{failures} scenario(s) broke scheduler equivalence",
               file=sys.stderr)
         return 1
+    if args.compare is not None:
+        regressions = _compare_reports(
+            report, json.loads(args.compare.read_text()), args.compare_threshold
+        )
+        if regressions:
+            print(f"{regressions} throughput regression(s) beyond "
+                  f"{args.compare_threshold:.0%}", file=sys.stderr)
+            return 2
     return 0
 
 

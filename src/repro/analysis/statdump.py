@@ -128,6 +128,9 @@ def dump_stats(sim: HMCSim, include_banks: bool = True) -> Dict[str, Any]:
         "devices": [device_stats(d) for d in sim.devices],
         "stage_counts": list(sim.engine.stage_counts),
     }
+    prof = getattr(sim.engine, "profiler", None)
+    if prof is not None:
+        tree["profile"] = prof.report(sim.engine.stage_counts)
     if not include_banks:
         for dev in tree["devices"]:
             for vault in dev["vaults"]:

@@ -23,7 +23,21 @@ from repro.workloads.random_access import RandomAccessConfig, run_random_access
 
 
 def default_workers() -> int:
-    """Worker count: physical parallelism, capped to leave headroom."""
+    """Worker count: physical parallelism, capped to leave headroom.
+
+    The ``REPRO_SWEEP_WORKERS`` environment variable overrides the
+    heuristic (CI throttling, benchmarking with a pinned pool, forcing
+    serial execution with ``1``).  Invalid or non-positive values fall
+    back to the heuristic.
+    """
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env:
+        try:
+            n = int(env)
+        except ValueError:
+            n = 0
+        if n > 0:
+            return n
     return max(1, min(8, (os.cpu_count() or 2) - 1))
 
 

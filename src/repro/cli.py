@@ -61,6 +61,27 @@ def _add_link_fault_args(p: argparse.ArgumentParser) -> None:
                         "cycles (0 = watchdog off)")
 
 
+def _add_profile_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", action="store_true",
+                   help="attach the engine profiler and print per-stage "
+                        "wall time after the run")
+
+
+def _maybe_profile(args, sim):
+    if getattr(args, "profile", False):
+        from repro.analysis.profiling import attach
+
+        return attach(sim)
+    return None
+
+
+def _print_profile(prof, sim) -> None:
+    if prof is not None:
+        from repro.analysis.profiling import render as render_profile
+
+        print(render_profile(prof, sim.engine.stage_counts))
+
+
 def _link_fault_kwargs(args) -> dict:
     """SimConfig keyword overrides from the link-fault CLI flags."""
     kw = {}
@@ -129,7 +150,8 @@ def cmd_fig5(args) -> int:
     print(render_figure5_summary(data))
     res = data.result
     print(f"\nsimulated runtime: {res.cycles:,} cycles "
-          f"({res.requests_per_cycle:.2f} req/cycle)")
+          f"({res.requests_per_cycle:.2f} req/cycle, "
+          f"{res.requests_per_sec:,.0f} req/sec wall-clock)")
     return 0
 
 
@@ -162,9 +184,14 @@ def cmd_bandwidth(args) -> int:
         num_banks=device.num_banks, capacity=device.capacity,
         **_link_fault_kwargs(args)))
     host = Host(sim)
+    prof = _maybe_profile(args, sim)
     cfg = RandomAccessConfig(num_requests=args.requests, seed=args.seed)
+    import time
+
+    wall_start = time.perf_counter()
     res, rc = _run_guarded(
         host, random_access_requests(device.capacity_bytes, cfg), sim)
+    wall = time.perf_counter() - wall_start
     if res is None:
         _maybe_dump(args, sim)
         return rc
@@ -175,6 +202,9 @@ def cmd_bandwidth(args) -> int:
     from repro.analysis.energy import estimate, render as render_energy
 
     print(render_energy(estimate(sim)))
+    print(f"host throughput: {res.requests_sent / wall:,.0f} requests/sec "
+          f"(wall-clock, {wall:.2f}s)")
+    _print_profile(prof, sim)
     _print_link_fault_summary(sim)
     _maybe_dump(args, sim)
     return 0
@@ -195,6 +225,7 @@ def cmd_faults(args) -> int:
             link_max_retries=args.max_retries,
             **_link_fault_kwargs(args)))
         host = Host(sim)
+        prof = _maybe_profile(args, sim)
         # Target the far end of the chain so every request and response
         # crosses the chain links (and their fault gates).
         far = args.devices - 1
@@ -207,6 +238,7 @@ def cmd_faults(args) -> int:
         print(f"requests: {res.requests_sent:,}  "
               f"responses: {res.responses_received:,} "
               f" errors: {res.errors_received}  cycles: {res.cycles:,}")
+        _print_profile(prof, sim)
         _print_link_fault_summary(sim)
         _maybe_dump(args, sim)
         return 0
@@ -217,9 +249,11 @@ def cmd_faults(args) -> int:
         0, 0, LinkFaultModel(ber=args.ber, drop_rate=args.drop, seed=args.seed),
         max_retries=args.max_retries)
     host = Host(sim)
+    prof = _maybe_profile(args, sim)
     res = host.run(random_access_requests(device.capacity_bytes, cfg))
     print(f"requests: {res.requests_sent:,}  responses: {res.responses_received:,} "
           f" errors: {res.errors_received}")
+    _print_profile(prof, sim)
     s = session.stats
     print(f"link: {s.transmissions:,} transmissions, "
           f"{s.crc_failures:,} CRC failures, {s.drops:,} drops, "
@@ -259,6 +293,7 @@ def cmd_replay(args) -> int:
         num_banks=device.num_banks, capacity=device.capacity,
         **_link_fault_kwargs(args)))
     host = Host(sim)
+    prof = _maybe_profile(args, sim)
     with open(args.trace) as fh:
         stream = list(replay_address_trace(fh, device.capacity_bytes))
     res, rc = _run_guarded(host, stream, sim)
@@ -267,6 +302,7 @@ def cmd_replay(args) -> int:
     print(f"replayed {res.requests_sent:,} trace records in {res.cycles:,} cycles "
           f"({res.throughput:.2f} req/cycle), "
           f"mean latency {res.mean_latency:.1f}")
+    _print_profile(prof, sim)
     _print_link_fault_summary(sim)
     return 0
 
@@ -310,12 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bandwidth", help="bandwidth/latency for a random run")
     _add_device_args(p)
     _add_link_fault_args(p)
+    _add_profile_arg(p)
     p.add_argument("--ghz", type=float, default=bw.DEFAULT_CYCLE_GHZ)
     p.set_defaults(func=cmd_bandwidth)
 
     p = sub.add_parser("faults", help="error-simulation run over a noisy link")
     _add_device_args(p)
     _add_link_fault_args(p)
+    _add_profile_arg(p)
     p.add_argument("--ber", type=float, default=1e-4)
     p.add_argument("--drop", type=float, default=0.0)
     p.add_argument("--max-retries", type=int, default=16)
@@ -327,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replay", help="replay a flat R/W address trace file")
     _add_device_args(p)
     _add_link_fault_args(p)
+    _add_profile_arg(p)
     p.add_argument("trace", help="path to a 'R/W <hex-addr> [size]' trace file")
     p.set_defaults(func=cmd_replay)
 

@@ -27,6 +27,9 @@ COLUMN_FETCH_BYTES = 32
 
 _MASK64 = (1 << 64) - 1
 
+#: Shared default for sparse-store misses (untouched blocks read zero).
+_ZERO_ATOM = (0, 0)
+
 
 class DRAM:
     """One DRAM slice within a bank.
@@ -61,7 +64,7 @@ class Bank:
     __slots__ = ("bank_id", "capacity_bytes", "drams", "_blocks",
                  "busy_until", "reads", "writes", "atomics", "conflicts",
                  "column_fetches", "open_row", "row_hits", "row_misses",
-                 "ras", "dram_access_count")
+                 "ras", "dram_access_count", "_owner")
 
     def __init__(self, bank_id: int, capacity_bytes: int, num_drams: int = 8) -> None:
         if capacity_bytes <= 0 or capacity_bytes % ATOM_BYTES:
@@ -91,6 +94,10 @@ class Bank:
         #: ECC layer (repro.ras.controller.BankRas) when the device is
         #: built with ecc_enabled; None keeps the unprotected datapath.
         self.ras = None
+        #: Owning vault, when attached: busy-window changes are pushed
+        #: into its incremental per-bank busy bitmask so stage 3/4 never
+        #: rescan idle banks.  None for standalone banks.
+        self._owner = None
 
     # -- busy window ---------------------------------------------------------
 
@@ -100,7 +107,14 @@ class Bank:
 
     def occupy(self, cycle: int, busy_cycles: int) -> None:
         """Mark the bank busy for *busy_cycles* starting at *cycle*."""
-        self.busy_until = cycle + busy_cycles
+        bu = self.busy_until = cycle + busy_cycles
+        owner = self._owner
+        if owner is not None:
+            # Pessimistic superset update: the owning vault lazily
+            # re-validates its mask whenever the next-free horizon passes.
+            owner._busy_mask |= 1 << self.bank_id
+            if bu < owner._next_free:
+                owner._next_free = bu
 
     def access_busy_cycles(
         self,
@@ -154,32 +168,52 @@ class Bank:
 
     def read(self, byte_addr: int, nbytes: int) -> List[int]:
         """Read *nbytes* from bank-relative *byte_addr* as 64-bit words."""
-        self._check(byte_addr, nbytes)
+        # _check, inlined (hot path).
+        if (
+            byte_addr < 0
+            or nbytes <= 0
+            or byte_addr + nbytes > self.capacity_bytes
+            or byte_addr % ATOM_BYTES
+            or nbytes % ATOM_BYTES
+        ):
+            self._check(byte_addr, nbytes)
         self.reads += 1
-        self._count_fetches(nbytes)
-        self._touch_drams(nbytes)
+        self.column_fetches += (nbytes + COLUMN_FETCH_BYTES - 1) // COLUMN_FETCH_BYTES
+        self.dram_access_count += 1
         atom0 = byte_addr // ATOM_BYTES
         if self.ras is not None:
             return self.ras.read_atoms(atom0, nbytes // ATOM_BYTES)
         out: List[int] = []
+        append = out.append
+        get = self._blocks.get
         for i in range(nbytes // ATOM_BYTES):
-            w0, w1 = self._blocks.get(atom0 + i, (0, 0))
-            out.append(w0)
-            out.append(w1)
+            w0, w1 = get(atom0 + i, _ZERO_ATOM)
+            append(w0)
+            append(w1)
         return out
 
     def write(self, byte_addr: int, words: List[int]) -> None:
         """Write 64-bit *words* (two per atom) at bank-relative *byte_addr*."""
-        nbytes = len(words) * 8
-        self._check(byte_addr, nbytes)
-        if len(words) % ATOM_WORDS:
+        nwords = len(words)
+        nbytes = nwords * 8
+        # _check, inlined (hot path).
+        if (
+            byte_addr < 0
+            or nbytes <= 0
+            or byte_addr + nbytes > self.capacity_bytes
+            or byte_addr % ATOM_BYTES
+            or nbytes % ATOM_BYTES
+        ):
+            self._check(byte_addr, nbytes)
+        if nwords % ATOM_WORDS:
             raise ValueError("write payload must be whole 16-byte atoms")
         self.writes += 1
-        self._count_fetches(nbytes)
-        self._touch_drams(nbytes)
+        self.column_fetches += (nbytes + COLUMN_FETCH_BYTES - 1) // COLUMN_FETCH_BYTES
+        self.dram_access_count += 1
         atom0 = byte_addr // ATOM_BYTES
-        for i in range(len(words) // ATOM_WORDS):
-            self._blocks[atom0 + i] = (
+        blocks = self._blocks
+        for i in range(nwords // ATOM_WORDS):
+            blocks[atom0 + i] = (
                 words[2 * i] & _MASK64,
                 words[2 * i + 1] & _MASK64,
             )
@@ -278,6 +312,11 @@ class Bank:
         """Clear contents, busy state and statistics (device reset)."""
         self._blocks.clear()
         self.busy_until = 0
+        owner = self._owner
+        if owner is not None:
+            # Force the owning vault to re-validate its busy mask.
+            owner._busy_mask |= 1 << self.bank_id
+            owner._next_free = 0
         self.open_row = -1
         self.row_hits = self.row_misses = 0
         self.reads = self.writes = self.atomics = 0

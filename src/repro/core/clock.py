@@ -37,6 +37,7 @@ streams, ``stage_counts`` and register state
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import TYPE_CHECKING, List
 
 from repro.core.device import HMCDevice
@@ -61,12 +62,15 @@ class ClockEngine:
     """Drives the sub-cycle stages over every device of one HMCSim."""
 
     __slots__ = ("sim", "stage_counts", "_active", "_roots", "_children",
-                 "_topo_epoch", "_wd_last_cycle", "_wd_marker")
+                 "_topo_epoch", "_wd_last_cycle", "_wd_marker", "profiler")
 
     def __init__(self, sim: "HMCSim") -> None:
         self.sim = sim
         #: Packets moved / processed per stage (1..6), lifetime totals.
         self.stage_counts = [0] * 7
+        #: Optional :class:`repro.analysis.profiling.EngineProfiler`;
+        #: when set, :meth:`tick` accumulates per-stage wall time.
+        self.profiler = None
         self._active = sim.config.scheduler == "active"
         # Root/child device lists, cached until the topology changes.
         self._roots: List[HMCDevice] = []
@@ -104,34 +108,45 @@ class ClockEngine:
         with any possible observable work runs as a real tick.
         """
         self._sync_topology()
-        if not self._active:
-            for _ in range(cycles):
-                self.tick()
-            return
-        remaining = cycles
         sim = self.sim
-        devices = sim.devices
-        wd = sim.config.watchdog_cycles
-        while remaining > 0:
-            if all(d.is_idle() for d in devices):
-                skip = self._idle_skip_bound(remaining)
-                if wd and skip > 0:
-                    # The watchdog deadline is an observable event: clamp
-                    # the fast-forward so the tick at exactly
-                    # last_progress + watchdog_cycles runs for real and
-                    # fires at the same cycle the naive walk would.
-                    self._wd_refresh(sim.clock_value)
-                    if self._wd_stuck():
-                        skip = min(
-                            skip,
-                            self._wd_last_cycle + wd - sim.clock_value,
-                        )
-                if skip > 0:
-                    self._fast_forward(skip)
-                    remaining -= skip
-                    continue
-            self.tick()
-            remaining -= 1
+        # Deferred tracing for the whole stepping window: emissions
+        # batch up to the ring capacity inside, and end_batch() delivers
+        # everything before this call returns — so sink state is exact
+        # at every public API boundary (try/finally covers watchdog and
+        # link-death aborts, whose events must reach sinks too).
+        tracer = sim.tracer
+        tracer.begin_batch()
+        try:
+            if not self._active:
+                for _ in range(cycles):
+                    self.tick()
+                return
+            remaining = cycles
+            devices = sim.devices
+            wd = sim.config.watchdog_cycles
+            while remaining > 0:
+                if all(d.is_idle() for d in devices):
+                    skip = self._idle_skip_bound(remaining)
+                    if wd and skip > 0:
+                        # The watchdog deadline is an observable event:
+                        # clamp the fast-forward so the tick at exactly
+                        # last_progress + watchdog_cycles runs for real
+                        # and fires at the same cycle the naive walk
+                        # would.
+                        self._wd_refresh(sim.clock_value)
+                        if self._wd_stuck():
+                            skip = min(
+                                skip,
+                                self._wd_last_cycle + wd - sim.clock_value,
+                            )
+                    if skip > 0:
+                        self._fast_forward(skip)
+                        remaining -= skip
+                        continue
+                self.tick()
+                remaining -= 1
+        finally:
+            tracer.end_batch()
 
     def _idle_skip_bound(self, limit: int) -> int:
         """Cycles that may be skipped from now without observable effect.
@@ -205,6 +220,9 @@ class ClockEngine:
                 dev.ras.cycle = end - 1
         sim.clock_value = end
         self.stage_counts[6] += cycles
+        prof = self.profiler
+        if prof is not None:
+            prof.ff_cycles += cycles
 
     # ------------------------------------------------------------------
 
@@ -221,6 +239,10 @@ class ClockEngine:
         roots = self._roots
         children = self._children
         mark = tracer.live_mask & _EV_SUBCYCLE
+        prof = self.profiler
+        if prof is not None:
+            prof.ticks += 1
+            _t = perf_counter_ns()
 
         # Stage 1: child-device crossbars.
         if mark:
@@ -230,6 +252,10 @@ class ClockEngine:
             if not active or dev.act_xbar_rqst:
                 moved += self._route_device_requests(dev, cycle, active)
         self.stage_counts[1] += moved
+        if prof is not None:
+            _now = perf_counter_ns()
+            prof.stage_ns[1] += _now - _t
+            _t = _now
 
         # Stage 2: root-device crossbars.
         if mark:
@@ -239,6 +265,10 @@ class ClockEngine:
             if not active or dev.act_xbar_rqst:
                 moved += self._route_device_requests(dev, cycle, active)
         self.stage_counts[2] += moved
+        if prof is not None:
+            _now = perf_counter_ns()
+            prof.stage_ns[2] += _now - _t
+            _t = _now
 
         # Optional DRAM refresh, staggered across vaults so the whole
         # device never freezes at once (the paper's model has none;
@@ -248,35 +278,14 @@ class ClockEngine:
                 for vault in dev.vaults:
                     if (cycle + vault.vault_id) % cfg.refresh_interval == 0:
                         vault.refresh(cycle, cfg.refresh_cycles)
+        if prof is not None:
+            _now = perf_counter_ns()
+            prof.refresh_ns += _now - _t
+            _t = _now
 
-        # Stage 3: bank-conflict recognition (read-only trace pass).
-        if mark:
-            tracer.event(EventType.SUBCYCLE, cycle, stage=3)
-        conflicts = 0
+        # Stages 3+4: bank-conflict recognition (read-only trace pass)
+        # then vault request processing.
         window = cfg.conflict_window
-        for dev in sim.devices:
-            if active:
-                act = dev.act_vault_rqst
-                if not act:
-                    continue
-                vaults = dev.vaults
-                amap = dev.amap
-                dev_id = dev.dev_id
-                for vid in sorted(act):
-                    conflicts += vaults[vid].recognize_conflicts(
-                        cycle, amap, window, tracer, dev_id
-                    )
-            else:
-                for vault in dev.vaults:
-                    conflicts += vault.recognize_conflicts(
-                        cycle, dev.amap, window, tracer, dev.dev_id
-                    )
-        self.stage_counts[3] += conflicts
-
-        # Stage 4: vault request processing.
-        if mark:
-            tracer.event(EventType.SUBCYCLE, cycle, stage=4)
-        issued = 0
         row_timing = (
             (cfg.row_hit_cycles, cfg.row_miss_cycles)
             if cfg.row_policy == "open"
@@ -284,28 +293,107 @@ class ClockEngine:
         )
         width = cfg.vault_issue_width
         busy = cfg.bank_busy_cycles
-        for dev in sim.devices:
+        conflicts = 0
+        issued = 0
+        if not mark:
+            # Fast path: with no SUBCYCLE stage markers to bracket the
+            # stages, a vault's stage 4 cannot affect any other vault's
+            # stage 3 (both touch only vault-local state), so the two
+            # per-vault passes fuse into one Vault.stage34() call
+            # sharing queue setup and busy state.  Events keep their
+            # per-vault order; only cross-vault interleaving within the
+            # cycle changes, identically under both schedulers.
             if active:
-                act = dev.act_vault_rqst
-                if not act:
-                    continue
-                vaults = dev.vaults
-                amap = dev.amap
-                dev_id = dev.dev_id
-                # Sorted snapshot: ascending vault order like the full
-                # walk; processing may empty queues (mutating the set).
-                for vid in sorted(act):
-                    issued += vaults[vid].process_requests(
-                        cycle, amap, width, busy, tracer, dev_id,
-                        row_timing=row_timing,
-                    )
+                for dev in sim.devices:
+                    act = dev.act_vault_rqst
+                    if not act:
+                        continue
+                    vaults = dev.vaults
+                    amap = dev.amap
+                    dev_id = dev.dev_id
+                    for vid in sorted(act):
+                        c, i = vaults[vid].stage34(
+                            cycle, amap, window, width, busy, tracer,
+                            dev_id, row_timing=row_timing,
+                        )
+                        conflicts += c
+                        issued += i
             else:
-                for vault in dev.vaults:
-                    issued += vault.process_requests(
-                        cycle, dev.amap, width, busy, tracer, dev.dev_id,
-                        row_timing=row_timing,
-                    )
-        self.stage_counts[4] += issued
+                for dev in sim.devices:
+                    amap = dev.amap
+                    dev_id = dev.dev_id
+                    for vault in dev.vaults:
+                        c, i = vault.stage34(
+                            cycle, amap, window, width, busy, tracer,
+                            dev_id, row_timing=row_timing,
+                        )
+                        conflicts += c
+                        issued += i
+            self.stage_counts[3] += conflicts
+            self.stage_counts[4] += issued
+            if prof is not None:
+                # Fused: the combined time lands on stage 4.
+                _now = perf_counter_ns()
+                prof.stage_ns[4] += _now - _t
+                _t = _now
+        else:
+            # Stage 3.  The sorted active-vault snapshot (ascending
+            # vault order, like the full walk) is shared with stage 4:
+            # stage 3 never mutates queues, so the set stage 4 would
+            # re-read is identical.
+            if mark:
+                tracer.event(EventType.SUBCYCLE, cycle, stage=3)
+            if active:
+                stage34 = []
+                for dev in sim.devices:
+                    act = dev.act_vault_rqst
+                    if not act:
+                        continue
+                    vaults = dev.vaults
+                    amap = dev.amap
+                    dev_id = dev.dev_id
+                    work = [vaults[vid] for vid in sorted(act)]
+                    stage34.append((dev, work))
+                    for vault in work:
+                        conflicts += vault.recognize_conflicts(
+                            cycle, amap, window, tracer, dev_id
+                        )
+            else:
+                for dev in sim.devices:
+                    for vault in dev.vaults:
+                        conflicts += vault.recognize_conflicts(
+                            cycle, dev.amap, window, tracer, dev.dev_id
+                        )
+            self.stage_counts[3] += conflicts
+            if prof is not None:
+                _now = perf_counter_ns()
+                prof.stage_ns[3] += _now - _t
+                _t = _now
+
+            # Stage 4: vault request processing.
+            if mark:
+                tracer.event(EventType.SUBCYCLE, cycle, stage=4)
+            if active:
+                for dev, work in stage34:
+                    amap = dev.amap
+                    dev_id = dev.dev_id
+                    for vault in work:
+                        issued += vault.process_requests(
+                            cycle, amap, width, busy, tracer, dev_id,
+                            row_timing=row_timing,
+                        )
+            else:
+                for dev in sim.devices:
+                    for vault in dev.vaults:
+                        issued += vault.process_requests(
+                            cycle, dev.amap, width, busy, tracer, dev.dev_id,
+                            row_timing=row_timing,
+                        )
+            self.stage_counts[4] += issued
+            if prof is not None:
+                _now = perf_counter_ns()
+                prof.stage_ns[4] += _now - _t
+                _t = _now
 
         # RAS sub-step (only on ECC-enabled devices): transient fault
         # arrivals and the patrol scrubber.  Timing-neutral — it never
@@ -314,6 +402,10 @@ class ClockEngine:
         for dev in sim.devices:
             if dev.ras is not None:
                 dev.ras.tick(cycle)
+        if prof is not None:
+            _now = perf_counter_ns()
+            prof.ras_ns += _now - _t
+            _t = _now
 
         # Stage 5: response registration, roots first then children.
         if mark:
@@ -324,6 +416,10 @@ class ClockEngine:
         for dev in children:
             moved += self._register_device_responses(dev, cycle, active)
         self.stage_counts[5] += moved
+        if prof is not None:
+            _now = perf_counter_ns()
+            prof.stage_ns[5] += _now - _t
+            _t = _now
 
         # Stage 6: update the internal clock value.
         if mark:
@@ -345,6 +441,8 @@ class ClockEngine:
             dev.regs.internal_write("STAT", cycle + 1)
         sim.clock_value = cycle + 1
         self.stage_counts[6] += 1
+        if prof is not None:
+            prof.stage_ns[6] += perf_counter_ns() - _t
 
     # ------------------------------------------------------------------
     # No-progress watchdog.
@@ -560,13 +658,9 @@ class ClockEngine:
                 xbar.rsp.push(pkt, cycle)
                 moved += 1
                 if live & _EV_RSP_REGISTERED:
-                    tracer.event(
-                        EventType.RSP_REGISTERED,
-                        cycle,
-                        dev=dev.dev_id,
-                        link=link_id,
-                        vault=vault.vault_id,
-                        serial=pkt.serial,
+                    tracer.emit_fast(
+                        _EV_RSP_REGISTERED, cycle, dev.dev_id, link_id, -1,
+                        vault.vault_id, -1, -1, pkt.serial, None,
                     )
         return moved
 

@@ -81,13 +81,13 @@ class CrossbarUnit:
         rqst = self.rqst
         if not rqst._q or moves <= 0:
             return 0
-        self._expire_zombies(device, sim, cycle, tracer)
-        if not rqst._q:
-            return 0
+        if sim is not None and sim.config.queue_timeout > 0:
+            self._expire_zombies(device, sim, cycle, tracer)
+            if not rqst._q:
+                return 0
         hop_limit = sim is not None and sim.enforce_hop_limit
         penalty = sim.config.nonlocal_penalty_cycles if sim is not None else 0
         moved = 0
-        blocked_vaults = set()
         removed: list = []
         dev_id = device.dev_id
         my_quad = closest_quad_of_link(self.link_id)
@@ -97,52 +97,97 @@ class CrossbarUnit:
             vs, vmask, vault_of = amap._vs, amap._vault_mask, None
         else:
             vs, vmask, vault_of = 0, 0, amap.vault_of
-        num_vaults = len(device.vaults)
+        vaults = device.vaults
+        num_vaults = len(vaults)
+        # Blocked-vault tracking as a bitmask; when every vault is
+        # blocked and the address map cannot decode past the structure
+        # (classic maps mask, and MODE targets stay in range), the
+        # remaining local packets are provably unroutable this cycle and
+        # the scan degrades to a cheap remote-only skip.
+        blocked = 0
+        all_mask = (1 << num_vaults) - 1
+        skip_ok = vault_of is None and mode_vault < num_vaults
+        stall_trace = tracer.live_mask & _EV_XBAR_RQST_STALL
+        lat_trace = tracer.live_mask & _EV_LATENCY_PENALTY
         pos = -1
         # Single in-order pass with batched prefix removal — the old
         # positional peek/pop walk paid O(k) deque access per visited
-        # slot, O(n^2) per stage on deep queues.
+        # slot, O(n^2) per stage on deep queues.  The local-routing hot
+        # path is inlined (decode -> blocked check -> vault push).
         for pos, (pkt, stamp) in enumerate(zip(rqst._q, rqst._stamps)):
             if moved >= moves:
                 pos -= 1  # this entry was not scanned
                 break
-            age = cycle - stamp
-            if pkt.cub == dev_id:
-                cls = pkt.cls
-                if cls is CommandClass.MODE_READ or cls is CommandClass.MODE_WRITE:
-                    vault_id = mode_vault
-                elif vault_of is None:
-                    vault_id = (pkt.addr >> vs) & vmask
-                else:
-                    vault_id = vault_of(pkt.addr)
-                # Transit time through the registered crossbar input:
-                # one cycle, plus the routed-latency penalty when the
-                # ingress link is not co-located with the target quad.
-                need = 1
-                local_quad = vault_id < num_vaults and (
-                    vault_id // 4 == my_quad  # quad_of_vault, inlined
-                )
-                if not local_quad:
-                    need += penalty
-                if hop_limit and age < need:
-                    # Not ready: later same-vault packets must not pass.
-                    blocked_vaults.add(vault_id)
-                    continue
-                if vault_id in blocked_vaults:
-                    continue
-                if self._route_local(pkt, vault_id, local_quad, device,
-                                     cycle, tracer, blocked_vaults):
-                    removed.append(pos)
-                    moved += 1
-            else:
+            if pkt.cub != dev_id:
                 # One-hop-per-cycle for chained forwards.
-                if hop_limit and age < 1:
+                if hop_limit and cycle - stamp < 1:
                     continue
                 if self._route_remote(pkt, device, sim, cycle, tracer):
                     removed.append(pos)
                     moved += 1
                 # Remote stall (peer queue full / no route handled
                 # inside): leave in place, keep scanning.
+                continue
+            if blocked == all_mask and skip_ok:
+                continue
+            cls = pkt.cls
+            if cls is CommandClass.MODE_READ or cls is CommandClass.MODE_WRITE:
+                # MODE targets depend on the ingress link, not the
+                # address — never cached on the packet.
+                vault_id = mode_vault
+            else:
+                vault_id = pkt.dec_vault
+                if vault_id < 0:
+                    if vault_of is None:
+                        vault_id = (pkt.addr >> vs) & vmask
+                    else:
+                        vault_id = vault_of(pkt.addr)
+                    pkt.dec_vault = vault_id
+            bit = 1 << vault_id
+            if blocked & bit:
+                continue
+            # Transit time through the registered crossbar input: one
+            # cycle, plus the routed-latency penalty when the ingress
+            # link is not co-located with the target quad.
+            local_quad = vault_id < num_vaults and (
+                vault_id >> 2 == my_quad  # quad_of_vault, inlined
+            )
+            if hop_limit and cycle - stamp < (1 if local_quad else 1 + penalty):
+                # Not ready: later same-vault packets must not pass.
+                blocked |= bit
+                continue
+            if vault_id >= num_vaults:
+                # Address decoded past the vault structure — deliberate
+                # misconfiguration; answer with an error response.
+                self._reject(pkt, device, cycle, tracer, ErrStat.INVALID_ADDRESS)
+                removed.append(pos)
+                moved += 1
+                continue
+            vq = vaults[vault_id].rqst
+            if len(vq._q) >= vq.depth:
+                self.stall_events += 1
+                blocked |= bit
+                if stall_trace:
+                    tracer.emit_fast(
+                        _EV_XBAR_RQST_STALL, cycle, dev_id, self.link_id,
+                        -1, vault_id, -1, -1, pkt.serial, None,
+                    )
+                continue
+            if not local_quad:
+                # "Higher latencies are detected due to the physical
+                # locality of the queue versus the destination vault"
+                # (§IV.C.2).
+                self.latency_events += 1
+                if lat_trace:
+                    tracer.emit_fast(
+                        _EV_LATENCY_PENALTY, cycle, dev_id, self.link_id,
+                        quad_of_vault(vault_id), vault_id, -1, -1,
+                        pkt.serial, None,
+                    )
+            vq.push(pkt, cycle)
+            self.routed_local += 1
+            removed.append(pos)
+            moved += 1
         if removed:
             rqst.remove_positions(removed, pos + 1)
         return moved
@@ -179,13 +224,9 @@ class CrossbarUnit:
             self.stall_events += 1
             blocked_vaults.add(vault_id)
             if tracer.live_mask & _EV_XBAR_RQST_STALL:
-                tracer.event(
-                    EventType.XBAR_RQST_STALL,
-                    cycle,
-                    dev=device.dev_id,
-                    link=self.link_id,
-                    vault=vault_id,
-                    serial=pkt.serial,
+                tracer.emit_fast(
+                    _EV_XBAR_RQST_STALL, cycle, device.dev_id, self.link_id,
+                    -1, vault_id, -1, -1, pkt.serial, None,
                 )
             return False
         if not local_quad:
@@ -193,14 +234,9 @@ class CrossbarUnit:
             # of the queue versus the destination vault" (§IV.C.2).
             self.latency_events += 1
             if tracer.live_mask & _EV_LATENCY_PENALTY:
-                tracer.event(
-                    EventType.LATENCY_PENALTY,
-                    cycle,
-                    dev=device.dev_id,
-                    link=self.link_id,
-                    quad=quad_of_vault(vault_id),
-                    vault=vault_id,
-                    serial=pkt.serial,
+                tracer.emit_fast(
+                    _EV_LATENCY_PENALTY, cycle, device.dev_id, self.link_id,
+                    quad_of_vault(vault_id), vault_id, -1, -1, pkt.serial, None,
                 )
         vault.rqst.push(pkt, cycle)
         self.routed_local += 1

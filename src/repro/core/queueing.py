@@ -117,18 +117,20 @@ class PacketQueue:
 
     def push(self, pkt: Packet, cycle: int = 0) -> bool:
         """Append *pkt*; returns False (and counts a stall) when full."""
-        if len(self._q) >= self.depth:
+        q = self._q
+        n = len(q)
+        if n >= self.depth:
             self.total_stalls += 1
             return False
-        if not self._q and self._act_set is not None:
+        if not n and self._act_set is not None:
             self._act_set.add(self._act_key)
-        self._q.append(pkt)
+        q.append(pkt)
         self._stamps.append(cycle)
         self.total_enqueued += 1
         if pkt.is_special:
             self.special_count += 1
-        if len(self._q) > self.high_water:
-            self.high_water = len(self._q)
+        if n >= self.high_water:
+            self.high_water = n + 1
         return True
 
     def peek(self, index: int = 0) -> Optional[Packet]:

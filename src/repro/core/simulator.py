@@ -333,22 +333,27 @@ class HMCSim:
         queue is full or link tokens are exhausted — the host should
         clock the simulation and retry (paper §VI.A).
         """
-        self._check_alive()
+        if self._freed:
+            self._check_alive()
         if pkt.is_response:
             raise HMCError("hosts send request packets; responses flow device->host")
         if link is None:
             link = pkt.slid
         if dev is None:
             dev = self._find_host_dev(link)
-        if (dev, link) not in self._link_peers or self._link_peers[(dev, link)] != "host":
+        if self._link_peers.get((dev, link)) != "host":
             raise TopologyError(f"dev {dev} link {link} is not attached to the host")
-        self.validate_topology()
+        if not self._host_links:
+            self.validate_topology()
         device = self.devices[dev]
         xbar = device.xbars[link]
-        if xbar.rqst.is_full:
+        rq = xbar.rqst
+        if len(rq._q) >= rq.depth:
             self.send_stalls += 1
             raise StallError(f"crossbar request queue full on dev {dev} link {link}")
-        session = self._retry_sessions.get((dev, link))
+        session = (
+            self._retry_sessions.get((dev, link)) if self._retry_sessions else None
+        )
         if session is not None:
             # Error simulation: the packet crosses a faulty SERDES link
             # under the link retry protocol; what arrives is whatever
@@ -361,7 +366,7 @@ class HMCSim:
             except LinkRetryExhausted as exc:
                 self.link_errors_unrecovered += 1
                 raise HMCError(str(exc)) from exc
-        tokens = self._tokens.get((dev, link))
+        tokens = self._tokens.get((dev, link)) if self._tokens else None
         flits = pkt.num_flits
         if tokens is not None and not tokens.can_send(flits):
             self.send_stalls += 1
@@ -483,26 +488,28 @@ class HMCSim:
                             if status is TX_DEAD:
                                 self._note_link_failure(state)
                             continue
-                pkt = xbar.rsp.pop()
-                pkt.completed_at = self.clock_value
-                pkt.delivered_from = (d, l)
-                self.devices[d].links[l].count_tx(pkt.num_flits)
-                self.packets_received += 1
-                tokens = self._tokens.get((d, l))
-                if tokens is not None:
-                    flits = self._outstanding_flits.pop((d, l, pkt.tag), 0)
-                    if flits:
-                        tokens.restore(flits)
-                if self.tracer.live_mask & _EV_RSP_DELIVERED:
-                    self.tracer.event(
-                        EventType.RSP_DELIVERED,
-                        self.clock_value,
-                        dev=d,
-                        link=l,
-                        serial=pkt.serial,
-                    )
-                return pkt
+                return self._deliver(d, l, xbar)
         raise NoDataError("no response packets pending")
+
+    def _deliver(self, d: int, l: int, xbar) -> Packet:
+        """Pop the head response of (d, l) and do delivery bookkeeping."""
+        pkt = xbar.rsp.pop()
+        pkt.completed_at = self.clock_value
+        pkt.delivered_from = (d, l)
+        self.devices[d].links[l].count_tx(pkt.num_flits)
+        self.packets_received += 1
+        if self._tokens:
+            tokens = self._tokens.get((d, l))
+            if tokens is not None:
+                flits = self._outstanding_flits.pop((d, l, pkt.tag), 0)
+                if flits:
+                    tokens.restore(flits)
+        if self.tracer.live_mask & _EV_RSP_DELIVERED:
+            self.tracer.emit_fast(
+                _EV_RSP_DELIVERED, self.clock_value, d, l, -1, -1, -1, -1,
+                pkt.serial, None,
+            )
+        return pkt
 
     def recv_all(self) -> List[Packet]:
         """Drain every pending host-visible response."""
@@ -510,6 +517,25 @@ class HMCSim:
         out: List[Packet] = []
         devices = self.devices
         host_links = self._host_links
+        n = len(host_links)
+        if n and not self._link_faults:
+            # Fast drain: the same scan recv() performs (start at the
+            # fairness rotor, advance it once per poll — including the
+            # terminal empty poll, exactly like a failing recv() would)
+            # without per-packet exception or re-validation overhead.
+            while True:
+                rotor = self._recv_rotor
+                if rotor >= n:  # stale rotor after topology growth
+                    rotor %= n
+                self._recv_rotor = rotor + 1 if rotor + 1 < n else 0
+                for i in range(n):
+                    d, l = host_links[rotor + i - n if rotor + i >= n else rotor + i]
+                    xbar = devices[d].xbars[l]
+                    if xbar.rsp._q:
+                        out.append(self._deliver(d, l, xbar))
+                        break
+                else:
+                    return out
         while True:
             if host_links and not any(
                 devices[d].xbars[l].rsp._q for d, l in host_links

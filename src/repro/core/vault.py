@@ -14,6 +14,7 @@ constant time as long as their bank addressing does not conflict".
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.addressing.address_map import AddressMap
@@ -21,7 +22,7 @@ from repro.core.bank import Bank
 from repro.core.queueing import PacketQueue
 from repro.packets.commands import CMD, REQUEST_DATA_BYTES, CommandClass
 from repro.packets.packet import ErrStat, Packet, build_response
-from repro.trace.events import EventType, TraceEvent
+from repro.trace.events import EventType
 from repro.trace.tracer import Tracer
 
 # Plain-int event masks (avoid IntFlag __rand__ in hot guards).
@@ -31,8 +32,19 @@ _EV_RQST_READ = int(EventType.RQST_READ)
 _EV_RQST_WRITE = int(EventType.RQST_WRITE)
 _EV_RQST_ATOMIC = int(EventType.RQST_ATOMIC)
 
+#: Byte-write commands (hot-path membership test without rebuilding the
+#: tuple per executed packet).
+_BWR_CMDS = (CMD.BWR, CMD.P_BWR)
+
+# Preallocated ("busy", flag) extras pairs for the conflict emit loop.
+_BUSY_T = ("busy", True)
+_BUSY_F = ("busy", False)
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.device import HMCDevice
+
+#: Next-free sentinel: no bank busy window is pending.
+_FAR = 1 << 62
 
 
 class Vault:
@@ -42,7 +54,7 @@ class Vault:
         "vault_id", "quad_id", "device", "banks", "rqst", "rsp",
         "rd_count", "wr_count", "atomic_count", "mode_count",
         "conflict_count", "issue_stall_cycles", "rsp_stall_count",
-        "refresh_count",
+        "refresh_count", "_busy_mask", "_next_free",
     )
 
     def __init__(
@@ -61,6 +73,15 @@ class Vault:
         self.banks: List[Bank] = [
             Bank(b, bank_bytes, num_drams) for b in range(num_banks)
         ]
+        #: Incremental per-bank busy state: a pessimistic-superset
+        #: bitmask of possibly-busy banks plus the earliest cycle at
+        #: which any of them may free.  Banks push updates on occupy();
+        #: :meth:`_busy_state` re-validates lazily, so stages 3 and 4
+        #: touch only banks whose state actually changed.
+        self._busy_mask = 0
+        self._next_free = _FAR
+        for b in self.banks:
+            b._owner = self
         self.rqst = PacketQueue(queue_depth, name=f"vault{vault_id}.rqst")
         self.rsp = PacketQueue(queue_depth, name=f"vault{vault_id}.rsp")
         self.rd_count = 0
@@ -77,6 +98,31 @@ class Vault:
         for bank in self.banks:
             bank.occupy(cycle, refresh_cycles)
         self.refresh_count += 1
+
+    def _busy_state(self, cycle: int) -> int:
+        """Exact busy-bank bitmask at *cycle*, maintained incrementally.
+
+        ``_busy_mask`` is a superset of the truly busy banks and
+        ``_next_free`` never exceeds the earliest possible bit-clearing
+        cycle, so the mask is exact until the horizon passes; only then
+        are the flagged banks re-validated (idle banks are never read).
+        """
+        mask = self._busy_mask
+        if mask and cycle >= self._next_free:
+            banks = self.banks
+            nf = _FAR
+            m, live = mask, 0
+            while m:
+                low = m & -m
+                bu = banks[low.bit_length() - 1].busy_until
+                if cycle < bu:
+                    live |= low
+                    if bu < nf:
+                        nf = bu
+                m ^= low
+            self._busy_mask = mask = live
+            self._next_free = nf
+        return mask
 
     # -- stage 3: bank-conflict recognition ---------------------------------
 
@@ -103,15 +149,14 @@ class Vault:
         conflicts = 0
         trace_on = tracer.live_mask & _EV_BANK_CONFLICT
         banks = self.banks
-        # Per-bank busy state as a bitmask (static: this pass is
+        # Incrementally maintained busy bitmask (static: this pass is
         # read-only), plus a seen-bank bitmask built during the scan.
-        busy_mask = 0
-        for i, b in enumerate(banks):
-            if cycle < b.busy_until:
-                busy_mask |= 1 << i
+        busy_mask = self._busy_state(cycle)
         seen = 0
         # Classic contiguous maps decode with one shift+mask; custom
-        # (scattered-bit) maps go through their bank_of method.
+        # (scattered-bit) maps go through their bank_of method.  The
+        # decode is cached on the packet, so re-scans of queue prefixes
+        # that stay parked across cycles cost one attribute read.
         if amap.__class__ is AddressMap:
             bs, bmask, bank_of = amap._bs, amap._bank_mask, None
         else:
@@ -119,31 +164,154 @@ class Vault:
         for pkt in self.rqst.iter_first(limit):
             if pkt.is_special:  # FLOW / MODE: no bank access
                 continue
-            addr = pkt.addr
-            bank = (addr >> bs) & bmask if bank_of is None else bank_of(addr)
+            bank = pkt.dec_bank
+            if bank < 0:
+                addr = pkt.addr
+                bank = (addr >> bs) & bmask if bank_of is None else bank_of(addr)
+                pkt.dec_bank = bank
             bit = 1 << bank
             if (seen | busy_mask) & bit:
                 conflicts += 1
                 banks[bank].conflicts += 1
                 if trace_on:
-                    tracer.emit(
-                        TraceEvent(
-                            type=EventType.BANK_CONFLICT,
-                            cycle=cycle,
-                            dev=dev_id,
-                            quad=self.quad_id,
-                            vault=self.vault_id,
-                            bank=bank,
-                            serial=pkt.serial,
-                            extra={
-                                "addr": pkt.addr,
-                                "busy": bool(busy_mask & bit),
-                            },
-                        )
+                    tracer.emit_fast(
+                        _EV_BANK_CONFLICT, cycle, dev_id, -1, self.quad_id,
+                        self.vault_id, bank, -1, pkt.serial,
+                        (("addr", pkt.addr),
+                         _BUSY_T if busy_mask & bit else _BUSY_F),
                     )
             seen |= bit
         self.conflict_count += conflicts
         return conflicts
+
+    # -- fused stages 3+4 (untraced fast path) -------------------------------
+
+    def stage34(
+        self,
+        cycle: int,
+        amap: AddressMap,
+        window: int,
+        issue_width: int,
+        bank_busy_cycles: int,
+        tracer: Tracer,
+        dev_id: int,
+        row_timing: Optional[tuple] = None,
+    ) -> tuple:
+        """Fused conflict recognition + request processing.
+
+        Exactly :meth:`recognize_conflicts` followed by
+        :meth:`process_requests` — same counters, same events, same
+        issue decisions — with the queue/bank setup and busy-state
+        computation done once.  Callers must guarantee SUBCYCLE markers
+        are off (the clock engine falls back to the split stages then,
+        so stage-window markers bracket the right events).  Fusing
+        interleaves per-vault event runs across vaults within a cycle —
+        fine for both schedulers since each uses the same order.
+        Returns ``(conflicts, issued)``.
+        """
+        rqst = self.rqst
+        q = rqst._q
+        if not q:
+            return 0, 0
+        banks = self.banks
+        busy_mask = self._busy_state(cycle)
+        if amap.__class__ is AddressMap:
+            bs, bmask, bank_of = amap._bs, amap._bank_mask, None
+        else:
+            bs, bmask, bank_of = 0, 0, amap.bank_of
+
+        # Stage 3: conflict recognition (read-only pass; the busy mask
+        # is static until stage 4 below occupies banks).
+        occupancy = len(q)
+        limit = window if window < occupancy else occupancy
+        conflicts = 0
+        seen = 0
+        trace_on = tracer.live_mask & _EV_BANK_CONFLICT
+        for pkt in islice(q, limit):
+            if pkt.is_special:  # FLOW / MODE: no bank access
+                continue
+            bank = pkt.dec_bank
+            if bank < 0:
+                addr = pkt.addr
+                bank = (addr >> bs) & bmask if bank_of is None else bank_of(addr)
+                pkt.dec_bank = bank
+            bit = 1 << bank
+            if (seen | busy_mask) & bit:
+                conflicts += 1
+                banks[bank].conflicts += 1
+                if trace_on:
+                    tracer.emit_fast(
+                        _EV_BANK_CONFLICT, cycle, dev_id, -1, self.quad_id,
+                        self.vault_id, bank, -1, pkt.serial,
+                        (("addr", pkt.addr),
+                         _BUSY_T if busy_mask & bit else _BUSY_F),
+                    )
+            seen |= bit
+        self.conflict_count += conflicts
+
+        # Stage 4: FIFO issue scan (same decisions as process_requests).
+        if issue_width <= 0:
+            return conflicts, 0
+        specials = rqst.special_count
+        free = len(banks) - busy_mask.bit_count()
+        if free == 0 and not specials:
+            self.issue_stall_cycles += 1
+            return conflicts, 0
+        issued = 0
+        removed: list = []
+        blocked = busy_mask
+        rsp_q = self.rsp._q
+        rsp_depth = self.rsp.depth
+        stall_trace = tracer.live_mask & _EV_VAULT_RSP_STALL
+        closed = 0
+        pos = -1
+        for pos, pkt in enumerate(q):
+            if issued >= issue_width:
+                pos -= 1  # this entry was not scanned
+                break
+            if pkt.is_special:
+                specials -= 1
+                if pkt.cls is CommandClass.FLOW:
+                    removed.append(pos)
+                elif len(rsp_q) >= rsp_depth:
+                    self.rsp_stall_count += 1
+                else:
+                    self._do_mode(pkt, cycle, tracer, dev_id)
+                    issued += 1
+                    removed.append(pos)
+                if not specials and closed >= free:
+                    break
+                continue
+            bank_id = pkt.dec_bank
+            if bank_id < 0:
+                addr = pkt.addr
+                bank_id = (addr >> bs) & bmask if bank_of is None else bank_of(addr)
+                pkt.dec_bank = bank_id
+            bit = 1 << bank_id
+            if blocked & bit:
+                continue
+            if pkt.expects_response and len(rsp_q) >= rsp_depth:
+                self.rsp_stall_count += 1
+                if stall_trace:
+                    tracer.emit_fast(
+                        _EV_VAULT_RSP_STALL, cycle, dev_id, -1,
+                        self.quad_id, self.vault_id, -1, -1, pkt.serial, None,
+                    )
+                blocked |= bit
+            else:
+                self._execute(pkt, bank_id, cycle, amap, bank_busy_cycles,
+                              tracer, dev_id, row_timing)
+                blocked |= bit
+                issued += 1
+                removed.append(pos)
+            closed += 1
+            if closed >= free and not specials:
+                break
+        if removed:
+            rqst.remove_positions(removed, pos + 1)
+        if issued == 0 and rqst._q:
+            self.issue_stall_cycles += 1
+        return conflicts, issued
 
     # -- stage 4: request processing -----------------------------------------
 
@@ -175,15 +343,10 @@ class Vault:
             return 0
         banks = self.banks
         specials = rqst.special_count
-        # Per-bank busy state as one bitmask: static for the whole scan
-        # (banks occupied mid-scan are covered by the blocked mask).
-        busy_mask = 0
-        free = 0
-        for i, b in enumerate(banks):
-            if cycle >= b.busy_until:
-                free += 1
-            else:
-                busy_mask |= 1 << i
+        # Incrementally maintained busy bitmask: static for the whole
+        # scan (banks occupied mid-scan are covered by the blocked mask).
+        busy_mask = self._busy_state(cycle)
+        free = len(banks) - busy_mask.bit_count()
         if free == 0 and not specials:
             # Every bank is mid-access and no FLOW/MODE packet is queued:
             # the FIFO scan below could not issue or remove anything.
@@ -226,8 +389,11 @@ class Vault:
                 if not specials and closed >= free:
                     break
                 continue
-            addr = pkt.addr
-            bank_id = (addr >> bs) & bmask if bank_of is None else bank_of(addr)
+            bank_id = pkt.dec_bank
+            if bank_id < 0:
+                addr = pkt.addr
+                bank_id = (addr >> bs) & bmask if bank_of is None else bank_of(addr)
+                pkt.dec_bank = bank_id
             bit = 1 << bank_id
             if blocked & bit:
                 # Conflict: this packet (and all later same-bank packets)
@@ -236,13 +402,9 @@ class Vault:
             if pkt.expects_response and len(rsp_q) >= rsp_depth:
                 self.rsp_stall_count += 1
                 if stall_trace:
-                    tracer.event(
-                        EventType.VAULT_RSP_STALL,
-                        cycle,
-                        dev=dev_id,
-                        quad=self.quad_id,
-                        vault=self.vault_id,
-                        serial=pkt.serial,
+                    tracer.emit_fast(
+                        _EV_VAULT_RSP_STALL, cycle, dev_id, -1,
+                        self.quad_id, self.vault_id, -1, -1, pkt.serial, None,
                     )
                 # Preserve order: later same-bank packets may not pass.
                 blocked |= bit
@@ -264,6 +426,12 @@ class Vault:
     # -- operation execution ----------------------------------------------------
 
     def _bank_rel_addr(self, amap: AddressMap, addr: int) -> int:
+        if amap.__class__ is AddressMap and 0 <= addr < amap.capacity_bytes:
+            # Classic contiguous map: shift+mask directly, skipping the
+            # DecodedAddress construction of the general path.
+            return ((addr >> amap._ds) & amap._dram_mask) * amap.block_size + (
+                addr & amap._offset_mask
+            )
         d = amap.decode(addr)
         return d.dram * amap.block_size + d.offset
 
@@ -307,11 +475,14 @@ class Vault:
     ) -> None:
         bank = self.banks[bank_id]
         cls = pkt.cls
-        nbytes = max(pkt.data_bytes, 16)
         if cls is CommandClass.READ:
             nbytes = REQUEST_DATA_BYTES[pkt.cmd]
+        else:
+            nbytes = pkt.data_bytes
+            if nbytes < 16:
+                nbytes = 16
         rel = self._bank_rel_addr(amap, pkt.addr)
-        is_bwr = pkt.cmd in (CMD.BWR, CMD.P_BWR)
+        is_bwr = pkt.cmd in _BWR_CMDS
         align = 8 if is_bwr else 16
         # Requests larger than the residual bank range are failed reads/
         # writes -> error response, not a crash (§IV.2 deliberate
@@ -339,15 +510,10 @@ class Vault:
             bank.masked_write(rel, data, mask)
             self.wr_count += 1
             if tracer.live_mask & _EV_RQST_WRITE:
-                tracer.event(
-                    EventType.RQST_WRITE,
-                    cycle,
-                    dev=dev_id,
-                    quad=self.quad_id,
-                    vault=self.vault_id,
-                    bank=bank_id,
-                    serial=pkt.serial,
-                    extra={"addr": pkt.addr, "bwr": True},
+                tracer.emit_fast(
+                    _EV_RQST_WRITE, cycle, dev_id, -1, self.quad_id,
+                    self.vault_id, bank_id, -1, pkt.serial,
+                    (("addr", pkt.addr), ("bwr", True)),
                 )
             if pkt.expects_response:
                 self._push_response(build_response(pkt), pkt, cycle)
@@ -355,15 +521,10 @@ class Vault:
             data = bank.read(rel, nbytes)
             self.rd_count += 1
             if tracer.live_mask & _EV_RQST_READ:
-                tracer.event(
-                    EventType.RQST_READ,
-                    cycle,
-                    dev=dev_id,
-                    quad=self.quad_id,
-                    vault=self.vault_id,
-                    bank=bank_id,
-                    serial=pkt.serial,
-                    extra={"addr": pkt.addr},
+                tracer.emit_fast(
+                    _EV_RQST_READ, cycle, dev_id, -1, self.quad_id,
+                    self.vault_id, bank_id, -1, pkt.serial,
+                    (("addr", pkt.addr),),
                 )
             rsp = build_response(pkt, data=data)
             self._push_response(rsp, pkt, cycle)
@@ -371,15 +532,10 @@ class Vault:
             bank.write(rel, list(pkt.payload))
             self.wr_count += 1
             if tracer.live_mask & _EV_RQST_WRITE:
-                tracer.event(
-                    EventType.RQST_WRITE,
-                    cycle,
-                    dev=dev_id,
-                    quad=self.quad_id,
-                    vault=self.vault_id,
-                    bank=bank_id,
-                    serial=pkt.serial,
-                    extra={"addr": pkt.addr},
+                tracer.emit_fast(
+                    _EV_RQST_WRITE, cycle, dev_id, -1, self.quad_id,
+                    self.vault_id, bank_id, -1, pkt.serial,
+                    (("addr", pkt.addr),),
                 )
             if pkt.expects_response:
                 rsp = build_response(pkt)
@@ -392,15 +548,10 @@ class Vault:
                 old = bank.atomic_add16(rel, ops)
             self.atomic_count += 1
             if tracer.live_mask & _EV_RQST_ATOMIC:
-                tracer.event(
-                    EventType.RQST_ATOMIC,
-                    cycle,
-                    dev=dev_id,
-                    quad=self.quad_id,
-                    vault=self.vault_id,
-                    bank=bank_id,
-                    serial=pkt.serial,
-                    extra={"addr": pkt.addr},
+                tracer.emit_fast(
+                    _EV_RQST_ATOMIC, cycle, dev_id, -1, self.quad_id,
+                    self.vault_id, bank_id, -1, pkt.serial,
+                    (("addr", pkt.addr),),
                 )
             if pkt.expects_response:
                 rsp = build_response(pkt, data=old)
@@ -452,6 +603,8 @@ class Vault:
         self.rsp.reset()
         for b in self.banks:
             b.reset()
+        self._busy_mask = 0
+        self._next_free = _FAR
         self.rd_count = self.wr_count = self.atomic_count = self.mode_count = 0
         self.conflict_count = 0
         self.issue_stall_cycles = 0

@@ -35,7 +35,7 @@ class LinkPolicy(enum.Enum):
     LOCALITY = "locality"
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRequest:
     """Host-side context for one outstanding tag."""
 
@@ -170,7 +170,12 @@ class Host:
         caller should clock the simulation and retry, mirroring the C
         harness's stall handling.  Posted requests consume no tag.
         """
-        dev, link = self._pick_link(cub, addr)
+        if self.policy is LinkPolicy.ROUND_ROBIN:
+            links = self._host_links
+            dev, link = links[self._rotor % len(links)]
+            self._rotor += 1
+        else:
+            dev, link = self._pick_link(cub, addr)
         pool = self.tag_pools[(dev, link)]
         posted = is_posted(cmd)
         tag = 0
@@ -281,29 +286,37 @@ class Host:
         lat_mark = len(self.latencies)
         stall_cycles = 0
 
-        while self.sim.clock_value - start_cycle < max_cycles:
-            # Send phase: inject until stall / exhaustion.
-            sent_this_cycle = 0
-            while True:
-                if pending_item is None:
-                    try:
-                        pending_item = next(it)
-                    except StopIteration:
-                        exhausted = True
+        # One outer trace-batch window for the whole drive loop, so
+        # host-boundary events (RSP_DELIVERED) batch with engine events
+        # instead of forcing a per-event flush between clock() calls.
+        tracer = self.sim.tracer
+        tracer.begin_batch()
+        try:
+            while self.sim.clock_value - start_cycle < max_cycles:
+                # Send phase: inject until stall / exhaustion.
+                sent_this_cycle = 0
+                while True:
+                    if pending_item is None:
+                        try:
+                            pending_item = next(it)
+                        except StopIteration:
+                            exhausted = True
+                            break
+                    cmd, addr, payload = pending_item
+                    tag = self.send_request(cmd, addr, cub=cub, payload=payload)
+                    if tag is None:
+                        break  # stall: retry this item next cycle
+                    pending_item = None
+                    sent_this_cycle += 1
+                if sent_this_cycle == 0 and not exhausted:
+                    stall_cycles += 1
+                self.sim.clock()
+                self.drain_responses()
+                if exhausted and pending_item is None:
+                    if not drain or self.outstanding == 0:
                         break
-                cmd, addr, payload = pending_item
-                tag = self.send_request(cmd, addr, cub=cub, payload=payload)
-                if tag is None:
-                    break  # stall: retry this item next cycle
-                pending_item = None
-                sent_this_cycle += 1
-            if sent_this_cycle == 0 and not exhausted:
-                stall_cycles += 1
-            self.sim.clock()
-            self.drain_responses()
-            if exhausted and pending_item is None:
-                if not drain or self.outstanding == 0:
-                    break
+        finally:
+            tracer.end_batch()
         return HostRunResult(
             requests_sent=self.sent - start_sent,
             responses_received=self.received - start_recv,

@@ -290,6 +290,24 @@ _packet_serial = itertools.count()
 _CLASS_CACHE: dict = {}
 
 
+def _class_info(cmd: CMD):
+    """Classification tuple for *cmd*, computed once per command."""
+    info = _CLASS_CACHE.get(cmd)
+    if info is None:
+        cls = command_class(cmd)
+        is_rsp = cls is CommandClass.RESPONSE
+        info = (
+            cls,
+            is_rsp,
+            expects_response(cmd),
+            cls in (CommandClass.FLOW, CommandClass.MODE_READ,
+                    CommandClass.MODE_WRITE),
+            None if is_rsp else request_flits(cmd),
+        )
+        _CLASS_CACHE[cmd] = info
+    return info
+
+
 @dataclass(slots=True)
 class Packet:
     """A single HMC packet plus simulator-side bookkeeping.
@@ -338,6 +356,12 @@ class Packet:
     #: Set by ``HMCSim.recv``: the (dev, link) host connection this
     #: response was delivered on — the tag's correlation domain.
     delivered_from: Optional[Tuple[int, int]] = None
+    #: Cached vault / bank decode of ``addr`` on the packet's home
+    #: device, set lazily by the crossbar and vault stages (-1 = not yet
+    #: decoded).  All devices share one address map, so the decode is
+    #: route-invariant and never needs re-deriving per stage.
+    dec_vault: int = field(init=False, default=-1, repr=False, compare=False)
+    dec_bank: int = field(init=False, default=-1, repr=False, compare=False)
 
     # --- classification shortcuts, cached at construction (command and
     # --- payload length are immutable afterwards); plain slots so the
@@ -357,19 +381,7 @@ class Packet:
             self.cmd = cmd
         payload = self.payload
         self.payload = payload = tuple([int(w) & _MASK64 for w in payload]) if payload else ()
-        info = _CLASS_CACHE.get(cmd)
-        if info is None:
-            cls = command_class(cmd)
-            is_rsp = cls is CommandClass.RESPONSE
-            info = (
-                cls,
-                is_rsp,
-                expects_response(cmd),
-                cls in (CommandClass.FLOW, CommandClass.MODE_READ,
-                        CommandClass.MODE_WRITE),
-                None if is_rsp else request_flits(cmd),
-            )
-            _CLASS_CACHE[cmd] = info
+        info = _class_info(cmd)
         self.cls, self.is_response, self.expects_response, self.is_special, req_flits = info
         if self.is_response:
             expected = 1 + len(payload) // 2 if payload else 1
@@ -507,6 +519,66 @@ class Packet:
 # Builders (mirror hmcsim_build_memrequest / response generation).
 # ---------------------------------------------------------------------------
 
+_ERRSTAT_OK = ErrStat.OK
+
+#: Exact-length zero payloads, shared: request/response FLIT counts are
+#: bounded by MAX_FLITS (9 FLITs = 16 payload words).
+_ZERO_WORDS = {n: (0,) * n for n in range(0, (MAX_FLITS - 1) * 2 + 1, 2)}
+
+#: Request-layout cache: cmd -> (CMD, payload word count, class info).
+_REQ_CACHE: dict = {}
+
+#: Response-layout cache: request CMD -> (response CMD, payload word
+#: count, class info).  Only commands that expect a response are cached,
+#: so a cache hit implies the expects_response check already passed.
+_RSP_CACHE: dict = {}
+
+
+def _fast_new(
+    cmd: CMD,
+    cub: int,
+    tag: int,
+    addr: int,
+    payload: Tuple[int, ...],
+    slid: int,
+    dinv: int,
+    info,
+) -> Packet:
+    """Trusted constructor for the request→response round trip.
+
+    Bypasses ``__post_init__``: callers guarantee *cmd* is a CMD member,
+    *payload* is a masked tuple of exactly the command's word count, and
+    tag/addr/cub ranges were validated when the originating request was
+    built.  Every slot is assigned explicitly.
+    """
+    p = Packet.__new__(Packet)
+    p.cmd = cmd
+    p.cub = cub
+    p.tag = tag
+    p.addr = addr
+    p.payload = payload
+    p.slid = slid
+    p.seq = 0
+    p.rrp = 0
+    p.frp = 0
+    p.rtc = 0
+    p.pb = 0
+    p.dinv = dinv
+    p.errstat = _ERRSTAT_OK
+    p.serial = next(_packet_serial)
+    p.injected_at = -1
+    p.completed_at = -1
+    p.hops = 0
+    p.ingress_link = -1
+    p.src_cub = 0
+    p.route_stack = []
+    p.delivered_from = None
+    p.dec_vault = -1
+    p.dec_bank = -1
+    p.cls, p.is_response, p.expects_response, p.is_special, _ = info
+    p.num_flits = 1 + len(payload) // 2
+    return p
+
 
 def build_memrequest(
     cub: int,
@@ -525,17 +597,30 @@ def build_memrequest(
     the exact FLIT count the command requires, matching the C behaviour
     of reading a caller buffer of the prescribed length.
     """
-    if cmd.__class__ is not CMD:
-        cmd = CMD(cmd)
-    if is_response(cmd):
-        raise ValueError(f"{cmd.name} is a response command")
-    flits = request_flits(cmd)
-    need_words = (flits - 1) * 2
-    words = list(payload or [])
-    if len(words) < need_words:
-        words += [0] * (need_words - len(words))
-    words = words[:need_words]
-    return Packet(cmd=cmd, cub=cub, tag=tag, addr=addr, payload=tuple(words), slid=link)
+    info = _REQ_CACHE.get(cmd)
+    if info is None:
+        if cmd.__class__ is not CMD:
+            cmd = CMD(cmd)
+        if is_response(cmd):
+            raise ValueError(f"{cmd.name} is a response command")
+        need_words = (request_flits(cmd) - 1) * 2
+        info = (cmd, need_words, _class_info(cmd))
+        _REQ_CACHE[cmd] = info
+    cmd, need_words, cls_info = info
+    if payload:
+        words = [int(w) & _MASK64 for w in payload]
+        if len(words) < need_words:
+            words += [0] * (need_words - len(words))
+        payload = tuple(words[:need_words])
+    else:
+        payload = _ZERO_WORDS[need_words]
+    if not 0 <= tag <= MAX_TAG:
+        raise ValueError(f"tag out of range: {tag}")
+    if not 0 <= addr <= MAX_ADRS:
+        raise ValueError(f"address out of range: {addr:#x}")
+    if not 0 <= cub <= MAX_CUB:
+        raise ValueError(f"cube id out of range: {cub}")
+    return _fast_new(cmd, cub, tag, addr, payload, link, 0, cls_info)
 
 
 def build_response(
@@ -563,22 +648,24 @@ def build_response(
         )
         rsp.src_cub = request.cub
         return rsp
-    if not request.expects_response:
-        raise ValueError(f"{request.cmd.name} does not expect a response")
-    rsp_cmd = response_cmd_for(request.cmd)
-    flits = response_flits(request.cmd)
-    need_words = (flits - 1) * 2
-    words = list(data or [])
-    if len(words) < need_words:
-        words += [0] * (need_words - len(words))
-    words = words[:need_words]
-    rsp = Packet(
-        cmd=rsp_cmd,
-        cub=request.cub,
-        tag=request.tag,
-        slid=request.slid,
-        payload=tuple(words),
-        dinv=dinv,
+    info = _RSP_CACHE.get(request.cmd)
+    if info is None:
+        if not request.expects_response:
+            raise ValueError(f"{request.cmd.name} does not expect a response")
+        rsp_cmd = response_cmd_for(request.cmd)
+        need_words = (response_flits(request.cmd) - 1) * 2
+        info = (rsp_cmd, need_words, _class_info(rsp_cmd))
+        _RSP_CACHE[request.cmd] = info
+    rsp_cmd, need_words, cls_info = info
+    if data:
+        words = [int(w) & _MASK64 for w in data]
+        if len(words) < need_words:
+            words += [0] * (need_words - len(words))
+        payload = tuple(words[:need_words])
+    else:
+        payload = _ZERO_WORDS[need_words]
+    rsp = _fast_new(
+        rsp_cmd, request.cub, request.tag, 0, payload, request.slid, dinv, cls_info
     )
     rsp.src_cub = request.cub
     return rsp

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import struct
+from struct import error
 from typing import IO, Iterator, Optional
 
 from repro.trace.events import EventType, TraceEvent
@@ -153,22 +154,145 @@ def decode_event(stream: IO[bytes]) -> Optional[TraceEvent]:
     )
 
 
+_LEN = struct.Struct("<H")
+
+#: Header + extras-length packed in one call ('<' = no padding, so the
+#: bytes are identical to _RECORD.pack(...) + _LEN.pack(len)).
+_RECORD_L = struct.Struct("<HHQbbbhhbqH")
+
+#: key -> '"key":' prefix for keys already validated as plain ASCII
+#: identifiers (json.dumps would emit them verbatim); None marks keys
+#: that need the json.dumps fallback.
+_KEY_PREFIX: dict = {}
+
+
+#: pairs-tuple -> encoded blob.  Conflict extras repeat heavily (a
+#: parked packet is re-recognised every cycle it waits), so most lookups
+#: hit.  Cleared when it outgrows _MEMO_LIMIT to bound paper-scale runs.
+_EXTRAS_MEMO: dict = {}
+_MEMO_LIMIT = 1 << 16
+
+
+def _extras_bytes(pairs: tuple) -> bytes:
+    """JSON-encode extras pairs, byte-identical to ``json.dumps(dict)``.
+
+    Hot-path extras are tiny dicts of identifier keys and bool/int/str
+    values; those are assembled by hand (key prefixes validated once and
+    cached, whole blobs memoised).  Anything else falls back to
+    :func:`json.dumps` so the output never diverges from the per-event
+    encoder.  The bool test precedes the int test — bool subclasses int
+    and must render as ``true``/``false``.
+    """
+    memo = _EXTRAS_MEMO
+    try:
+        blob = memo.get(pairs)
+    except TypeError:  # unhashable value somewhere in the pairs
+        return json.dumps(dict(pairs), separators=(",", ":")).encode()
+    if blob is not None:
+        return blob
+    parts = []
+    append = parts.append
+    cache = _KEY_PREFIX
+    for k, v in pairs:
+        pre = cache.get(k)
+        if pre is None:
+            if (
+                k in cache  # cached negative: non-identifier key
+                or type(k) is not str
+                or not k.isidentifier()
+                or not k.isascii()
+            ):
+                cache[k] = None
+                return json.dumps(dict(pairs), separators=(",", ":")).encode()
+            pre = cache[k] = f'"{k}":'
+        if v is True:
+            append(pre + "true")
+        elif v is False:
+            append(pre + "false")
+        elif type(v) is int:
+            append(pre + str(v))
+        else:
+            return json.dumps(dict(pairs), separators=(",", ":")).encode()
+    blob = ("{" + ",".join(parts) + "}").encode()
+    if len(memo) >= _MEMO_LIMIT:
+        memo.clear()
+    memo[pairs] = blob
+    return blob
+
+
 class BinarySink(Sink):
-    """Tracer sink writing the binary stream (with file header)."""
+    """Tracer sink writing the binary stream (with file header).
+
+    Batched delivery encodes each entry and issues a single stream
+    write per batch.  Nothing is held back between batches: the stream
+    is byte-complete at every tracer flush boundary, so mid-run parsers
+    (and the scheduler-equivalence fingerprint) see exact state without
+    calling :meth:`close`.
+    """
 
     def __init__(self, stream: IO[bytes], num_vaults: int) -> None:
         self._stream = stream
         write_file_header(stream, num_vaults)
-        self.records = 0
-        self.bytes_written = _FILE_HEADER.size
+        self._records = 0
+        self._bytes_written = _FILE_HEADER.size
+
+    @property
+    def records(self) -> int:
+        self._sync()
+        return self._records
+
+    @property
+    def bytes_written(self) -> int:
+        self._sync()
+        return self._bytes_written
 
     def emit(self, event: TraceEvent) -> None:
         blob = encode_event(event)
         self._stream.write(blob)
-        self.records += 1
-        self.bytes_written += len(blob)
+        self._records += 1
+        self._bytes_written += len(blob)
+
+    def emit_tuples(self, entries: list) -> None:
+        pack = _RECORD_L.pack
+        blobs = []
+        append = blobs.append
+        for e in entries:
+            if type(e) is not tuple:
+                append(encode_event(e))
+                continue
+            (etype, cycle, dev, link, quad, vault, bank, stage,
+             serial, pairs) = e
+            if etype > 0x8000:
+                etype = _pack_type(etype)
+            extras = _extras_bytes(pairs) if pairs else b""
+            # Locality fields are in byte range on every hot emit; the
+            # except path re-packs with the out-of-range clamps.
+            try:
+                append(pack(RECORD_MAGIC, etype, cycle, dev, link, quad,
+                            vault, bank, stage, serial, len(extras)))
+            except error:
+                append(pack(
+                    RECORD_MAGIC,
+                    etype,
+                    cycle,
+                    dev if -128 <= dev < 128 else -1,
+                    link if -128 <= link < 128 else -1,
+                    quad if -128 <= quad < 128 else -1,
+                    vault,
+                    bank,
+                    stage if -128 <= stage < 128 else -1,
+                    serial,
+                    len(extras),
+                ))
+            if extras:
+                append(extras)
+        blob = b"".join(blobs)
+        self._stream.write(blob)
+        self._records += len(entries)
+        self._bytes_written += len(blob)
 
     def close(self) -> None:
+        self._sync()
         self._stream.flush()
 
 

@@ -10,6 +10,7 @@ geometrically so paper-scale runs stay memory-bounded.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -67,17 +68,44 @@ class TraceStats:
             raise ValueError("num_vaults must be positive")
         self.num_vaults = num_vaults
         self._cap = max(16, initial_cycles)
-        self.max_cycle = -1
-        # Per-cycle global counters.
-        self._global: Dict[EventType, np.ndarray] = {
-            t: np.zeros(self._cap, dtype=np.int64) for t in _GLOBAL_SERIES
+        self._max_cycle = -1
+        # Per-cycle global counters.  Keyed by the plain int event code:
+        # IntFlag members hash/compare equal to their value, so lookups
+        # work with either an EventType or a raw int (batched path).
+        self._global: Dict[int, np.ndarray] = {
+            int(t): np.zeros(self._cap, dtype=np.int64) for t in _GLOBAL_SERIES
         }
         # Per-cycle-per-vault counters: dict of (cycles, vaults) matrices.
-        self._vault: Dict[EventType, np.ndarray] = {
-            t: np.zeros((self._cap, num_vaults), dtype=np.int64) for t in _VAULT_SERIES
+        self._vault: Dict[int, np.ndarray] = {
+            int(t): np.zeros((self._cap, num_vaults), dtype=np.int64)
+            for t in _VAULT_SERIES
         }
-        self.totals: Dict[EventType, int] = {}
-        self.events_seen = 0
+        self._totals: Dict[int, int] = {}
+        self._events_seen = 0
+        #: Installed by :class:`~repro.trace.tracer.StatsSink` so reads
+        #: can flush the owning tracer's buffered batch first.
+        self._sync_hook = None
+
+    def _sync(self) -> None:
+        hook = self._sync_hook
+        if hook is not None:
+            hook()
+
+    @property
+    def max_cycle(self) -> int:
+        self._sync()
+        return self._max_cycle
+
+    @property
+    def totals(self) -> Dict[EventType, int]:
+        """Total events per type (int-keyed; EventType lookups work)."""
+        self._sync()
+        return self._totals
+
+    @property
+    def events_seen(self) -> int:
+        self._sync()
+        return self._events_seen
 
     # -- ingestion -----------------------------------------------------------
 
@@ -97,16 +125,17 @@ class TraceStats:
 
     def add(self, event: TraceEvent) -> None:
         """Fold one event into the counters (O(1))."""
-        self.events_seen += 1
-        self.totals[event.type] = self.totals.get(event.type, 0) + 1
+        self._events_seen += 1
+        t = event.type.value
+        totals = self._totals
+        totals[t] = totals.get(t, 0) + 1
         c = event.cycle
         if c < 0:
             return
         if c >= self._cap:
             self._grow(c)
-        if c > self.max_cycle:
-            self.max_cycle = c
-        t = event.type
+        if c > self._max_cycle:
+            self._max_cycle = c
         g = self._global.get(t)
         if g is not None:
             g[c] += 1
@@ -114,6 +143,53 @@ class TraceStats:
         v = self._vault.get(t)
         if v is not None and 0 <= event.vault < self.num_vaults:
             v[c, event.vault] += 1
+
+    def add_batch(self, entries: list) -> None:
+        """Fold a tracer batch: compact tuples and/or TraceEvents.
+
+        Tuple entries follow the layout documented in
+        :mod:`repro.trace.tracer`; the loop works on plain ints only —
+        no enum dispatch, no dict-of-extras — which is what makes the
+        batched full-trace path cheap.
+        """
+        self._events_seen += len(entries)
+        # A batch spans only a few cycles, so counting distinct
+        # (type, cycle, vault) triples first collapses hundreds of
+        # events into a handful of keys; Counter consumes the generator
+        # in C.  A non-tuple entry (TraceEvent) raises TypeError on
+        # subscripting and drops to the mixed-entry loop — nothing else
+        # was mutated yet, so reprocessing from scratch is safe.
+        try:
+            cnt = Counter((e[0], e[1], e[5]) for e in entries)
+        except TypeError:
+            cnt = Counter()
+            for e in entries:
+                if type(e) is tuple:
+                    cnt[(e[0], e[1], e[5])] += 1
+                else:
+                    cnt[(e.type.value, e.cycle, e.vault)] += 1
+        totals = self._totals
+        glob = self._global
+        vlt = self._vault
+        num_vaults = self.num_vaults
+        mx = self._max_cycle
+        for (t, c, _vault), n in cnt.items():
+            totals[t] = totals.get(t, 0) + n
+            if c > mx:
+                mx = c
+        if mx >= self._cap:
+            self._grow(mx)
+        self._max_cycle = mx
+        for (t, c, vault), n in cnt.items():
+            if c < 0:
+                continue
+            g = glob.get(t)
+            if g is not None:
+                g[c] += n
+                continue
+            v = vlt.get(t)
+            if v is not None and 0 <= vault < num_vaults:
+                v[c, vault] += n
 
     # -- extraction ------------------------------------------------------------
 
@@ -168,4 +244,7 @@ class TraceStats:
 
     def summary(self) -> Dict[str, int]:
         """Totals per event type by name (report-friendly)."""
-        return {t.name: n for t, n in sorted(self.totals.items(), key=lambda kv: kv[0].value)}
+        return {
+            EventType(t).name: n
+            for t, n in sorted(self.totals.items(), key=lambda kv: int(kv[0]))
+        }

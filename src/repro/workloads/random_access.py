@@ -15,6 +15,7 @@ tracing enabled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.config import DeviceConfig, SimConfig
@@ -74,6 +75,9 @@ class RandomAccessResult:
     #: The simulation object, kept only when ``keep_sim`` was requested
     #: (post-run inspection, e.g. the reliability report's final scrub).
     sim: Optional[HMCSim] = None
+    #: Host wall-clock time of the run in seconds (simulator speed, not
+    #: a simulated quantity).
+    wall_seconds: float = 0.0
 
     @property
     def cycles_per_request(self) -> float:
@@ -82,6 +86,15 @@ class RandomAccessResult:
     @property
     def requests_per_cycle(self) -> float:
         return self.cfg.num_requests / self.cycles if self.cycles else 0.0
+
+    @property
+    def requests_per_sec(self) -> float:
+        """Wall-clock host throughput (requests per second of real time)."""
+        return (
+            self.run.requests_sent / self.wall_seconds
+            if self.wall_seconds > 0
+            else 0.0
+        )
 
 
 def random_access_requests(
@@ -103,13 +116,17 @@ def random_access_requests(
     payload_words = cfg.request_bytes // 8
     # Map the read fraction onto the 31-bit draw range.
     read_cut = int(cfg.read_fraction * 0x8000_0000)
+    nxt = rng.next
+    below = rng.next_below
+    u64s = rng.next_u64_list
+    request_bytes = cfg.request_bytes
     for _ in range(cfg.num_requests):
-        is_read = rng.next() < read_cut
-        addr = rng.next_below(blocks) * cfg.request_bytes
+        is_read = nxt() < read_cut
+        addr = below(blocks) * request_bytes
         if is_read:
             yield (rd_cmd, addr, None)
         else:
-            yield (wr_cmd, addr, [rng.next_u64() for _ in range(payload_words)])
+            yield (wr_cmd, addr, u64s(payload_words))
 
 
 def run_random_access(
@@ -152,7 +169,9 @@ def run_random_access(
         seed=cfg.seed,
     )
     stream = random_access_requests(device.capacity_bytes, cfg)
+    wall_start = perf_counter()
     run = host.run(stream, cub=0, max_cycles=max_cycles)
+    wall = perf_counter() - wall_start
     return RandomAccessResult(
         label=device.label(),
         cfg=cfg,
@@ -161,4 +180,5 @@ def run_random_access(
         sim_stats=sim.stats(),
         trace_stats=stats,
         sim=sim if keep_sim else None,
+        wall_seconds=wall,
     )
