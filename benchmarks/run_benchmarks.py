@@ -15,6 +15,11 @@ Two scenario suites, selected with ``--suite``:
     and batched trace pipeline target — writes
     ``BENCH_loaded_path.json``.
 
+``service``
+    The disaggregated memory service suite: warm vs cold shard spin-up
+    latency, and multi-tenant ``serve`` throughput at 1 / 16 / 128
+    tenants under both schedulers — writes ``BENCH_service.json``.
+
 Every scenario runs under both schedulers and asserts cycle-count
 equivalence (the bit-identical contract that
 tests/test_scheduler_equivalence.py enforces in depth).
@@ -260,6 +265,106 @@ def build_loaded_scenarios(smoke: bool):
     return scenarios
 
 
+def _service_config(smoke: bool, **overrides):
+    from repro.service import ServiceConfig
+
+    base = dict(
+        device=DeviceConfig(num_links=4, num_banks=8, capacity=2),
+        devs_per_shard=2,
+        slots_per_shard=2,
+        max_shards=4,
+        provision_requests=64 if smoke else 512,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def run_service_suite(smoke: bool, repeat: int, report: dict) -> int:
+    """Service suite: spin-up latency and multi-tenant throughput.
+
+    Returns the number of scheduler-equivalence failures.  Rows carry
+    ``requests_per_sec`` (the headline service metric) alongside the
+    standard ``cycles_per_sec`` so the ``--compare`` gate applies.
+    """
+    from repro.service import MemoryService, SessionPool, specs_from_profiles
+    from repro.workloads.mixes import tenant_mix_profiles
+
+    # -- spin-up: warm (checkpoint restore) vs cold (rebuild + provision)
+    pool = SessionPool(_service_config(smoke))
+    pool.template_blob()  # template built once; excluded from warm cost
+    samples = 3 if smoke else 10
+    for _ in range(samples):
+        pool.spin_up("warm")[0].free()
+        pool.spin_up("cold")[0].free()
+    warm_ms = min(pool.stats.warm_ms)
+    cold_ms = min(pool.stats.cold_ms)
+    report["spin_up"] = {
+        "samples": samples,
+        "provision_requests": pool.config.provision_requests,
+        "template_ms": round(pool.stats.template_ms, 3),
+        "warm_ms": round(warm_ms, 3),
+        "cold_ms": round(cold_ms, 3),
+        "warm_speedup": round(cold_ms / warm_ms, 2) if warm_ms else None,
+    }
+    print(
+        f"{'spin_up_warm_vs_cold':42s} warm {warm_ms:8.2f}ms  "
+        f"cold {cold_ms:8.2f}ms  speedup {report['spin_up']['warm_speedup']}x"
+    )
+
+    # -- serve throughput at 1 / 16 / 128 tenants, both schedulers.
+    failures = 0
+    base_requests = 8 if smoke else 64
+    for tenants in (1, 16, 128):
+        row = {"name": f"service_tenants[{tenants}]", "runs": {}}
+        cycles_seen = {}
+        for sched in SCHEDULERS:
+            cfg = _service_config(smoke, scheduler=sched)
+            profiles = tenant_mix_profiles(
+                tenants, seed=1, base_requests=base_requests
+            )
+            state = {}
+
+            def run_once(cfg=cfg, profiles=profiles, state=state):
+                service = MemoryService(cfg)
+                rep = service.serve_sync(specs_from_profiles(profiles, cfg))
+                failed = [k for k, ok in rep["consistency"].items()
+                          if k.endswith("_match") and not ok]
+                if failed:
+                    raise AssertionError(f"consistency failed: {failed}")
+                state["report"] = rep
+                return sum(s["sim_cycles"] for s in rep["shards"])
+
+            wall, cycles = _timed(run_once, repeat)
+            cycles_seen[sched] = cycles
+            totals = state["report"]["accounting"]["totals"]
+            row["runs"][sched] = {
+                "wall_s": round(wall, 4),
+                "cycles": cycles,
+                "cycles_per_sec": round(cycles / wall, 1) if wall else None,
+                "requests": totals["requests_sent"],
+                "requests_per_sec": (
+                    round(totals["requests_sent"] / wall, 1) if wall else None
+                ),
+            }
+        row["cycles_match"] = len(set(cycles_seen.values())) == 1
+        if not row["cycles_match"]:
+            failures += 1
+            print(f"FAIL {row['name']}: scheduler cycle mismatch {cycles_seen}",
+                  file=sys.stderr)
+        naive_w = row["runs"]["naive"]["wall_s"]
+        active_w = row["runs"]["active"]["wall_s"]
+        row["speedup_active_vs_naive"] = (
+            round(naive_w / active_w, 2) if active_w else None
+        )
+        report["scenarios"].append(row)
+        print(
+            f"{row['name']:42s} naive {naive_w:8.3f}s  active {active_w:8.3f}s  "
+            f"req/s {row['runs']['active']['requests_per_sec']:,}  "
+            f"cycles={cycles_seen['active']}"
+        )
+    return failures
+
+
 def _compare_reports(report: dict, baseline: dict, threshold: float) -> int:
     """Count (scenario, scheduler) pairs slower than baseline by more
     than *threshold* (fractional cycles/sec drop)."""
@@ -313,14 +418,14 @@ def main(argv=None) -> int:
         help="small request counts for CI (seconds, not minutes)",
     )
     ap.add_argument(
-        "--suite", choices=("engine", "loaded"), default="engine",
-        help="scenario suite: clock-engine set or loaded-path "
-        "(traced/untraced Table I) set",
+        "--suite", choices=("engine", "loaded", "service"), default="engine",
+        help="scenario suite: clock-engine set, loaded-path "
+        "(traced/untraced Table I) set, or the multi-tenant service set",
     )
     ap.add_argument(
         "--out", type=Path, default=None,
-        help="output JSON path (default: BENCH_clock_engine.json or "
-        "BENCH_loaded_path.json at the repo root, by suite)",
+        help="output JSON path (default: BENCH_<suite>.json at the repo "
+        "root)",
     )
     ap.add_argument(
         "--repeat", type=int, default=None,
@@ -345,17 +450,18 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (1 if args.smoke else 3)
     if args.out is None:
-        args.out = REPO_ROOT / (
-            "BENCH_loaded_path.json" if args.suite == "loaded"
-            else "BENCH_clock_engine.json"
-        )
-    scenarios = (
-        build_loaded_scenarios(args.smoke) if args.suite == "loaded"
-        else build_scenarios(args.smoke)
-    )
+        args.out = REPO_ROOT / {
+            "engine": "BENCH_clock_engine.json",
+            "loaded": "BENCH_loaded_path.json",
+            "service": "BENCH_service.json",
+        }[args.suite]
 
     report = {
-        "benchmark": "clock_engine" if args.suite == "engine" else "loaded_path",
+        "benchmark": {
+            "engine": "clock_engine",
+            "loaded": "loaded_path",
+            "service": "service",
+        }[args.suite],
         "git_rev": _git_rev(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -364,6 +470,30 @@ def main(argv=None) -> int:
         "generated_unix": int(time.time()),
         "scenarios": [],
     }
+    if args.suite == "service":
+        failures = run_service_suite(args.smoke, repeat, report)
+        if args.baseline is not None:
+            _embed_baseline(report, json.loads(args.baseline.read_text()))
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+        if failures:
+            print(f"{failures} scenario(s) broke scheduler equivalence",
+                  file=sys.stderr)
+            return 1
+        if args.compare is not None:
+            regressions = _compare_reports(
+                report, json.loads(args.compare.read_text()),
+                args.compare_threshold,
+            )
+            if regressions:
+                print(f"{regressions} throughput regression(s) beyond "
+                      f"{args.compare_threshold:.0%}", file=sys.stderr)
+                return 2
+        return 0
+    scenarios = (
+        build_loaded_scenarios(args.smoke) if args.suite == "loaded"
+        else build_scenarios(args.smoke)
+    )
     failures = 0
     for name, scenario in scenarios:
         row = {"name": name, "runs": {}}

@@ -27,17 +27,25 @@ def default_workers() -> int:
 
     The ``REPRO_SWEEP_WORKERS`` environment variable overrides the
     heuristic (CI throttling, benchmarking with a pinned pool, forcing
-    serial execution with ``1``).  Invalid or non-positive values fall
-    back to the heuristic.
+    serial execution with ``1``).  A set-but-invalid value — garbage
+    text, zero, or a negative count — raises :class:`ValueError`
+    immediately with the offending value, instead of surfacing later as
+    an opaque crash deep inside the process-pool setup.
     """
     env = os.environ.get("REPRO_SWEEP_WORKERS")
-    if env:
+    if env is not None and env.strip():
         try:
             n = int(env)
         except ValueError:
-            n = 0
-        if n > 0:
-            return n
+            raise ValueError(
+                f"REPRO_SWEEP_WORKERS must be a positive integer, "
+                f"got {env!r}"
+            ) from None
+        if n <= 0:
+            raise ValueError(
+                f"REPRO_SWEEP_WORKERS must be a positive integer, got {n}"
+            )
+        return n
     return max(1, min(8, (os.cpu_count() or 2) - 1))
 
 

@@ -9,7 +9,9 @@ Python:
 * ``bandwidth`` — delivered-vs-raw bandwidth for a random-access run;
 * ``faults`` — drive traffic through a noisy link and report recovery;
 * ``replay`` — replay a flat ``R/W <hex-addr> [size]`` address trace;
-* ``ras`` — in-DRAM reliability sweep (fault rate × scrub interval).
+* ``ras`` — in-DRAM reliability sweep (fault rate × scrub interval);
+* ``serve`` — multi-tenant disaggregated memory service run;
+* ``tenants`` — render per-tenant accounting from a ``serve`` report.
 """
 
 from __future__ import annotations
@@ -307,6 +309,82 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.analysis.tenants import (
+        check_consistency,
+        render_class_rollup,
+        render_service_summary,
+        render_tenant_table,
+    )
+    from repro.service import MemoryService, ServiceConfig, specs_from_profiles
+    from repro.workloads.mixes import tenant_mix_profiles
+
+    device = _device_from_args(args)
+    try:
+        config = ServiceConfig(
+            device=device,
+            devs_per_shard=args.devices,
+            slots_per_shard=args.slots,
+            initial_shards=min(args.shards, args.max_shards),
+            max_shards=args.max_shards,
+            scheduler=args.scheduler,
+            spin_up=args.spin_up,
+            provision_requests=args.provision_requests,
+            max_waiting=args.max_waiting,
+            **_link_fault_kwargs(args),
+        )
+    except Exception as exc:
+        print(f"serve: invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    profiles = tenant_mix_profiles(
+        args.tenants, seed=args.seed, base_requests=args.requests_per_tenant
+    )
+    service = MemoryService(config)
+    report = service.serve_sync(specs_from_profiles(profiles, config))
+    print(render_service_summary(report))
+    print()
+    print(render_class_rollup(report))
+    if args.table or args.tenants <= 16:
+        print()
+        print(render_tenant_table(report, limit=args.table_limit))
+    if args.stats_json:
+        with open(args.stats_json, "w") as fh:
+            json.dump(report, fh, indent=2, default=str)
+        print(f"\nwrote service report to {args.stats_json}")
+    return 1 if check_consistency(report) else 0
+
+
+def cmd_tenants(args) -> int:
+    import json
+
+    from repro.analysis.tenants import (
+        check_consistency,
+        render_class_rollup,
+        render_service_summary,
+        render_tenant_table,
+    )
+
+    try:
+        with open(args.report) as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"tenants: cannot read report {args.report!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if "accounting" not in report or "consistency" not in report:
+        print(f"tenants: {args.report!r} is not a serve report "
+              f"(missing accounting/consistency sections)", file=sys.stderr)
+        return 2
+    print(render_service_summary(report))
+    print()
+    print(render_class_rollup(report))
+    print()
+    print(render_tenant_table(report, limit=args.limit))
+    return 1 if check_consistency(report) else 0
+
+
 def _package_version() -> str:
     """Installed package version, falling back to the source tree's."""
     try:
@@ -377,6 +455,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated patrol intervals in cycles (0 = off)")
     p.add_argument("--ras-seed", type=int, default=1)
     p.set_defaults(func=cmd_ras)
+
+    p = sub.add_parser("serve", help="multi-tenant disaggregated memory "
+                                     "service over a chained-cube pool")
+    _add_link_fault_args(p)
+    p.add_argument("--tenants", type=int, default=16,
+                   help="number of simulated tenants in the mix")
+    p.add_argument("--seed", type=int, default=1,
+                   help="tenant-mix scenario seed")
+    p.add_argument("--requests-per-tenant", type=int, default=64,
+                   help="base request count per tenant (scaled by class)")
+    p.add_argument("--devices", type=int, default=2,
+                   help="cubes chained per shard")
+    p.add_argument("--slots", type=int, default=2,
+                   help="tenant slots (host links) per shard")
+    p.add_argument("--shards", type=int, default=1,
+                   help="shards spun up before serving")
+    p.add_argument("--max-shards", type=int, default=4,
+                   help="pool growth ceiling")
+    p.add_argument("--links", type=int, default=4, choices=(4, 8))
+    p.add_argument("--banks", type=int, default=8, choices=(8, 16))
+    p.add_argument("--capacity", type=int, default=2, help="GB per cube")
+    p.add_argument("--scheduler", choices=("active", "naive"), default="active")
+    p.add_argument("--spin-up", choices=("warm", "cold"), default="warm",
+                   help="shard spin-up mode (warm = checkpoint restore)")
+    p.add_argument("--provision-requests", type=int, default=256,
+                   help="provisioning traffic baked into the warm template")
+    p.add_argument("--max-waiting", type=int, default=0,
+                   help="reject tenants beyond this queue depth (0 = unbounded)")
+    p.add_argument("--table", action="store_true",
+                   help="print the per-tenant table even for large fleets")
+    p.add_argument("--table-limit", type=int, default=32,
+                   help="max rows in the per-tenant table (0 = all)")
+    p.add_argument("--stats-json", type=str, default=None,
+                   help="write the full service report to this file")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("tenants", help="render per-tenant accounting from a "
+                                       "saved serve report")
+    p.add_argument("report", help="path to a --stats-json file from serve")
+    p.add_argument("--limit", type=int, default=0,
+                   help="max rows in the per-tenant table (0 = all)")
+    p.set_defaults(func=cmd_tenants)
 
     return parser
 

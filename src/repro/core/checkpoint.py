@@ -9,30 +9,79 @@ bit-identically to the original.
 Snapshots serialise the :class:`~repro.core.simulator.HMCSim` object
 graph with :mod:`pickle`.  Tracer sinks may hold OS resources (open
 files), so snapshotting detaches the tracer (its mask is preserved,
-its sinks are not) — reattach sinks after restore.  Host-side objects
-(:class:`~repro.host.host.Host` etc.) hold a reference to the sim and
-must be checkpointed *with* it via :func:`snapshot_bundle` to keep the
-object graph consistent.
+its sinks are not) — reattach sinks after restore.  Components that
+keep their own reference to the tracer (the RAS controller does) are
+detached through the same stand-in, so the whole restored graph shares
+one tracer and no sink object ever enters the pickle stream.  Host-side
+objects (:class:`~repro.host.host.Host` etc.) hold a reference to the
+sim and must be checkpointed *with* it via :func:`snapshot_bundle` to
+keep the object graph consistent.
+
+The in-band link fault machinery (:mod:`repro.faults.inband`) is part
+of the pickled graph: per-direction retry pointers, cached replay
+words, the degradation-ladder position and the LRS register mirrors
+all round-trip, so a simulation restored mid-degradation resumes
+bit-identically — a HALF link stays HALF with its doubled FLIT
+serialization, it does not silently reset to FULL
+(tests/test_link_inband.py::TestCheckpointRoundTrip).
 """
 
 from __future__ import annotations
 
-import io
 import pickle
-from typing import Any, Tuple
+from typing import Any, List, Tuple
 
 from repro.core.simulator import HMCSim
 from repro.trace.tracer import Tracer
 
 
-def snapshot(sim: HMCSim) -> bytes:
-    """Serialise *sim* (tracer sinks detached) to bytes."""
+def _tracer_holders(sim: HMCSim) -> List[Any]:
+    """Components holding their own ``.tracer`` reference.
+
+    ``sim.tracer`` is swapped for a sinkless stand-in during pickling;
+    any component that cached the tracer at construction must be
+    swapped through the *same* stand-in or the original tracer (and
+    its possibly unpicklable sinks) rides into the pickle stream — and
+    the restored component would log to a ghost tracer nobody reads.
+    """
+    holders = []
+    for d in sim.devices:
+        ras = getattr(d, "ras", None)
+        if ras is not None and getattr(ras, "tracer", None) is not None:
+            holders.append(ras)
+    return holders
+
+
+def _pickle_detached(sim: HMCSim, payload_of) -> bytes:
+    """Pickle ``payload_of(sim)`` with every tracer reference detached."""
     saved_tracer = sim.tracer
-    sim.tracer = Tracer(mask=saved_tracer.mask)  # sinkless stand-in
+    standin = Tracer(mask=saved_tracer.mask)  # sinkless stand-in
+    holders = _tracer_holders(sim)
+    sim.tracer = standin
+    for h in holders:
+        h.tracer = standin
     try:
-        return pickle.dumps(sim, protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.dumps(payload_of(sim), protocol=pickle.HIGHEST_PROTOCOL)
     finally:
         sim.tracer = saved_tracer
+        for h in holders:
+            h.tracer = saved_tracer
+
+
+def _rewire_tracer(sim: HMCSim) -> None:
+    """Point every component-held tracer reference at ``sim.tracer``.
+
+    New snapshots already share one stand-in tracer across the graph;
+    this also heals blobs written before holders were detached, where
+    a component could come back with a private tracer copy.
+    """
+    for h in _tracer_holders(sim):
+        h.tracer = sim.tracer
+
+
+def snapshot(sim: HMCSim) -> bytes:
+    """Serialise *sim* (tracer sinks detached) to bytes."""
+    return _pickle_detached(sim, lambda s: s)
 
 
 def restore(blob: bytes) -> HMCSim:
@@ -44,6 +93,7 @@ def restore(blob: bytes) -> HMCSim:
     sim = pickle.loads(blob)
     if not isinstance(sim, HMCSim):
         raise TypeError(f"snapshot does not contain an HMCSim: {type(sim)!r}")
+    _rewire_tracer(sim)
     return sim
 
 
@@ -56,12 +106,7 @@ def snapshot_bundle(sim: HMCSim, *extras: Any) -> bytes:
         blob = snapshot_bundle(sim, host)
         sim2, (host2,) = restore_bundle(blob)
     """
-    saved_tracer = sim.tracer
-    sim.tracer = Tracer(mask=saved_tracer.mask)
-    try:
-        return pickle.dumps((sim, tuple(extras)), protocol=pickle.HIGHEST_PROTOCOL)
-    finally:
-        sim.tracer = saved_tracer
+    return _pickle_detached(sim, lambda s: (s, tuple(extras)))
 
 
 def restore_bundle(blob: bytes) -> Tuple[HMCSim, tuple]:
@@ -69,6 +114,7 @@ def restore_bundle(blob: bytes) -> Tuple[HMCSim, tuple]:
     sim, extras = pickle.loads(blob)
     if not isinstance(sim, HMCSim):
         raise TypeError(f"snapshot does not contain an HMCSim: {type(sim)!r}")
+    _rewire_tracer(sim)
     return sim, extras
 
 

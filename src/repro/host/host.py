@@ -46,6 +46,22 @@ class PendingRequest:
     sent_cycle: int
 
 
+@dataclass(frozen=True, slots=True)
+class HostMark:
+    """A position over a host's cumulative counters.
+
+    Take one with :meth:`Host.mark`, read what happened since with
+    :meth:`Host.delta` — the pattern wrappers that interleave their own
+    stepping with the host's (e.g. the service shard pump) use to
+    attribute traffic windows without resetting shared counters.
+    """
+
+    sent: int
+    received: int
+    errors: int
+    latency_index: int
+
+
 @dataclass
 class HostRunResult:
     """Outcome of :meth:`Host.run`."""
@@ -256,6 +272,22 @@ class Host:
     @property
     def outstanding(self) -> int:
         return sum(p.outstanding for p in self.tag_pools.values())
+
+    # -- counter windows -------------------------------------------------------
+
+    def mark(self) -> HostMark:
+        """Snapshot the cumulative counters for later :meth:`delta`."""
+        return HostMark(self.sent, self.received, self.errors,
+                        len(self.latencies))
+
+    def delta(self, since: HostMark) -> Tuple[int, int, int, List[int]]:
+        """(sent, received, errors, latencies) accrued after *since*."""
+        return (
+            self.sent - since.sent,
+            self.received - since.received,
+            self.errors - since.errors,
+            self.latencies[since.latency_index:],
+        )
 
     # -- the drive loop ------------------------------------------------------------
 

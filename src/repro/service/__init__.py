@@ -1,0 +1,40 @@
+"""Rack-scale disaggregated memory service over simulated HMC pools.
+
+Multiplexes thousands of concurrent simulated tenants onto a shared
+pool of chained-cube shards: an asyncio front end
+(:class:`~repro.service.frontend.MemoryService`), a warm-state session
+pool (:mod:`repro.service.sessions`), admission control and QoS
+(:mod:`repro.service.admission`) and per-tenant accounting
+(:mod:`repro.service.accounting`).  See ``docs/service.md``.
+"""
+
+from repro.service.accounting import AccountingLedger, TenantAccount
+from repro.service.admission import (
+    AdmissionController,
+    FabricPort,
+    Ticket,
+    TokenBucket,
+)
+from repro.service.config import PriorityClass, ServiceConfig, TenantSpec
+from repro.service.frontend import MemoryService, specs_from_profiles
+from repro.service.sessions import SessionPool, SpinUpStats, build_provisioned_shard
+from repro.service.shard import Session, Shard
+
+__all__ = [
+    "AccountingLedger",
+    "AdmissionController",
+    "FabricPort",
+    "MemoryService",
+    "PriorityClass",
+    "ServiceConfig",
+    "Session",
+    "SessionPool",
+    "Shard",
+    "SpinUpStats",
+    "TenantAccount",
+    "TenantSpec",
+    "Ticket",
+    "TokenBucket",
+    "build_provisioned_shard",
+    "specs_from_profiles",
+]

@@ -1,0 +1,148 @@
+"""Per-tenant accounting: requests, bytes, cycles, faults, latency.
+
+Every countable the service attributes to a tenant is an integer, so
+per-tenant totals sum *exactly* to the pool-wide statdump counters —
+the billing-style invariant tests/test_service.py enforces:
+
+* ``requests_sent`` / ``responses`` / ``errors`` sum to the shards'
+  ``packets_sent`` / ``packets_received`` deltas (every packet enters
+  through exactly one tenant session);
+* ``slot_cycles`` (cycles a session was resident with work) sum to the
+  shards' per-cycle active-session tallies;
+* link-fault events on a *host* link are attributed exactly — a slot
+  is owned by one tenant at a time, so that link's IRTRY/degradation
+  deltas belong to the owner; *chain*-link events are shared by
+  construction, so each unit event is charged round-robin across the
+  sessions active in the cycle it occurred — integers, no proration —
+  and the shared total still matches the shard's chain counters.
+
+Latency percentiles come from host-observed per-request latencies via
+:class:`repro.analysis.latency.LatencyDistribution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.latency import LatencyDistribution
+from repro.service.config import PriorityClass
+
+
+@dataclass
+class TenantAccount:
+    """Lifetime countables for one tenant session."""
+
+    tenant_id: str
+    klass: PriorityClass = PriorityClass.BRONZE
+    shard_id: int = -1
+    slot: int = -1
+    status: str = "pending"  # pending|active|done|link_failed|watchdog|rejected
+    # Traffic.
+    requests_sent: int = 0
+    responses: int = 0
+    errors: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    # Cycles.
+    slot_cycles: int = 0          # shard cycles resident with work pending
+    throttle_cycles: int = 0      # head request blocked only by the rate limit
+    network_delay_cycles: int = 0  # Σ (eligible - arrival) across requests
+    send_stalls: int = 0          # injection attempts refused by the pool
+    admission_wait_ticks: int = 0
+    lease_spin_up_ms: float = 0.0  # wall ms spent spinning a shard for this lease
+    # Fault attribution.
+    hostlink_retries: int = 0     # IRTRY events on the leased host link
+    shared_retries: int = 0       # chain-link IRTRY events, round-robin share
+    degradations_seen: int = 0    # ladder steps taken while resident
+    degraded_cycles: int = 0      # resident cycles with any shard link degraded
+    # Raw latencies (host-observed, in shard cycles).
+    latencies: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        d = {
+            "tenant_id": self.tenant_id,
+            "class": self.klass.name.lower(),
+            "shard": self.shard_id,
+            "slot": self.slot,
+            "status": self.status,
+            "requests_sent": self.requests_sent,
+            "responses": self.responses,
+            "errors": self.errors,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "slot_cycles": self.slot_cycles,
+            "throttle_cycles": self.throttle_cycles,
+            "network_delay_cycles": self.network_delay_cycles,
+            "send_stalls": self.send_stalls,
+            "admission_wait_ticks": self.admission_wait_ticks,
+            "lease_spin_up_ms": round(self.lease_spin_up_ms, 3),
+            "hostlink_retries": self.hostlink_retries,
+            "shared_retries": self.shared_retries,
+            "degradations_seen": self.degradations_seen,
+            "degraded_cycles": self.degraded_cycles,
+        }
+        d["latency"] = LatencyDistribution.from_samples(self.latencies).as_dict()
+        return d
+
+
+class AccountingLedger:
+    """All tenant accounts of one service run, plus pool-level rollups."""
+
+    def __init__(self) -> None:
+        self.accounts: Dict[str, TenantAccount] = {}
+
+    def open(self, tenant_id: str, klass: PriorityClass) -> TenantAccount:
+        if tenant_id in self.accounts:
+            raise ValueError(f"account for {tenant_id!r} already open")
+        acct = TenantAccount(tenant_id=tenant_id, klass=klass)
+        self.accounts[tenant_id] = acct
+        return acct
+
+    def get(self, tenant_id: str) -> Optional[TenantAccount]:
+        return self.accounts.get(tenant_id)
+
+    # -- rollups ---------------------------------------------------------------
+
+    _SUM_FIELDS = (
+        "requests_sent", "responses", "errors", "bytes_read", "bytes_written",
+        "slot_cycles", "throttle_cycles", "network_delay_cycles",
+        "send_stalls", "hostlink_retries", "shared_retries",
+        "degradations_seen", "degraded_cycles",
+    )
+
+    def totals(self) -> dict:
+        """Integer sums over every account (the billing grand total)."""
+        out = {f: 0 for f in self._SUM_FIELDS}
+        for acct in self.accounts.values():
+            for f in self._SUM_FIELDS:
+                out[f] += getattr(acct, f)
+        out["tenants"] = len(self.accounts)
+        return out
+
+    def class_rollup(self) -> Dict[str, dict]:
+        """Per-priority-class sums plus pooled latency percentiles."""
+        rollup: Dict[str, dict] = {}
+        pools: Dict[str, List[int]] = {}
+        for acct in self.accounts.values():
+            key = acct.klass.name.lower()
+            row = rollup.setdefault(key, {f: 0 for f in self._SUM_FIELDS})
+            row["tenants"] = row.get("tenants", 0) + 1
+            for f in self._SUM_FIELDS:
+                row[f] += getattr(acct, f)
+            pools.setdefault(key, []).extend(acct.latencies)
+        for key, row in rollup.items():
+            row["latency"] = LatencyDistribution.from_samples(
+                pools.get(key, ())
+            ).as_dict()
+        return rollup
+
+    def report(self) -> dict:
+        """JSON-ready accounting tree: per tenant, per class, totals."""
+        return {
+            "tenants": {
+                tid: acct.as_dict() for tid, acct in sorted(self.accounts.items())
+            },
+            "classes": self.class_rollup(),
+            "totals": self.totals(),
+        }

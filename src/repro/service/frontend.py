@@ -1,0 +1,227 @@
+"""The async front end: many tenants, one deterministic driver.
+
+:class:`MemoryService` multiplexes an arbitrary number of concurrent
+simulated-tenant request streams onto a bounded pool of chained-cube
+shards.  Concurrency and determinism coexist through a strict division
+of labour:
+
+* every tenant is an :mod:`asyncio` task, but tenant tasks only *await*
+  — a lease future resolved by admission, then a completion future
+  resolved when their stream drains.  They never touch a simulator.
+* one driver coroutine owns all simulated state.  Each scheduler tick
+  it grants leases in ``(priority, arrival)`` order, pumps every busy
+  shard ``cycles_per_yield`` cycles in shard order, resolves completed
+  sessions, and yields the event loop once.
+
+Because the driver's work per tick is a pure function of (config,
+specs) — no wall clock, no RNG, no dependence on event-loop scheduling
+order — a service run over thousands of tenants produces bit-identical
+per-tenant accounting on every execution and under either engine
+scheduler.  Wall-clock timing appears only in the spin-up metrics
+(:mod:`repro.service.sessions`), clearly segregated in the report.
+
+Failure containment: a dead host link fails only its session (the slot
+is retired), a watchdog trip retires the whole shard and fails its
+residents, and tenants that can never be placed (pool exhausted, all
+shards dead) are failed with ``no_capacity`` — ``serve`` always
+returns a complete report, it never hangs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.accounting import AccountingLedger
+from repro.service.admission import AdmissionController, Ticket
+from repro.service.config import ServiceConfig, TenantSpec
+from repro.service.sessions import SessionPool
+from repro.service.shard import Session, Shard
+
+
+def specs_from_profiles(
+    profiles: Sequence[dict], config: ServiceConfig
+) -> List[TenantSpec]:
+    """Turn :func:`repro.workloads.mixes.tenant_mix_profiles` output into
+    tenant specs addressing the whole shard-wide address space."""
+    capacity = config.devs_per_shard * config.device.capacity_bytes
+    return [TenantSpec.from_profile(p, capacity) for p in profiles]
+
+
+class MemoryService:
+    """A rack-scale disaggregated memory service over simulated cubes."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.pool = SessionPool(self.config)
+        self.admission = AdmissionController(self.config)
+        self.ledger = AccountingLedger()
+        self.shards: List[Shard] = []
+        self.tick = 0
+        self._completion: Dict[str, asyncio.Future] = {}
+
+    # -- pool management ------------------------------------------------------
+
+    def _spin_up_shard(self) -> Tuple[Shard, float]:
+        sim, ms = self.pool.spin_up()
+        shard = Shard(len(self.shards), sim, self.config)
+        shard.spin_up_ms = ms
+        self.shards.append(shard)
+        return shard, ms
+
+    def _find_free_slot(self) -> Tuple[Optional[Shard], float]:
+        """Lowest shard with a free slot, growing the pool if allowed.
+
+        Returns ``(shard, spin_up_ms)`` — the wall cost is nonzero only
+        when this call had to spin a new shard up, and is attributed to
+        the lease that triggered the growth.
+        """
+        for shard in self.shards:
+            if shard.has_free_slot:
+                return shard, 0.0
+        if len(self.shards) < self.config.max_shards:
+            return self._spin_up_shard()
+        return None, 0.0
+
+    # -- the tenant side ------------------------------------------------------
+
+    async def _tenant_task(self, ticket: Ticket) -> str:
+        """What one tenant does: wait for a lease, wait for completion."""
+        granted = await ticket.future
+        if granted:
+            await self._completion[ticket.spec.tenant_id]
+        return ticket.spec.tenant_id
+
+    # -- the driver side ------------------------------------------------------
+
+    def _grant_leases(self, loop: asyncio.AbstractEventLoop) -> None:
+        while self.admission.waiting:
+            shard, spun_ms = self._find_free_slot()
+            if shard is None:
+                break
+            ticket = self.admission.next_grant(self.tick)
+            acct = self.ledger.get(ticket.spec.tenant_id)
+            acct.admission_wait_ticks = ticket.wait_ticks
+            acct.lease_spin_up_ms = spun_ms
+            shard.lease(ticket.spec, acct)
+            self._completion[ticket.spec.tenant_id] = loop.create_future()
+            ticket.future.set_result(True)
+
+    def _resolve(self, completed: List[Session]) -> None:
+        for sess in completed:
+            fut = self._completion.get(sess.spec.tenant_id)
+            if fut is not None and not fut.done():
+                fut.set_result(sess.account.status)
+
+    def _fail_unplaceable(self) -> None:
+        """No busy shard, no free slot, no growth left: shed the queue."""
+        while self.admission.waiting:
+            ticket = self.admission.next_grant(self.tick)
+            acct = self.ledger.get(ticket.spec.tenant_id)
+            acct.status = "no_capacity"
+            acct.admission_wait_ticks = ticket.wait_ticks
+            if not ticket.future.done():
+                ticket.future.set_result(False)
+
+    async def _drive(self) -> None:
+        loop = asyncio.get_running_loop()
+        cycles_per_yield = self.config.cycles_per_yield
+        while True:
+            self._grant_leases(loop)
+            busy = [sh for sh in self.shards if sh.busy]
+            if not busy:
+                if self.admission.waiting:
+                    self._fail_unplaceable()
+                break
+            for shard in busy:
+                for _ in range(cycles_per_yield):
+                    self._resolve(shard.pump())
+                    if not shard.busy:
+                        break
+            self.tick += 1
+            await asyncio.sleep(0)
+
+    # -- entry points ---------------------------------------------------------
+
+    async def serve(self, specs: Sequence[TenantSpec]) -> dict:
+        """Serve every tenant in *specs* to completion; returns the report.
+
+        Registration happens synchronously in spec order before any
+        simulated work, so the admission queue — and therefore the whole
+        run — is independent of event-loop scheduling.
+        """
+        loop = asyncio.get_running_loop()
+        while len(self.shards) < self.config.initial_shards:
+            self._spin_up_shard()
+        tasks = []
+        for spec in specs:
+            acct = self.ledger.open(spec.tenant_id, spec.klass)
+            ticket = self.admission.register(spec, self.tick)
+            ticket.future = loop.create_future()
+            if ticket.rejected:
+                acct.status = "rejected"
+                ticket.future.set_result(False)
+            tasks.append(asyncio.ensure_future(self._tenant_task(ticket)))
+        driver = asyncio.ensure_future(self._drive())
+        await asyncio.gather(*tasks)
+        await driver
+        return self.report()
+
+    def serve_sync(self, specs: Sequence[TenantSpec]) -> dict:
+        """Blocking wrapper around :meth:`serve` (CLI, tests, benchmarks)."""
+        return asyncio.run(self.serve(specs))
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> dict:
+        """Statdump-style JSON tree for the whole service run."""
+        accounting = self.ledger.report()
+        totals = accounting["totals"]
+        shard_stats = [sh.stats() for sh in self.shards]
+        pool_sent = sum(s["packets_sent"] for s in shard_stats)
+        pool_received = sum(s["packets_received"] for s in shard_stats)
+        pool_active = sum(s["active_session_cycles"] for s in shard_stats)
+        unattr_ir = sum(s["unattributed_retries"] for s in shard_stats)
+        unattr_deg = sum(s["unattributed_degradations"] for s in shard_stats)
+        pool_ir = sum(sh.fault_event_total()[0] for sh in self.shards)
+        pool_deg = sum(sh.fault_event_total()[1] for sh in self.shards)
+        consistency = {
+            "tenant_requests": totals["requests_sent"],
+            "pool_packets_sent": pool_sent,
+            "requests_match": totals["requests_sent"] == pool_sent,
+            "tenant_responses": totals["responses"],
+            "pool_packets_received": pool_received,
+            "responses_match": totals["responses"] == pool_received,
+            "tenant_slot_cycles": totals["slot_cycles"],
+            "pool_active_session_cycles": pool_active,
+            "slot_cycles_match": totals["slot_cycles"] == pool_active,
+            "tenant_retry_events":
+                totals["hostlink_retries"] + totals["shared_retries"] + unattr_ir,
+            "pool_retry_events": pool_ir,
+            "retry_events_match":
+                totals["hostlink_retries"] + totals["shared_retries"] + unattr_ir
+                == pool_ir,
+            "tenant_degradations": totals["degradations_seen"] + unattr_deg,
+            "pool_degradations": pool_deg,
+            "degradations_match":
+                totals["degradations_seen"] + unattr_deg == pool_deg,
+        }
+        cfg = self.config
+        return {
+            "config": {
+                "devs_per_shard": cfg.devs_per_shard,
+                "slots_per_shard": cfg.slots_per_shard,
+                "max_shards": cfg.max_shards,
+                "scheduler": cfg.scheduler,
+                "spin_up": cfg.spin_up,
+                "link_ber": cfg.link_ber,
+                "link_drop_rate": cfg.link_drop_rate,
+                "provision_requests": cfg.provision_requests,
+            },
+            "ticks": self.tick,
+            "admission": self.admission.stats(),
+            "spin_up": self.pool.stats.as_dict(),
+            "shards": shard_stats,
+            "accounting": accounting,
+            "consistency": consistency,
+        }

@@ -1,0 +1,358 @@
+"""One shard of the pool: slots, sessions, and the deterministic pump.
+
+A :class:`Shard` wraps one provisioned :class:`~repro.core.simulator.HMCSim`
+(a chained-cube group) and its host links.  Each host link is a *slot*
+leased to at most one tenant session; the session drives its request
+stream through a partitioned :class:`~repro.host.host.Host` bound to
+that single link, so co-resident tenants never steal each other's
+responses but do contend on the shard's chain links and crossbars.
+
+Determinism contract — everything the pump does is ordered:
+
+* sessions take their send phase in ascending slot order;
+* the simulated cycle advances exactly once per pump;
+* responses drain in ascending slot order;
+* fault events are attributed in fault-state registration order, with
+  shared chain-link events charged round-robin over the resident
+  sessions (a persistent rotor), so per-tenant integers always sum to
+  the shard's own counters.
+
+No wall clock and no RNG enter this module; a fixed (config, specs)
+pair pumps to the same per-tenant accounting every time, under either
+engine scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import LinkDeadError, WatchdogError
+from repro.core.simulator import HMCSim
+from repro.faults.inband import LinkHealth
+from repro.host.host import Host
+from repro.packets.commands import REQUEST_DATA_BYTES, is_read, is_write
+from repro.service.accounting import TenantAccount
+from repro.service.admission import FabricPort, TokenBucket
+from repro.service.config import ServiceConfig, TenantSpec
+
+
+class Session:
+    """One tenant resident on one slot."""
+
+    __slots__ = (
+        "spec", "account", "host", "slot", "_it", "_bucket",
+        "_pending", "_eligible_at", "_exhausted", "done", "failed",
+    )
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        account: TenantAccount,
+        host: Host,
+        slot: int,
+    ) -> None:
+        self.spec = spec
+        self.account = account
+        self.host = host
+        self.slot = slot
+        self._it: Iterator[Tuple] = iter(spec.requests)
+        self._bucket = TokenBucket(spec.rate, spec.burst)
+        self._pending: Optional[Tuple] = None
+        self._eligible_at = 0
+        self._exhausted = False
+        self.done = False
+        self.failed = False
+
+    @property
+    def finished(self) -> bool:
+        """Stream drained and every outstanding response returned."""
+        return (
+            self._exhausted
+            and self._pending is None
+            and self.host.outstanding == 0
+        )
+
+
+class Shard:
+    """A provisioned sim plus its slot leases and accounting taps."""
+
+    def __init__(self, shard_id: int, sim: HMCSim, config: ServiceConfig) -> None:
+        self.shard_id = shard_id
+        self.sim = sim
+        self.config = config
+        self.port = FabricPort(
+            config.network_base_delay, config.network_port_interval
+        )
+        self.sessions: Dict[int, Session] = {}
+        self.free_slots: List[int] = list(range(config.slots_per_shard))
+        self.dead_slots: List[int] = []
+        self.dead = False
+        self.dead_reason = ""
+        # Consistency baselines: provisioning traffic predates tenants,
+        # so tenant sums are checked against *deltas* from here.
+        self.base_cycle = sim.clock_value
+        self.base_packets_sent = sim.packets_sent
+        self.base_packets_received = sim.packets_received
+        self.base_send_stalls = sim.send_stalls
+        self.cycles_pumped = 0
+        #: Σ over pumped cycles of the number of resident sessions —
+        #: the shard-side total that per-tenant ``slot_cycles`` sum to.
+        self.active_session_cycles = 0
+        #: Fault events with no resident session to charge (still
+        #: counted, so attribution sums stay exact).
+        self.unattributed_retries = 0
+        self.unattributed_degradations = 0
+        self._fault_base: List[Tuple[int, int]] = [
+            (st.stats.irtry_events, st.degradations)
+            for st in sim._link_fault_states
+        ]
+        self._fault_base0 = list(self._fault_base)
+        self._rr = 0
+        self._capacity = config.device.capacity_bytes
+        self._ncubs = config.devs_per_shard
+
+    # -- slot leasing ---------------------------------------------------------
+
+    @property
+    def has_free_slot(self) -> bool:
+        return bool(self.free_slots) and not self.dead
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.sessions) and not self.dead
+
+    def lease(self, spec: TenantSpec, account: TenantAccount) -> Session:
+        """Bind *spec* to the lowest free slot of this shard."""
+        if self.dead:
+            raise RuntimeError(f"shard {self.shard_id} is retired")
+        slot = self.free_slots.pop(0)
+        host = Host(self.sim, links=[(0, slot)])
+        session = Session(spec, account, host, slot)
+        account.shard_id = self.shard_id
+        account.slot = slot
+        account.status = "active"
+        self.sessions[slot] = session
+        return session
+
+    # -- the pump -------------------------------------------------------------
+
+    def pump(self) -> List[Session]:
+        """Advance one simulated cycle; returns sessions that completed.
+
+        Order per cycle: send phase (slot order) → clock → drain (slot
+        order) → fault attribution → cycle charging → retirement.
+        """
+        if self.dead or not self.sessions:
+            return []
+        resident = [self.sessions[s] for s in sorted(self.sessions)]
+        cycle = self.sim.clock_value
+        for sess in resident:
+            if not sess.failed:
+                self._send_phase(sess, cycle)
+        try:
+            self.sim.clock()
+        except WatchdogError as exc:
+            return self._retire_shard(f"watchdog: {exc}")
+        for sess in resident:
+            if sess.failed:
+                continue
+            before = sess.host.mark()
+            sess.host.drain_responses()
+            _, received, errors, latencies = sess.host.delta(before)
+            acct = sess.account
+            acct.responses += received
+            acct.errors += errors
+            acct.latencies.extend(latencies)
+        self._attribute_faults(resident)
+        degraded = any(
+            st.health is not LinkHealth.FULL
+            for st in self.sim._link_fault_states
+        )
+        for sess in resident:
+            if sess.failed:
+                continue
+            sess.account.slot_cycles += 1
+            self.active_session_cycles += 1
+            if degraded:
+                sess.account.degraded_cycles += 1
+        self.cycles_pumped += 1
+        return self._retire_finished()
+
+    def _send_phase(self, sess: Session, cycle: int) -> None:
+        """Inject as many of *sess*'s requests as the gates allow."""
+        acct = sess.account
+        sent_any = False
+        throttled = False
+        while True:
+            if sess._pending is None:
+                if sess._exhausted:
+                    break
+                if not sess._bucket.ready(cycle):
+                    throttled = True
+                    break
+                try:
+                    item = next(sess._it)
+                except StopIteration:
+                    sess._exhausted = True
+                    break
+                sess._bucket.consume(cycle)
+                eligible = self.port.admit(cycle)
+                acct.network_delay_cycles += eligible - cycle
+                sess._pending = item
+                sess._eligible_at = eligible
+            if cycle < sess._eligible_at:
+                break  # still crossing the fabric
+            cmd, addr, payload = sess._pending
+            if sess.spec.cub is not None:
+                cub, local = sess.spec.cub, addr % self._capacity
+            else:
+                # Pool-wide address space: each capacity-sized block
+                # lives on the next cube of the chain, so co-resident
+                # tenants exercise (and contend on) the chain links.
+                cub, local = divmod(addr, self._capacity)
+                cub %= self._ncubs
+            try:
+                tag = sess.host.send_request(cmd, local, cub=cub, payload=payload)
+            except LinkDeadError:
+                self._fail_session(sess, "link_failed")
+                return
+            if tag is None:
+                acct.send_stalls += 1
+                break
+            sess._pending = None
+            acct.requests_sent += 1
+            data = REQUEST_DATA_BYTES.get(cmd, 0)
+            if is_read(cmd):
+                acct.bytes_read += data
+            elif is_write(cmd):
+                acct.bytes_written += data
+            sent_any = True
+        if throttled and not sent_any:
+            acct.throttle_cycles += 1
+
+    # -- fault attribution ----------------------------------------------------
+
+    def _attribute_faults(self, resident: List[Session]) -> None:
+        states = self.sim._link_fault_states
+        if not states:
+            return
+        active = [s for s in resident if not s.failed]
+        while len(self._fault_base) < len(states):
+            self._fault_base.append((0, 0))  # state attached mid-run
+        for i, st in enumerate(states):
+            prev_ir, prev_deg = self._fault_base[i]
+            ir, deg = st.stats.irtry_events, st.degradations
+            d_ir, d_deg = ir - prev_ir, deg - prev_deg
+            if not d_ir and not d_deg:
+                continue
+            self._fault_base[i] = (ir, deg)
+            ep = st.endpoints[0]
+            if self.sim.link_peer(*ep) == "host":
+                # Host link: the slot has exactly one owner — exact charge.
+                owner = self.sessions.get(ep[1]) if ep[0] == 0 else None
+                if owner is not None and not owner.failed:
+                    owner.account.hostlink_retries += d_ir
+                    owner.account.degradations_seen += d_deg
+                else:
+                    self.unattributed_retries += d_ir
+                    self.unattributed_degradations += d_deg
+            elif active:
+                # Chain link: shared by construction — charge each unit
+                # event round-robin so the split stays integer-exact.
+                for _ in range(d_ir):
+                    active[self._rr % len(active)].account.shared_retries += 1
+                    self._rr += 1
+                for _ in range(d_deg):
+                    active[self._rr % len(active)].account.degradations_seen += 1
+                    self._rr += 1
+            else:
+                self.unattributed_retries += d_ir
+                self.unattributed_degradations += d_deg
+
+    # -- retirement -----------------------------------------------------------
+
+    def _fail_session(self, sess: Session, status: str) -> None:
+        sess.failed = True
+        sess.done = True
+        sess.account.status = status
+
+    def _retire_shard(self, reason: str) -> List[Session]:
+        """Watchdog tripped: the whole shard is retired, sessions fail."""
+        self.dead = True
+        self.dead_reason = reason
+        completed: List[Session] = []
+        for slot in sorted(self.sessions):
+            sess = self.sessions[slot]
+            self._fail_session(sess, "watchdog")
+            self.dead_slots.append(slot)
+            completed.append(sess)
+        self.sessions.clear()
+        self.free_slots.clear()
+        return completed
+
+    def _retire_finished(self) -> List[Session]:
+        completed: List[Session] = []
+        for slot in sorted(self.sessions):
+            sess = self.sessions[slot]
+            if sess.failed:
+                # The slot's link is dead; never lease it again.
+                del self.sessions[slot]
+                self.dead_slots.append(slot)
+                completed.append(sess)
+            elif sess.finished:
+                sess.done = True
+                sess.account.status = "done"
+                del self.sessions[slot]
+                self.free_slots.append(slot)
+                self.free_slots.sort()
+                completed.append(sess)
+        return completed
+
+    # -- reporting ------------------------------------------------------------
+
+    def traffic_delta(self) -> Tuple[int, int]:
+        """(packets_sent, packets_received) since tenant traffic began."""
+        return (
+            self.sim.packets_sent - self.base_packets_sent,
+            self.sim.packets_received - self.base_packets_received,
+        )
+
+    def fault_event_total(self) -> Tuple[int, int]:
+        """(irtry_events, degradations) since tenant traffic began."""
+        ir = deg = 0
+        for st in self.sim._link_fault_states:
+            ir += st.stats.irtry_events
+            deg += st.degradations
+        # Subtract the provisioning-era baseline captured at creation.
+        for b_ir, b_deg in self._fault_base0:
+            ir -= b_ir
+            deg -= b_deg
+        return ir, deg
+
+    def stats(self) -> dict:
+        sent, received = self.traffic_delta()
+        out = {
+            "shard": self.shard_id,
+            "dead": self.dead,
+            "dead_reason": self.dead_reason,
+            "dead_slots": list(self.dead_slots),
+            "cycles_pumped": self.cycles_pumped,
+            "sim_cycles": self.sim.clock_value - self.base_cycle,
+            "packets_sent": sent,
+            "packets_received": received,
+            "send_stalls": self.sim.send_stalls - self.base_send_stalls,
+            "active_session_cycles": self.active_session_cycles,
+            "unattributed_retries": self.unattributed_retries,
+            "unattributed_degradations": self.unattributed_degradations,
+            "port": {
+                "admitted": self.port.admitted,
+                "queued_cycles": self.port.queued_cycles,
+            },
+        }
+        if self.sim._link_fault_states:
+            out["links"] = {
+                f"dev{st.endpoints[0][0]}.link{st.endpoints[0][1]}":
+                    st.stats_dict()
+                for st in self.sim._link_fault_states
+            }
+        return out

@@ -95,6 +95,112 @@ def bursty(
             yield None
 
 
+# ---------------------------------------------------------------------------
+# Mixed-tenant scenarios (repro.service).
+# ---------------------------------------------------------------------------
+
+#: Workload kinds a tenant profile may name, with the per-kind stream
+#: builders resolved by :func:`tenant_requests`.
+TENANT_KINDS = ("random", "stream", "stride", "gups")
+
+#: Default priority-class mix: (class name, selection weight, default
+#: token-bucket rate in requests/cycle, request-count multiplier).
+#: Gold tenants are few, fast and chatty; bronze tenants are the
+#: long tail.
+TENANT_CLASSES = (
+    ("gold", 1, 0.50, 4),
+    ("silver", 3, 0.25, 2),
+    ("bronze", 6, 0.10, 1),
+)
+
+
+def tenant_mix_profiles(
+    num_tenants: int,
+    seed: int = 1,
+    base_requests: int = 64,
+    classes: Sequence[Tuple[str, int, float, int]] = TENANT_CLASSES,
+    kinds: Sequence[str] = TENANT_KINDS,
+) -> List[dict]:
+    """Generate a deterministic mixed-tenant scenario.
+
+    Returns one plain-dict profile per tenant — ``tenant_id``, priority
+    ``klass``, workload ``kind``, ``requests``, ``rate`` (token-bucket
+    refill in requests/cycle), ``read_fraction`` and a derived child
+    ``seed`` — drawn from a seeded LCG so the same ``(num_tenants,
+    seed)`` always produces the same fleet.  The profiles are neutral
+    data: :mod:`repro.service` turns them into sessions, and
+    :func:`tenant_requests` turns one into a request stream.
+    """
+    if num_tenants <= 0:
+        raise ValueError(f"num_tenants must be positive, got {num_tenants}")
+    if not classes or not kinds:
+        raise ValueError("classes and kinds must be non-empty")
+    for kind in kinds:
+        if kind not in TENANT_KINDS:
+            raise ValueError(f"unknown tenant kind {kind!r} (want {TENANT_KINDS})")
+    rng = LCG(seed)
+    class_total = sum(w for _, w, _, _ in classes)
+    profiles: List[dict] = []
+    for i in range(num_tenants):
+        pick = rng.next_below(class_total)
+        acc = 0
+        klass, _, rate, req_mult = classes[-1]
+        for name, weight, r, m in classes:
+            acc += weight
+            if pick < acc:
+                klass, rate, req_mult = name, r, m
+                break
+        kind = kinds[rng.next_below(len(kinds))]
+        # Read-heavy to write-heavy spread in 5% steps over [0.5, 1.0].
+        read_fraction = 0.5 + 0.05 * rng.next_below(11)
+        profiles.append({
+            "tenant_id": f"t{i:04d}",
+            "klass": klass,
+            "kind": kind,
+            "requests": base_requests * req_mult,
+            "rate": rate,
+            "read_fraction": read_fraction,
+            "seed": seed * 1_000_003 + i * 7919 + 1,
+        })
+    return profiles
+
+
+def tenant_requests(profile: dict, capacity_bytes: int) -> Iterator[Request]:
+    """Build the request stream one tenant profile describes."""
+    kind = profile["kind"]
+    n = int(profile["requests"])
+    seed = int(profile["seed"])
+    read_fraction = float(profile.get("read_fraction", 1.0))
+    if kind == "random":
+        from repro.workloads.random_access import (
+            RandomAccessConfig, random_access_requests)
+
+        return random_access_requests(
+            capacity_bytes,
+            RandomAccessConfig(num_requests=n, seed=seed,
+                               read_fraction=read_fraction),
+        )
+    if kind == "stream":
+        from repro.workloads.stream import stream_requests
+
+        return stream_requests(
+            capacity_bytes, n, read_fraction=read_fraction,
+            start=(seed * 64) % capacity_bytes, seed=seed,
+        )
+    if kind == "stride":
+        from repro.workloads.stride import stride_requests
+
+        return stride_requests(
+            capacity_bytes, n, stride_bytes=4096,
+            read_fraction=read_fraction, seed=seed,
+        )
+    if kind == "gups":
+        from repro.workloads.gups import gups_requests
+
+        return gups_requests(capacity_bytes, n, seed=seed)
+    raise ValueError(f"unknown tenant kind {kind!r} (want {TENANT_KINDS})")
+
+
 def run_with_bubbles(host, stream: Iterable[Optional[Request]], cub: int = 0):
     """Drive a bubble-aware stream: ``None`` items idle one cycle.
 

@@ -219,10 +219,15 @@ class TestPerfSatellites:
         assert default_workers() == 3
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
         assert default_workers() == 1
-        # Invalid / non-positive values fall back to the heuristic.
-        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "bogus")
-        assert default_workers() >= 1
-        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
+        # Invalid / non-positive values are rejected with a clear error
+        # naming the offending value, instead of crashing deep in the
+        # process-pool setup.
+        for bad in ("bogus", "0", "-2", "1.5"):
+            monkeypatch.setenv("REPRO_SWEEP_WORKERS", bad)
+            with pytest.raises(ValueError, match="REPRO_SWEEP_WORKERS"):
+                default_workers()
+        # Empty/whitespace counts as unset: heuristic applies.
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "  ")
         assert default_workers() >= 1
         monkeypatch.delenv("REPRO_SWEEP_WORKERS")
         assert default_workers() >= 1
