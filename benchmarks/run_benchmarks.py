@@ -362,6 +362,91 @@ def run_service_suite(smoke: bool, repeat: int, report: dict) -> int:
             f"req/s {row['runs']['active']['requests_per_sec']:,}  "
             f"cycles={cycles_seen['active']}"
         )
+
+    # -- resilience: armed-but-idle overhead and recovery cost per crash.
+    from repro.faults.chaos import ChaosEvent, ChaosSchedule
+
+    # Mirror the CLI's --chaos auto-arm defaults (serve --chaos).
+    armed_knobs = dict(checkpoint_interval=256, failover_retries=2,
+                       breaker_threshold=3)
+    campaign = ChaosSchedule([
+        ChaosEvent(at=40, kind="shard_crash", shard=0),
+        ChaosEvent(at=90, kind="watchdog_trip", shard=0),
+        ChaosEvent(at=140, kind="shard_crash", shard=0),
+    ])
+    chaos_tenants = 16
+
+    def serve_once(state, **overrides):
+        cfg = _service_config(smoke, **overrides)
+        profiles = tenant_mix_profiles(
+            chaos_tenants, seed=1, base_requests=base_requests
+        )
+        service = MemoryService(cfg)
+        rep = service.serve_sync(specs_from_profiles(profiles, cfg))
+        failed = [k for k, ok in rep["consistency"].items()
+                  if k.endswith("_match") and not ok]
+        if failed:
+            raise AssertionError(f"consistency failed: {failed}")
+        if not rep["audit"]["ok"]:
+            raise AssertionError(f"audit failed: {rep['audit']['violations']}")
+        state["report"] = rep
+        return sum(s["sim_cycles"] for s in rep["shards"])
+
+    variants = (
+        ("service_resilience[disarmed]", {}),
+        ("service_resilience[armed_idle]", dict(armed_knobs)),
+        ("service_resilience[chaos_3crash]",
+         dict(armed_knobs, chaos=campaign)),
+    )
+    walls = {}
+    for name, overrides in variants:
+        state = {}
+        wall, cycles = _timed(
+            lambda state=state, overrides=overrides:
+                serve_once(state, **overrides),
+            repeat,
+        )
+        walls[name] = wall
+        rep = state["report"]
+        totals = rep["accounting"]["totals"]
+        row = {
+            "name": name,
+            "runs": {
+                "active": {
+                    "wall_s": round(wall, 4),
+                    "cycles": cycles,
+                    "cycles_per_sec":
+                        round(cycles / wall, 1) if wall else None,
+                    "requests": totals["requests_sent"],
+                }
+            },
+        }
+        rec = rep.get("recovery", {})
+        if rec.get("crashes"):
+            row["crashes"] = rec["crashes"]
+            row["recoveries"] = rec["recoveries"]
+            row["failovers"] = rec["failovers"]
+            row["replayed_requests"] = rec["replayed_requests"]
+            # Recovery cost per crash: wall time beyond the armed
+            # fault-free run, split across the campaign's crashes.
+            idle_wall = walls["service_resilience[armed_idle]"]
+            row["recovery_cost_ms_per_crash"] = round(
+                max(0.0, wall - idle_wall) * 1000.0 / rec["crashes"], 3
+            )
+        report["scenarios"].append(row)
+        extra = ""
+        if "crashes" in row:
+            extra = (f"  crashes={row['crashes']} "
+                     f"recoveries={row['recoveries']} "
+                     f"cost {row['recovery_cost_ms_per_crash']:.1f}ms/crash")
+        print(f"{name:42s} active {wall:8.3f}s  cycles={cycles}{extra}")
+    disarmed_w = walls["service_resilience[disarmed]"]
+    armed_w = walls["service_resilience[armed_idle]"]
+    report["armed_overhead"] = round(
+        armed_w / disarmed_w, 3
+    ) if disarmed_w else None
+    print(f"{'service_armed_overhead':42s} "
+          f"{report['armed_overhead']}x (armed-idle vs disarmed wall)")
     return failures
 
 

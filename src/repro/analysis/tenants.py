@@ -10,6 +10,13 @@ integers summing exactly to the pool-wide counters).
 fields (spin-up milliseconds) — what remains is a pure function of
 (config, tenant specs), which is exactly what the determinism tests
 compare across repeated runs and engine schedulers.
+
+PR 8 adds the reliability views: :func:`slo_report` (per-class success
+rate, deadline misses and error-budget burn against the class SLO
+targets) and :func:`audit_report` (the end-of-serve invariant auditor:
+every admitted tenant terminates exactly once in a terminal status,
+per-tenant conservation ``requests_sent == responses + lost_inflight``
+holds, and the admission queue fully drained).
 """
 
 from __future__ import annotations
@@ -17,6 +24,107 @@ from __future__ import annotations
 import copy
 import math
 from typing import List, Tuple
+
+#: Success-rate SLO target per priority class (fraction of admitted
+#: tenants that must complete ``done``); classes outside this map get
+#: the bronze target.
+SLO_TARGETS = {"gold": 0.999, "silver": 0.99, "bronze": 0.95}
+
+#: Statuses an account must terminate in (mirrors
+#: :data:`repro.service.accounting.TERMINAL_STATUSES`; duplicated here
+#: so report analysis stays import-light).
+_TERMINAL = frozenset(
+    ("done", "link_failed", "watchdog", "crashed", "no_capacity", "rejected")
+)
+
+
+def slo_report(report: dict) -> dict:
+    """Per-class SLO attainment from a service report.
+
+    For each priority class: tenants admitted (not ``rejected``),
+    successes (``done``), the success rate against the class target,
+    deadline misses, and error-budget burn — the fraction of the
+    class's failure allowance actually consumed (>1 means the SLO was
+    violated).
+    """
+    tenants = report["accounting"]["tenants"].values()
+    out: dict = {}
+    for acct in tenants:
+        klass = acct["class"]
+        row = out.setdefault(klass, {
+            "target": SLO_TARGETS.get(klass, SLO_TARGETS["bronze"]),
+            "admitted": 0,
+            "succeeded": 0,
+            "failed": 0,
+            "deadline_misses": 0,
+            "failovers": 0,
+        })
+        if acct["status"] == "rejected":
+            continue
+        row["admitted"] += 1
+        if acct["status"] == "done":
+            row["succeeded"] += 1
+        else:
+            row["failed"] += 1
+        row["deadline_misses"] += acct.get("deadline_misses", 0)
+        row["failovers"] += acct.get("failovers", 0)
+    for row in out.values():
+        admitted = row["admitted"]
+        rate = row["succeeded"] / admitted if admitted else 1.0
+        row["success_rate"] = round(rate, 6)
+        row["met"] = rate >= row["target"]
+        # Error budget: allowed failures = (1 - target) * admitted.
+        budget = (1.0 - row["target"]) * admitted
+        row["error_budget_burn"] = (
+            round(row["failed"] / budget, 4) if budget > 0
+            else (0.0 if row["failed"] == 0 else math.inf)
+        )
+    return out
+
+
+def audit_report(report: dict) -> dict:
+    """End-of-serve invariant audit (``ok`` is the headline verdict).
+
+    Violations checked, per tenant and pool-wide:
+
+    * every account terminated exactly once, in a terminal status;
+    * conservation: ``requests_sent == responses + lost_inflight`` and
+      ``errors <= responses``;
+    * admission bookkeeping: ``registered == granted + rejected`` and
+      nothing left waiting or parked.
+    """
+    violations: List[str] = []
+    for tid, acct in sorted(report["accounting"]["tenants"].items()):
+        status = acct["status"]
+        terms = acct.get("terminations", 0)
+        if status not in _TERMINAL:
+            violations.append(f"{tid}: non-terminal status {status!r}")
+        if terms != 1:
+            violations.append(f"{tid}: terminated {terms} times (want 1)")
+        sent = acct["requests_sent"]
+        answered = acct["responses"] + acct.get("lost_inflight", 0)
+        if sent != answered:
+            violations.append(
+                f"{tid}: conservation broken — {sent} sent != "
+                f"{acct['responses']} responses + "
+                f"{acct.get('lost_inflight', 0)} lost_inflight"
+            )
+        if acct["errors"] > acct["responses"]:
+            violations.append(
+                f"{tid}: {acct['errors']} errors > "
+                f"{acct['responses']} responses"
+            )
+    adm = report["admission"]
+    if adm["registered"] != adm["granted"] + adm["rejected"]:
+        violations.append(
+            f"admission: {adm['registered']} registered != "
+            f"{adm['granted']} granted + {adm['rejected']} rejected"
+        )
+    if adm.get("waiting", 0):
+        violations.append(f"admission: {adm['waiting']} tickets left waiting")
+    if adm.get("parked", 0):
+        violations.append(f"admission: {adm['parked']} tickets left parked")
+    return {"ok": not violations, "violations": violations}
 
 #: Report keys that carry wall-clock measurements (reporting only —
 #: nothing simulated depends on them, so determinism checks drop them).
@@ -139,6 +247,30 @@ def render_service_summary(report: dict) -> str:
             parts.append(f"cold x{cold['count']} mean {cold['mean_ms']:.1f}ms")
         lines.append(f"spin-up: {', '.join(parts)} "
                      f"(template {spin.get('template_ms', 0):.1f}ms)")
+    recovery = report.get("recovery", {})
+    if recovery.get("crashes") or recovery.get("failovers"):
+        lines.append(
+            f"recovery: {recovery.get('crashes', 0)} crash(es), "
+            f"{recovery.get('recoveries', 0)} epoch restore(s), "
+            f"{recovery.get('failovers', 0)} failover(s), "
+            f"{recovery.get('replayed_requests', 0):,} replayed, "
+            f"{recovery.get('lost_inflight', 0):,} lost in flight"
+        )
+    slo = report.get("slo")
+    if slo:
+        parts = []
+        for name in sorted(slo, key=lambda n: slo[n]["target"], reverse=True):
+            row = slo[name]
+            verdict = "met" if row["met"] else "MISSED"
+            parts.append(f"{name} {row['success_rate']:.4f} ({verdict})")
+        lines.append(f"slo: {', '.join(parts)}")
+    audit = report.get("audit")
+    if audit is not None:
+        lines.append(
+            "audit: OK (every admitted tenant terminated exactly once)"
+            if audit["ok"] else
+            f"audit: FAILED {audit['violations']}"
+        )
     lines.append(
         "accounting consistency: OK (per-tenant sums equal pool totals)"
         if not failed else

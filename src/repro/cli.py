@@ -322,6 +322,27 @@ def cmd_serve(args) -> int:
     from repro.workloads.mixes import tenant_mix_profiles
 
     device = _device_from_args(args)
+    chaos = None
+    if args.chaos:
+        from repro.faults.chaos import ChaosSchedule
+
+        try:
+            chaos = ChaosSchedule.from_json(args.chaos)
+        except Exception as exc:
+            print(f"serve: bad chaos spec: {exc}", file=sys.stderr)
+            return 2
+    # A chaos campaign without resilience knobs would just kill shards;
+    # arm sensible recovery defaults unless the user set them.
+    checkpoint_interval = args.checkpoint_interval
+    failover_retries = args.failover_retries
+    breaker_threshold = args.breaker_threshold
+    if chaos is not None:
+        if checkpoint_interval == 0:
+            checkpoint_interval = 256
+        if failover_retries == 0:
+            failover_retries = 2
+        if breaker_threshold == 0:
+            breaker_threshold = 3
     try:
         config = ServiceConfig(
             device=device,
@@ -333,6 +354,13 @@ def cmd_serve(args) -> int:
             spin_up=args.spin_up,
             provision_requests=args.provision_requests,
             max_waiting=args.max_waiting,
+            checkpoint_interval=checkpoint_interval,
+            max_shard_recoveries=args.max_shard_recoveries,
+            failover_retries=failover_retries,
+            failover_backoff=args.failover_backoff,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            chaos=chaos,
             **_link_fault_kwargs(args),
         )
     except Exception as exc:
@@ -353,7 +381,8 @@ def cmd_serve(args) -> int:
         with open(args.stats_json, "w") as fh:
             json.dump(report, fh, indent=2, default=str)
         print(f"\nwrote service report to {args.stats_json}")
-    return 1 if check_consistency(report) else 0
+    audit_ok = report.get("audit", {}).get("ok", True)
+    return 1 if (check_consistency(report) or not audit_ok) else 0
 
 
 def cmd_tenants(args) -> int:
@@ -483,6 +512,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="provisioning traffic baked into the warm template")
     p.add_argument("--max-waiting", type=int, default=0,
                    help="reject tenants beyond this queue depth (0 = unbounded)")
+    p.add_argument("--chaos", type=str, default=None, metavar="SPEC.JSON",
+                   help="inject a deterministic chaos campaign from this "
+                        "JSON spec (arms recovery defaults unless set)")
+    p.add_argument("--checkpoint-interval", type=int, default=0,
+                   help="cycles between shard epoch checkpoints "
+                        "(0 disarms crash recovery)")
+    p.add_argument("--max-shard-recoveries", type=int, default=2,
+                   help="epoch restores per shard before a crash is terminal")
+    p.add_argument("--failover-retries", type=int, default=0,
+                   help="times a displaced tenant is re-placed "
+                        "(0 disarms failover)")
+    p.add_argument("--failover-backoff", type=int, default=64,
+                   help="base failover backoff in simulated cycles "
+                        "(doubles per attempt)")
+    p.add_argument("--breaker-threshold", type=int, default=0,
+                   help="consecutive failures that open a shard's circuit "
+                        "breaker (0 disables breakers)")
+    p.add_argument("--breaker-cooldown", type=int, default=1024,
+                   help="simulated cycles an open breaker waits before "
+                        "its half-open probe")
     p.add_argument("--table", action="store_true",
                    help="print the per-tenant table even for large fleets")
     p.add_argument("--table-limit", type=int, default=32,

@@ -24,6 +24,13 @@ all round-trip, so a simulation restored mid-degradation resumes
 bit-identically — a HALF link stays HALF with its doubled FLIT
 serialization, it does not silently reset to FULL
 (tests/test_link_inband.py::TestCheckpointRoundTrip).
+
+Every blob starts with a versioned magic header (:data:`MAGIC`), so a
+corrupt, truncated, or incompatible blob raises a typed
+:class:`~repro.core.errors.CheckpointError` instead of leaking a raw
+pickle traceback — callers (the service recovery layer in particular)
+can catch one exception type and decide whether to retry, rebuild, or
+abort.
 """
 
 from __future__ import annotations
@@ -31,8 +38,48 @@ from __future__ import annotations
 import pickle
 from typing import Any, List, Tuple
 
+from repro.core.errors import CheckpointError
 from repro.core.simulator import HMCSim
 from repro.trace.tracer import Tracer
+
+#: Versioned magic header prepended to every snapshot blob.  Bump the
+#: trailing version byte when the pickled payload shape changes
+#: incompatibly; :func:`restore` rejects blobs from other versions.
+MAGIC = b"HMCSNAP\x01"
+
+
+def _strip_magic(blob: bytes, kind: str) -> bytes:
+    """Validate and remove the magic header; raises CheckpointError."""
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise CheckpointError(
+            f"{kind}: expected bytes, got {type(blob).__name__}"
+        )
+    blob = bytes(blob)
+    if len(blob) < len(MAGIC):
+        raise CheckpointError(
+            f"{kind}: blob truncated ({len(blob)} bytes, "
+            f"shorter than the {len(MAGIC)}-byte header)"
+        )
+    if blob[: len(MAGIC) - 1] != MAGIC[:-1]:
+        raise CheckpointError(
+            f"{kind}: bad magic {blob[:len(MAGIC)]!r} — not a snapshot blob"
+        )
+    if blob[len(MAGIC) - 1] != MAGIC[-1]:
+        raise CheckpointError(
+            f"{kind}: snapshot format version {blob[len(MAGIC) - 1]} "
+            f"is not supported (want {MAGIC[-1]})"
+        )
+    return blob[len(MAGIC):]
+
+
+def _unpickle(payload: bytes, kind: str) -> Any:
+    """Deserialise a validated payload; raises CheckpointError."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(
+            f"{kind}: payload is corrupt or truncated ({exc})"
+        ) from exc
 
 
 def _tracer_holders(sim: HMCSim) -> List[Any]:
@@ -61,7 +108,9 @@ def _pickle_detached(sim: HMCSim, payload_of) -> bytes:
     for h in holders:
         h.tracer = standin
     try:
-        return pickle.dumps(payload_of(sim), protocol=pickle.HIGHEST_PROTOCOL)
+        return MAGIC + pickle.dumps(
+            payload_of(sim), protocol=pickle.HIGHEST_PROTOCOL
+        )
     finally:
         sim.tracer = saved_tracer
         for h in holders:
@@ -88,11 +137,15 @@ def restore(blob: bytes) -> HMCSim:
     """Reconstruct a simulation from :func:`snapshot` bytes.
 
     The restored object has a sinkless tracer with the original mask;
-    attach sinks with :meth:`HMCSim.add_trace_sink` as needed.
+    attach sinks with :meth:`HMCSim.add_trace_sink` as needed.  Raises
+    :class:`~repro.core.errors.CheckpointError` on a corrupt, truncated
+    or version-incompatible blob.
     """
-    sim = pickle.loads(blob)
+    sim = _unpickle(_strip_magic(blob, "restore"), "restore")
     if not isinstance(sim, HMCSim):
-        raise TypeError(f"snapshot does not contain an HMCSim: {type(sim)!r}")
+        raise CheckpointError(
+            f"restore: snapshot does not contain an HMCSim: {type(sim)!r}"
+        )
     _rewire_tracer(sim)
     return sim
 
@@ -110,10 +163,21 @@ def snapshot_bundle(sim: HMCSim, *extras: Any) -> bytes:
 
 
 def restore_bundle(blob: bytes) -> Tuple[HMCSim, tuple]:
-    """Inverse of :func:`snapshot_bundle`."""
-    sim, extras = pickle.loads(blob)
+    """Inverse of :func:`snapshot_bundle`; raises
+    :class:`~repro.core.errors.CheckpointError` on a bad blob."""
+    payload = _unpickle(_strip_magic(blob, "restore_bundle"), "restore_bundle")
+    try:
+        sim, extras = payload
+    except (TypeError, ValueError):
+        raise CheckpointError(
+            f"restore_bundle: blob does not contain a (sim, extras) "
+            f"bundle: {type(payload)!r}"
+        ) from None
     if not isinstance(sim, HMCSim):
-        raise TypeError(f"snapshot does not contain an HMCSim: {type(sim)!r}")
+        raise CheckpointError(
+            f"restore_bundle: snapshot does not contain an HMCSim: "
+            f"{type(sim)!r}"
+        )
     _rewire_tracer(sim)
     return sim, extras
 

@@ -25,6 +25,9 @@ E_LINKFAIL = -5
 #: No-progress watchdog abort: the simulation livelocked (tokens
 #: exhausted or queues jammed with no stage activity for N cycles).
 E_DEADLOCK = -6
+#: Per-request deadline exceeded: the response arrived too late (or the
+#: request could not be injected in time) under a tenant's SLO deadline.
+E_DEADLINE = -7
 
 
 class HMCError(Exception):
@@ -81,6 +84,31 @@ class LinkDeadError(HMCError):
     def __init__(self, message: str, report: dict | None = None):
         super().__init__(message)
         self.report = report if report is not None else {}
+
+
+class DeadlineError(HMCError):
+    """A request (or its session) blew through its service deadline.
+
+    The memory service (:mod:`repro.service`) stamps every injected
+    request; when a tenant spec carries ``deadline_cycles`` and a
+    response returns later than that — or the head-of-line request
+    cannot even be injected within the deadline — the miss is recorded
+    with this error's errno (``E_DEADLINE``) and billed to the tenant
+    as a ``deadline_misses`` count feeding the per-class SLO report.
+    """
+
+    errno = E_DEADLINE
+
+
+class CheckpointError(HMCError):
+    """A snapshot blob is corrupt, truncated, or version-incompatible.
+
+    Raised by :mod:`repro.core.checkpoint` instead of letting a raw
+    pickle traceback escape: missing/unknown magic header, unsupported
+    format version, or a payload that fails to deserialise.
+    """
+
+    errno = E_INVAL
 
 
 class WatchdogError(HMCError):

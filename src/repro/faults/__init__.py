@@ -18,7 +18,11 @@ error-simulation half:
 * :mod:`repro.faults.inband` — the *in-band* counterpart: per-link
   retry/degradation state consulted by the six-stage clock engine on
   every link traversal, so faults cost real simulated cycles, links
-  degrade FULL → HALF → FAILED, and traffic reroutes or dies.
+  degrade FULL → HALF → FAILED, and traffic reroutes or dies;
+* :mod:`repro.faults.chaos` — the deterministic chaos engine: seeded,
+  simulated-cycle-stamped fault campaigns (shard crash, link kill /
+  degrade, watchdog trip, fabric latency spike) injected into a
+  :mod:`repro.service` run from the single driver coroutine.
 
 Transaction-granularity models attach to host links via
 :meth:`repro.core.simulator.HMCSim.attach_fault_model`; in-band models
@@ -28,6 +32,7 @@ attach to any configured link via
 knobs, which auto-attach one per link).
 """
 
+from repro.faults.chaos import CHAOS_KINDS, ChaosEvent, ChaosSchedule
 from repro.faults.inband import (
     HOST_SENDER,
     TX_DEAD,
@@ -42,6 +47,9 @@ from repro.faults.retry import LinkRetryExhausted, RetrySession, RetryStats
 
 __all__ = [
     "BitErrorInjector",
+    "CHAOS_KINDS",
+    "ChaosEvent",
+    "ChaosSchedule",
     "FaultKind",
     "HOST_SENDER",
     "InbandLinkState",

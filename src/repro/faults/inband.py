@@ -260,6 +260,19 @@ class InbandLinkState:
                 extra={"health": self.health.name},
             )
 
+    def force_degrade(self, cycle: int, tracer) -> None:
+        """Administratively take one degradation-ladder step.
+
+        The chaos engine's ``link_degrade`` event uses this: the link
+        drops FULL → HALF (doubled FLIT serialization) or HALF → FAILED
+        exactly as if ``max_retries`` consecutive CRC failures had
+        accumulated, including the ``LINK_DEGRADED`` / ``LINK_FAILED``
+        trace events and the ``degradations`` counter the service's
+        fault attribution bills to resident tenants.
+        """
+        if self.health is not LinkHealth.FAILED:
+            self._degrade(cycle, tracer)
+
     def fail(self) -> None:
         """Administratively force the link to FAILED (tests/experiments)."""
         self.health = LinkHealth.FAILED

@@ -4,11 +4,16 @@ Multiplexes thousands of concurrent simulated tenants onto a shared
 pool of chained-cube shards: an asyncio front end
 (:class:`~repro.service.frontend.MemoryService`), a warm-state session
 pool (:mod:`repro.service.sessions`), admission control and QoS
-(:mod:`repro.service.admission`) and per-tenant accounting
-(:mod:`repro.service.accounting`).  See ``docs/service.md``.
+(:mod:`repro.service.admission`), per-tenant accounting
+(:mod:`repro.service.accounting`) and self-healing recovery policy
+(:mod:`repro.service.recovery`).  See ``docs/service.md``.
 """
 
-from repro.service.accounting import AccountingLedger, TenantAccount
+from repro.service.accounting import (
+    TERMINAL_STATUSES,
+    AccountingLedger,
+    TenantAccount,
+)
 from repro.service.admission import (
     AdmissionController,
     FabricPort,
@@ -17,16 +22,20 @@ from repro.service.admission import (
 )
 from repro.service.config import PriorityClass, ServiceConfig, TenantSpec
 from repro.service.frontend import MemoryService, specs_from_profiles
+from repro.service.recovery import BreakerState, CircuitBreaker
 from repro.service.sessions import SessionPool, SpinUpStats, build_provisioned_shard
 from repro.service.shard import Session, Shard
 
 __all__ = [
     "AccountingLedger",
     "AdmissionController",
+    "BreakerState",
+    "CircuitBreaker",
     "FabricPort",
     "MemoryService",
     "PriorityClass",
     "ServiceConfig",
+    "TERMINAL_STATUSES",
     "Session",
     "SessionPool",
     "Shard",

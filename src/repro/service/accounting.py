@@ -29,6 +29,14 @@ from repro.analysis.latency import LatencyDistribution
 from repro.service.config import PriorityClass
 
 
+#: Account statuses that mean the tenant's run is over.  Every admitted
+#: tenant must land in exactly one of these, exactly once — the
+#: invariant the end-of-serve auditor enforces.
+TERMINAL_STATUSES = frozenset(
+    ("done", "link_failed", "watchdog", "crashed", "no_capacity", "rejected")
+)
+
+
 @dataclass
 class TenantAccount:
     """Lifetime countables for one tenant session."""
@@ -37,7 +45,8 @@ class TenantAccount:
     klass: PriorityClass = PriorityClass.BRONZE
     shard_id: int = -1
     slot: int = -1
-    status: str = "pending"  # pending|active|done|link_failed|watchdog|rejected
+    #: pending|active|done|link_failed|watchdog|crashed|no_capacity|rejected
+    status: str = "pending"
     # Traffic.
     requests_sent: int = 0
     responses: int = 0
@@ -56,8 +65,29 @@ class TenantAccount:
     shared_retries: int = 0       # chain-link IRTRY events, round-robin share
     degradations_seen: int = 0    # ladder steps taken while resident
     degraded_cycles: int = 0      # resident cycles with any shard link degraded
+    # Recovery billing (monotone: never rewound by a crash restore).
+    failovers: int = 0            # times the session was re-placed elsewhere
+    lost_inflight: int = 0        # injected requests stranded by a failure
+    replayed_requests: int = 0    # journal items re-fed after epoch restores
+    replay_cycles: int = 0        # resident cycles re-pumped after restores
+    crash_recoveries: int = 0     # epoch restores survived while resident
+    deadline_misses: int = 0      # responses past deadline_cycles (E_DEADLINE)
+    # Auditor: times a terminal status was assigned (must end at 1).
+    terminations: int = 0
     # Raw latencies (host-observed, in shard cycles).
     latencies: List[int] = field(default_factory=list)
+
+    def finish(self, status: str) -> None:
+        """Assign the tenant's terminal status — exactly once per run.
+
+        ``terminations`` counts the assignments so the end-of-serve
+        auditor can prove no tenant was dropped on the floor or billed
+        a double completion across failover / crash-replay paths.
+        """
+        if status not in TERMINAL_STATUSES:
+            raise ValueError(f"{status!r} is not a terminal status")
+        self.status = status
+        self.terminations += 1
 
     def as_dict(self) -> dict:
         d = {
@@ -81,6 +111,13 @@ class TenantAccount:
             "shared_retries": self.shared_retries,
             "degradations_seen": self.degradations_seen,
             "degraded_cycles": self.degraded_cycles,
+            "failovers": self.failovers,
+            "lost_inflight": self.lost_inflight,
+            "replayed_requests": self.replayed_requests,
+            "replay_cycles": self.replay_cycles,
+            "crash_recoveries": self.crash_recoveries,
+            "deadline_misses": self.deadline_misses,
+            "terminations": self.terminations,
         }
         d["latency"] = LatencyDistribution.from_samples(self.latencies).as_dict()
         return d
@@ -109,6 +146,8 @@ class AccountingLedger:
         "slot_cycles", "throttle_cycles", "network_delay_cycles",
         "send_stalls", "hostlink_retries", "shared_retries",
         "degradations_seen", "degraded_cycles",
+        "failovers", "lost_inflight", "replayed_requests", "replay_cycles",
+        "crash_recoveries", "deadline_misses",
     )
 
     def totals(self) -> dict:

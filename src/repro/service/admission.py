@@ -68,7 +68,7 @@ class FabricPort:
     """Deterministic G/D/1 queue: the shared network port of one shard."""
 
     __slots__ = ("base_delay", "interval", "_last_departure", "admitted",
-                 "queued_cycles")
+                 "queued_cycles", "spike_extra", "spike_until")
 
     def __init__(self, base_delay: int, interval: float) -> None:
         self.base_delay = int(base_delay)
@@ -78,17 +78,38 @@ class FabricPort:
         #: the base latency (both lifetime, for the shard report).
         self.admitted = 0
         self.queued_cycles = 0
+        #: Chaos latency spike: extra base delay applied while the
+        #: arrival cycle is below ``spike_until``.
+        self.spike_extra = 0
+        self.spike_until = 0
 
     def admit(self, cycle: int) -> int:
         """Admit one request arriving at *cycle*; returns the cycle at
         which it becomes eligible to inject at the cube pool."""
-        earliest = cycle + self.base_delay
+        delay = self.base_delay
+        if cycle < self.spike_until:
+            delay += self.spike_extra
+        earliest = cycle + delay
         departure = max(float(earliest), self._last_departure + self.interval)
         self._last_departure = departure
         eligible = int(departure)
         self.admitted += 1
         self.queued_cycles += eligible - earliest
         return eligible
+
+    def spike(self, extra: int, until: int) -> None:
+        """Raise the port's base delay by *extra* until cycle *until*."""
+        self.spike_extra = int(extra)
+        self.spike_until = int(until)
+
+    def state(self) -> tuple:
+        """Resumable counters (epoch checkpointing)."""
+        return (self._last_departure, self.admitted, self.queued_cycles,
+                self.spike_extra, self.spike_until)
+
+    def restore_state(self, state: tuple) -> None:
+        (self._last_departure, self.admitted, self.queued_cycles,
+         self.spike_extra, self.spike_until) = state
 
 
 @dataclass
@@ -100,6 +121,9 @@ class Ticket:
     registered_tick: int
     granted_tick: Optional[int] = None
     rejected: bool = False
+    #: Times this ticket has been granted a lease — 1 on the normal
+    #: path; >1 when failover re-queues the tenant after displacement.
+    grants: int = 0
     #: Set by the front end so awaiting tenant tasks can be woken.
     future: object = field(default=None, repr=False, compare=False)
 
@@ -117,11 +141,17 @@ class AdmissionController:
         self.config = config
         self._seq = 0
         self._waiting: List[tuple] = []  # heap of (class, seq, Ticket)
+        #: Failover backoff room: heap of (eligible_at, class, seq,
+        #: Ticket) — re-queued tenants park here until their backoff
+        #: expires, then re-enter the waiting heap at their original
+        #: (class, seq) priority.
+        self._parked: List[tuple] = []
         self.tickets: Dict[str, Ticket] = {}
         # Stats.
         self.registered = 0
         self.granted = 0
         self.rejected = 0
+        self.requeued = 0
         self.wait_ticks: List[int] = []
 
     def register(self, spec: TenantSpec, tick: int) -> Ticket:
@@ -142,18 +172,60 @@ class AdmissionController:
         return ticket
 
     def next_grant(self, tick: int) -> Optional[Ticket]:
-        """Pop the highest-priority waiting ticket, if any."""
+        """Pop the highest-priority waiting ticket, if any.
+
+        Queue stats count each *tenant* once: a failover re-grant
+        (``ticket.grants > 1``) neither increments ``granted`` nor adds
+        a wait sample, so ``registered == granted + rejected`` stays an
+        auditor invariant however many times a tenant is re-placed.
+        """
         if not self._waiting:
             return None
         _, _, ticket = heapq.heappop(self._waiting)
         ticket.granted_tick = tick
-        self.granted += 1
-        self.wait_ticks.append(ticket.wait_ticks)
+        ticket.grants += 1
+        if ticket.grants == 1:
+            self.granted += 1
+            self.wait_ticks.append(ticket.wait_ticks)
         return ticket
+
+    def requeue(self, ticket: Ticket, eligible_at: int) -> None:
+        """Park a displaced tenant until its failover backoff expires."""
+        heapq.heappush(
+            self._parked,
+            (eligible_at, int(ticket.spec.klass), ticket.seq, ticket),
+        )
+        self.requeued += 1
+
+    def release_parked(self, now: int) -> int:
+        """Move every parked ticket whose backoff expired back into the
+        waiting heap; returns how many were released."""
+        released = 0
+        while self._parked and self._parked[0][0] <= now:
+            _, klass, seq, ticket = heapq.heappop(self._parked)
+            heapq.heappush(self._waiting, (klass, seq, ticket))
+            released += 1
+        return released
 
     @property
     def waiting(self) -> int:
         return len(self._waiting)
+
+    @property
+    def parked(self) -> int:
+        return len(self._parked)
+
+    def drain_parked(self) -> List[Ticket]:
+        """Remove and return every parked ticket (overload shedding)."""
+        out = [t for _, _, _, t in self._parked]
+        self._parked.clear()
+        return out
+
+    def drain_waiting(self) -> List[Ticket]:
+        """Remove and return every waiting ticket (overload shedding)."""
+        out = [t for _, _, t in self._waiting]
+        self._waiting.clear()
+        return out
 
     def stats(self) -> dict:
         out = {
@@ -161,6 +233,8 @@ class AdmissionController:
             "granted": self.granted,
             "rejected": self.rejected,
             "waiting": self.waiting,
+            "parked": self.parked,
+            "requeued": self.requeued,
         }
         if self.wait_ticks:
             waits = sorted(self.wait_ticks)

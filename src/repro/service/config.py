@@ -16,10 +16,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 from repro.core.config import DeviceConfig, SimConfig
 from repro.core.errors import InitError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.chaos import ChaosSchedule
 
 
 class PriorityClass(enum.IntEnum):
@@ -52,7 +55,11 @@ class TenantSpec:
     is the bucket capacity.  ``cub`` pins all traffic to one cube of
     the leased shard; ``None`` spreads requests across the shard's
     chain by address block, which is what makes co-resident tenants
-    contend on chain links.
+    contend on chain links.  ``deadline_cycles`` is the per-request
+    service deadline (0 = none): a response arriving later — or a head
+    request that cannot even inject within the deadline — is billed as
+    a ``deadline_misses`` count (errno ``E_DEADLINE``) feeding the
+    per-class SLO report.
     """
 
     tenant_id: str
@@ -61,6 +68,14 @@ class TenantSpec:
     rate: float = 0.0
     burst: float = 8.0
     cub: Optional[int] = None
+    deadline_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_cycles < 0:
+            raise InitError(
+                f"deadline_cycles must be >= 0 (0 disables the deadline), "
+                f"got {self.deadline_cycles}"
+            )
 
     @classmethod
     def from_profile(cls, profile: dict, capacity_bytes: int) -> "TenantSpec":
@@ -74,6 +89,7 @@ class TenantSpec:
             klass=PriorityClass.parse(profile.get("klass", "bronze")),
             rate=float(profile.get("rate", 0.0)),
             burst=float(profile.get("burst", 8.0)),
+            deadline_cycles=int(profile.get("deadline_cycles", 0)),
         )
 
 
@@ -121,6 +137,30 @@ class ServiceConfig:
     #: Async front end: simulated cycles advanced between event-loop
     #: yields (higher = less asyncio overhead, coarser liveness).
     cycles_per_yield: int = 64
+    #: -- resilience (all disarmed by default: 0 = PR-6 behaviour) ----
+    #: Pumped cycles between epoch checkpoints of each shard (plus a
+    #: forced epoch at every lease and retirement).  0 disarms shard
+    #: crash-recovery: a crash retires the shard terminally.
+    checkpoint_interval: int = 0
+    #: Epoch restores allowed per shard before a crash turns terminal.
+    max_shard_recoveries: int = 2
+    #: Failover budget per tenant: how many times a displaced session
+    #: (dead link / dead shard) is re-queued onto surviving or respun
+    #: shards.  0 disarms failover (and pool respin): failures are
+    #: terminal, exactly as before.
+    failover_retries: int = 0
+    #: Base failover backoff in simulated cycles; attempt *n* waits
+    #: ``failover_backoff << (n - 1)`` cycles before re-queuing.
+    failover_backoff: int = 64
+    #: Consecutive session failures that open a shard's circuit
+    #: breaker (0 = breakers disabled).
+    breaker_threshold: int = 0
+    #: Simulated cycles an open breaker waits before its half-open
+    #: probe lease.
+    breaker_cooldown: int = 1024
+    #: Declarative fault campaign (:class:`repro.faults.chaos.ChaosSchedule`)
+    #: injected by the driver; ``None`` = no chaos.
+    chaos: "Optional[ChaosSchedule]" = None
 
     def __post_init__(self) -> None:
         if self.devs_per_shard <= 0:
@@ -149,6 +189,43 @@ class ServiceConfig:
             raise InitError("max_waiting must be >= 0")
         if self.cycles_per_yield <= 0:
             raise InitError("cycles_per_yield must be positive")
+        if self.checkpoint_interval < 0:
+            raise InitError(
+                f"checkpoint_interval must be >= 0 (0 disarms recovery), "
+                f"got {self.checkpoint_interval}"
+            )
+        if self.max_shard_recoveries < 0:
+            raise InitError(
+                f"max_shard_recoveries must be >= 0, "
+                f"got {self.max_shard_recoveries}"
+            )
+        if self.failover_retries < 0:
+            raise InitError(
+                f"failover_retries must be >= 0 (0 disarms failover), "
+                f"got {self.failover_retries}"
+            )
+        if self.failover_backoff <= 0:
+            raise InitError(
+                f"failover_backoff must be positive cycles, "
+                f"got {self.failover_backoff}"
+            )
+        if self.breaker_threshold < 0:
+            raise InitError(
+                f"breaker_threshold must be >= 0 (0 disables breakers), "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown <= 0:
+            raise InitError(
+                f"breaker_cooldown must be positive cycles, "
+                f"got {self.breaker_cooldown}"
+            )
+        if self.chaos is not None:
+            from repro.faults.chaos import ChaosSchedule
+
+            if not isinstance(self.chaos, ChaosSchedule):
+                raise InitError(
+                    f"chaos must be a ChaosSchedule, got {type(self.chaos)!r}"
+                )
 
     def sim_config(self) -> SimConfig:
         """The per-shard engine configuration."""

@@ -25,18 +25,51 @@ is retired), a watchdog trip retires the whole shard and fails its
 residents, and tenants that can never be placed (pool exhausted, all
 shards dead) are failed with ``no_capacity`` — ``serve`` always
 returns a complete report, it never hangs.
+
+Self-healing (PR 8) — all of it disarmed by default, so a config with
+the resilience knobs at zero behaves exactly as before:
+
+* ``checkpoint_interval > 0``: shard crashes (chaos or an organic
+  watchdog trip) restore the last epoch and replay the journal inside
+  the shard (see :mod:`repro.service.shard`) instead of retiring it;
+* ``failover_retries > 0``: a session displaced by a terminal failure
+  (dead link, dead shard) re-queues onto a surviving — or respun —
+  shard after an exponential backoff in *simulated* cycles, its
+  unacknowledged request tail salvaged from the journal.  Lost
+  in-flight requests are billed to ``lost_inflight`` so per-tenant
+  conservation (``requests_sent == responses + lost_inflight``) holds;
+* ``breaker_threshold > 0``: per-shard circuit breakers gate lease
+  placement onto repeatedly-failing shards
+  (:mod:`repro.service.recovery`);
+* ``chaos``: a :class:`~repro.faults.chaos.ChaosSchedule` is sliced
+  per shard at spin-up and fired by the shard's own pump at stamped
+  pumped-cycle offsets — the single-driver determinism contract is
+  untouched, so a chaos campaign is bit-reproducible.
+
+The driver keeps a monotone simulated clock (``sim_time``, advanced
+``cycles_per_yield`` per tick, busy or idle) that clocks backoffs and
+breaker cooldowns; an idle-spin bound guarantees termination, shedding
+whatever is still parked as ``no_capacity`` if the pool never heals.
+The end-of-run report carries recovery events, breaker states, the
+fired chaos events, a per-class SLO block and an invariant audit.
 """
 
 from __future__ import annotations
 
 import asyncio
+from dataclasses import replace
+from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.service.accounting import AccountingLedger
 from repro.service.admission import AdmissionController, Ticket
 from repro.service.config import ServiceConfig, TenantSpec
+from repro.service.recovery import CircuitBreaker
 from repro.service.sessions import SessionPool
 from repro.service.shard import Session, Shard
+
+#: Displacement statuses eligible for failover (vs. ``done``).
+FAILOVER_STATUSES = frozenset(("link_failed", "watchdog", "crashed"))
 
 
 def specs_from_profiles(
@@ -59,6 +92,23 @@ class MemoryService:
         self.shards: List[Shard] = []
         self.tick = 0
         self._completion: Dict[str, asyncio.Future] = {}
+        # -- resilience state --------------------------------------------------
+        #: Monotone simulated time: cycles_per_yield per driver tick,
+        #: busy or idle.  Clocks failover backoffs and breaker cooldowns.
+        self.sim_time = 0
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._failover_attempts: Dict[str, int] = {}
+        #: Set when a breaker refused an otherwise-free slot this tick —
+        #: the idle loop keeps time advancing until the cooldown expires.
+        self._leases_blocked = False
+        # Termination bound for the idle loop: enough ticks to outlast
+        # the longest backoff and a breaker cooldown with slack.
+        cfg = self.config
+        horizon = max(
+            cfg.breaker_cooldown,
+            cfg.failover_backoff << max(0, cfg.failover_retries - 1),
+        )
+        self._idle_limit = 8 + (8 * horizon) // cfg.cycles_per_yield
 
     # -- pool management ------------------------------------------------------
 
@@ -67,21 +117,44 @@ class MemoryService:
         shard = Shard(len(self.shards), sim, self.config)
         shard.spin_up_ms = ms
         self.shards.append(shard)
+        if self.config.chaos is not None:
+            shard.install_chaos(self.config.chaos.for_shard(shard.shard_id))
+        if self.config.breaker_threshold > 0:
+            self._breakers[shard.shard_id] = CircuitBreaker(
+                self.config.breaker_threshold, self.config.breaker_cooldown
+            )
         return shard, ms
 
-    def _find_free_slot(self) -> Tuple[Optional[Shard], float]:
+    def _find_free_slot(self) -> Tuple[Optional[Shard], float, bool]:
         """Lowest shard with a free slot, growing the pool if allowed.
 
-        Returns ``(shard, spin_up_ms)`` — the wall cost is nonzero only
-        when this call had to spin a new shard up, and is attributed to
-        the lease that triggered the growth.
+        Returns ``(shard, spin_up_ms, blocked)`` — the wall cost is
+        nonzero only when this call had to spin a new shard up, and is
+        attributed to the lease that triggered the growth; *blocked* is
+        True when a free slot existed but its breaker refused placement
+        (the caller should keep simulated time moving rather than shed).
+
+        With failover armed, dead shards no longer count against
+        ``max_shards`` — the pool respins replacements for retired
+        shards, which is what makes displaced sessions placeable again.
         """
+        blocked = False
         for shard in self.shards:
-            if shard.has_free_slot:
-                return shard, 0.0
-        if len(self.shards) < self.config.max_shards:
-            return self._spin_up_shard()
-        return None, 0.0
+            if not shard.has_free_slot:
+                continue
+            breaker = self._breakers.get(shard.shard_id)
+            if breaker is not None and not breaker.try_acquire(self.sim_time):
+                blocked = True
+                continue
+            return shard, 0.0, blocked
+        if self.config.failover_retries > 0:
+            population = sum(1 for sh in self.shards if not sh.dead)
+        else:
+            population = len(self.shards)
+        if population < self.config.max_shards:
+            shard, ms = self._spin_up_shard()
+            return shard, ms, blocked
+        return None, 0.0, blocked
 
     # -- the tenant side ------------------------------------------------------
 
@@ -95,51 +168,144 @@ class MemoryService:
     # -- the driver side ------------------------------------------------------
 
     def _grant_leases(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._leases_blocked = False
         while self.admission.waiting:
-            shard, spun_ms = self._find_free_slot()
+            shard, spun_ms, blocked = self._find_free_slot()
             if shard is None:
+                self._leases_blocked = blocked
                 break
             ticket = self.admission.next_grant(self.tick)
-            acct = self.ledger.get(ticket.spec.tenant_id)
-            acct.admission_wait_ticks = ticket.wait_ticks
-            acct.lease_spin_up_ms = spun_ms
+            tid = ticket.spec.tenant_id
+            acct = self.ledger.get(tid)
+            if ticket.grants == 1:
+                acct.admission_wait_ticks = ticket.wait_ticks
+            acct.lease_spin_up_ms += spun_ms
             shard.lease(ticket.spec, acct)
-            self._completion[ticket.spec.tenant_id] = loop.create_future()
-            ticket.future.set_result(True)
+            if tid not in self._completion:
+                self._completion[tid] = loop.create_future()
+            if not ticket.future.done():
+                # Failover re-grants find the lease future already
+                # resolved; the tenant task is parked on completion.
+                ticket.future.set_result(True)
 
     def _resolve(self, completed: List[Session]) -> None:
+        """Terminal bookkeeping for sessions a pump handed back.
+
+        Displaced sessions with failover budget left are re-queued
+        instead of resolved; everything else gets its terminal status
+        assigned exactly once (``finish``), its stranded in-flight
+        requests billed, and its completion future resolved.
+        """
         for sess in completed:
-            fut = self._completion.get(sess.spec.tenant_id)
+            tid = sess.spec.tenant_id
+            acct = sess.account
+            status = acct.status
+            breaker = self._breakers.get(acct.shard_id)
+            if status == "done":
+                if breaker is not None:
+                    breaker.record_success(self.sim_time)
+                acct.finish("done")
+            else:
+                if breaker is not None:
+                    breaker.record_failure(self.sim_time)
+                if (
+                    status in FAILOVER_STATUSES
+                    and self._failover_attempts.get(tid, 0)
+                    < self.config.failover_retries
+                ):
+                    self._failover(sess)
+                    continue
+                # Terminal failure: whatever was in flight is lost.
+                acct.lost_inflight += sess.host.outstanding
+                acct.finish(status)
+            fut = self._completion.get(tid)
             if fut is not None and not fut.done():
-                fut.set_result(sess.account.status)
+                fut.set_result(acct.status)
+
+    def _failover(self, sess: Session) -> None:
+        """Re-queue a displaced session onto the pool after backoff.
+
+        The journal's unacknowledged tail — in-flight requests plus the
+        not-yet-injected pending head — is salvaged ahead of the
+        original iterator, giving at-least-once semantics in original
+        FIFO order.  The lost in-flight requests are billed now (the
+        salvaged copies will be re-counted when re-sent, and answered).
+        """
+        tid = sess.spec.tenant_id
+        acct = sess.account
+        attempt = self._failover_attempts.get(tid, 0) + 1
+        self._failover_attempts[tid] = attempt
+        acct.failovers += 1
+        acct.lost_inflight += sess.host.outstanding
+        tail = sess.host.outstanding + (1 if sess._pending is not None else 0)
+        consumed = sess._consumed
+        salvage = consumed[len(consumed) - tail:] if tail else []
+        stream = chain(iter(salvage), sess._it)
+        ticket = self.admission.tickets[tid]
+        ticket.spec = replace(sess.spec, requests=stream)
+        backoff = self.config.failover_backoff << (attempt - 1)
+        self.admission.requeue(ticket, self.sim_time + backoff)
+
+    def _fail_ticket(self, ticket: Ticket) -> None:
+        """Resolve one ticket as ``no_capacity`` (both futures)."""
+        acct = self.ledger.get(ticket.spec.tenant_id)
+        acct.finish("no_capacity")
+        if ticket.grants == 1 and ticket.granted_tick is not None:
+            acct.admission_wait_ticks = ticket.wait_ticks
+        if not ticket.future.done():
+            ticket.future.set_result(False)
+        fut = self._completion.get(ticket.spec.tenant_id)
+        if fut is not None and not fut.done():
+            # A failed-over tenant already holds a granted lease future
+            # and awaits completion instead.
+            fut.set_result("no_capacity")
 
     def _fail_unplaceable(self) -> None:
         """No busy shard, no free slot, no growth left: shed the queue."""
         while self.admission.waiting:
-            ticket = self.admission.next_grant(self.tick)
-            acct = self.ledger.get(ticket.spec.tenant_id)
-            acct.status = "no_capacity"
-            acct.admission_wait_ticks = ticket.wait_ticks
-            if not ticket.future.done():
-                ticket.future.set_result(False)
+            self._fail_ticket(self.admission.next_grant(self.tick))
+
+    def _shed_everything(self) -> None:
+        """Idle bound hit: the pool will never heal — shed parked and
+        waiting tenants so ``serve`` terminates with a full report."""
+        for ticket in self.admission.drain_parked():
+            self._fail_ticket(ticket)
+        self._fail_unplaceable()
 
     async def _drive(self) -> None:
         loop = asyncio.get_running_loop()
         cycles_per_yield = self.config.cycles_per_yield
+        idle_spins = 0
         while True:
+            self.admission.release_parked(self.sim_time)
             self._grant_leases(loop)
             busy = [sh for sh in self.shards if sh.busy]
-            if not busy:
-                if self.admission.waiting:
-                    self._fail_unplaceable()
-                break
-            for shard in busy:
-                for _ in range(cycles_per_yield):
-                    self._resolve(shard.pump())
-                    if not shard.busy:
-                        break
-            self.tick += 1
-            await asyncio.sleep(0)
+            if busy:
+                idle_spins = 0
+                for shard in busy:
+                    for _ in range(cycles_per_yield):
+                        self._resolve(shard.pump())
+                        if not shard.busy:
+                            break
+                self.tick += 1
+                self.sim_time += cycles_per_yield
+                await asyncio.sleep(0)
+                continue
+            # Idle: nothing is pumping.  Keep simulated time moving only
+            # while something can still become placeable (a parked
+            # backoff or a breaker cooldown); otherwise shed and stop.
+            if self.admission.parked or self._leases_blocked:
+                idle_spins += 1
+                if idle_spins > self._idle_limit:
+                    self._shed_everything()
+                    break
+                self.tick += 1
+                self.sim_time += cycles_per_yield
+                await asyncio.sleep(0)
+                continue
+            if self.admission.waiting:
+                self._fail_unplaceable()
+            break
 
     # -- entry points ---------------------------------------------------------
 
@@ -159,7 +325,7 @@ class MemoryService:
             ticket = self.admission.register(spec, self.tick)
             ticket.future = loop.create_future()
             if ticket.rejected:
-                acct.status = "rejected"
+                acct.finish("rejected")
                 ticket.future.set_result(False)
             tasks.append(asyncio.ensure_future(self._tenant_task(ticket)))
         driver = asyncio.ensure_future(self._drive())
@@ -207,7 +373,24 @@ class MemoryService:
                 totals["degradations_seen"] + unattr_deg == pool_deg,
         }
         cfg = self.config
-        return {
+        recovery_events = []
+        for sh in self.shards:
+            for ev in sh.recovery_events:
+                recovery_events.append(dict(ev, shard=sh.shard_id))
+        recovery = {
+            "crashes": sum(sh.crashes for sh in self.shards),
+            "recoveries": sum(sh.recoveries for sh in self.shards),
+            "failovers": totals["failovers"],
+            "lost_inflight": totals["lost_inflight"],
+            "replayed_requests": totals["replayed_requests"],
+            "events": recovery_events,
+        }
+        if self._breakers:
+            recovery["breakers"] = {
+                str(sid): brk.as_dict()
+                for sid, brk in sorted(self._breakers.items())
+            }
+        out = {
             "config": {
                 "devs_per_shard": cfg.devs_per_shard,
                 "slots_per_shard": cfg.slots_per_shard,
@@ -217,6 +400,9 @@ class MemoryService:
                 "link_ber": cfg.link_ber,
                 "link_drop_rate": cfg.link_drop_rate,
                 "provision_requests": cfg.provision_requests,
+                "checkpoint_interval": cfg.checkpoint_interval,
+                "failover_retries": cfg.failover_retries,
+                "breaker_threshold": cfg.breaker_threshold,
             },
             "ticks": self.tick,
             "admission": self.admission.stats(),
@@ -224,4 +410,20 @@ class MemoryService:
             "shards": shard_stats,
             "accounting": accounting,
             "consistency": consistency,
+            "recovery": recovery,
         }
+        if cfg.chaos is not None:
+            out["chaos"] = {
+                "schedule": cfg.chaos.as_dict(),
+                "fired": [
+                    dict(ev, shard=sh.shard_id)
+                    for sh in self.shards
+                    for ev in sh.chaos_fired
+                ],
+            }
+        # Computed last: both walk the assembled report tree.
+        from repro.analysis.tenants import audit_report, slo_report
+
+        out["slo"] = slo_report(out)
+        out["audit"] = audit_report(out)
+        return out

@@ -1,0 +1,92 @@
+"""Recovery policy helpers: per-shard circuit breakers.
+
+A :class:`CircuitBreaker` guards lease placement onto a shard that has
+been failing sessions.  States follow the classic ladder, clocked
+entirely by the front end's simulated time (no wall clock):
+
+* **CLOSED** — healthy; leases flow freely.  ``breaker_threshold``
+  consecutive session failures trip it OPEN.
+* **OPEN** — no leases for ``breaker_cooldown`` simulated cycles.
+* **HALF_OPEN** — after the cooldown, exactly one probe lease is
+  admitted.  Success re-closes the breaker; failure re-opens it for
+  another cooldown.
+
+The breaker is deterministic bookkeeping over integers; its state is
+part of the front end's recovery report.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate gate for one shard's lease placement."""
+
+    __slots__ = ("threshold", "cooldown", "state", "failures",
+                 "opened_at", "opens", "probes", "successes")
+
+    def __init__(self, threshold: int, cooldown: int) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = int(threshold)
+        self.cooldown = int(cooldown)
+        self.state = BreakerState.CLOSED
+        #: Consecutive failures since the last success / re-open.
+        self.failures = 0
+        self.opened_at = 0
+        # Lifetime stats (report only).
+        self.opens = 0
+        self.probes = 0
+        self.successes = 0
+
+    def try_acquire(self, now: int) -> bool:
+        """May a lease be placed on this shard at simulated time *now*?
+
+        An OPEN breaker past its cooldown transitions to HALF_OPEN and
+        admits the caller as the single probe; further callers are
+        refused until the probe resolves.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                self.probes += 1
+                return True
+            return False
+        # HALF_OPEN: the probe lease is already out.
+        return False
+
+    def record_success(self, now: int) -> None:
+        """A session on this shard completed cleanly."""
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.successes += 1
+
+    def record_failure(self, now: int) -> None:
+        """A session on this shard failed (link death / crash)."""
+        self.failures += 1
+        if (self.state is BreakerState.HALF_OPEN
+                or self.failures >= self.threshold):
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.opens += 1
+            self.failures = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state.value,
+            "failures": self.failures,
+            "opens": self.opens,
+            "probes": self.probes,
+            "successes": self.successes,
+        }

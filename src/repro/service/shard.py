@@ -20,14 +20,34 @@ Determinism contract — everything the pump does is ordered:
 No wall clock and no RNG enter this module; a fixed (config, specs)
 pair pumps to the same per-tenant accounting every time, under either
 engine scheduler.
+
+Self-healing (PR 8) — with ``checkpoint_interval`` armed the shard
+keeps an *epoch*: a :func:`~repro.core.checkpoint.snapshot_bundle` of
+its sim + per-slot hosts plus copies of every resumable counter, taken
+every N pumped cycles and forced at each lease and retirement (so a
+completed session is always durable — a restore can never resurrect
+resolved work).  Sessions journal the request items they consume; a
+crash (chaos ``shard_crash``, chaos ``watchdog_trip``, or an organic
+:class:`~repro.core.errors.WatchdogError`) restores the epoch and
+re-feeds the post-epoch journal through the same deterministic pump, so
+recovery itself is bit-reproducible.  Counted account fields rewind
+with the epoch; the monotone recovery-history fields
+(``replayed_requests`` / ``replay_cycles`` / ``crash_recoveries``)
+accrue across restores, which is how replayed work gets billed without
+double-counting the consistency block.  Chaos events are stamped at
+per-shard pumped cycles and fire exactly once — a restore heals
+whatever an earlier event broke, it never re-fires it.
 """
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.checkpoint import restore_bundle, snapshot_bundle
 from repro.core.errors import LinkDeadError, WatchdogError
 from repro.core.simulator import HMCSim
+from repro.faults.chaos import ChaosEvent
 from repro.faults.inband import LinkHealth
 from repro.host.host import Host
 from repro.packets.commands import REQUEST_DATA_BYTES, is_read, is_write
@@ -35,13 +55,26 @@ from repro.service.accounting import TenantAccount
 from repro.service.admission import FabricPort, TokenBucket
 from repro.service.config import ServiceConfig, TenantSpec
 
+#: Account fields captured per epoch and rewound by a crash restore.
+#: The recovery-history fields (failovers, lost_inflight,
+#: replayed_requests, replay_cycles, crash_recoveries, terminations)
+#: are deliberately absent: they are monotone across restores.
+_ACCT_EPOCH_FIELDS = (
+    "status", "requests_sent", "responses", "errors", "bytes_read",
+    "bytes_written", "slot_cycles", "throttle_cycles",
+    "network_delay_cycles", "send_stalls", "hostlink_retries",
+    "shared_retries", "degradations_seen", "degraded_cycles",
+    "deadline_misses",
+)
+
 
 class Session:
     """One tenant resident on one slot."""
 
     __slots__ = (
         "spec", "account", "host", "slot", "_it", "_bucket",
-        "_pending", "_eligible_at", "_exhausted", "done", "failed",
+        "_pending", "_pending_since", "_eligible_at", "_exhausted",
+        "_consumed", "done", "failed",
     )
 
     def __init__(
@@ -58,8 +91,14 @@ class Session:
         self._it: Iterator[Tuple] = iter(spec.requests)
         self._bucket = TokenBucket(spec.rate, spec.burst)
         self._pending: Optional[Tuple] = None
+        self._pending_since = 0
         self._eligible_at = 0
         self._exhausted = False
+        #: Granted-request journal (resilience armed only): every item
+        #: pulled from the stream, in injection order.  A crash restore
+        #: re-feeds the post-epoch suffix; a failover salvages the
+        #: unacknowledged tail.
+        self._consumed: List[Tuple] = []
         self.done = False
         self.failed = False
 
@@ -110,6 +149,19 @@ class Shard:
         self._rr = 0
         self._capacity = config.device.capacity_bytes
         self._ncubs = config.devs_per_shard
+        # -- resilience state --------------------------------------------------
+        #: Epoch checkpointing armed: crashes restore instead of retiring.
+        self._recovery_armed = config.checkpoint_interval > 0
+        #: Journal request items (needed by both crash replay and failover).
+        self._journaling = self._recovery_armed or config.failover_retries > 0
+        self._epoch: Optional[dict] = None
+        self.crashes = 0
+        self.recoveries = 0
+        self.recovery_events: List[dict] = []
+        #: Chaos campaign slice targeting this shard (install_chaos).
+        self._chaos: List[ChaosEvent] = []
+        self._chaos_idx = 0
+        self.chaos_fired: List[dict] = []
 
     # -- slot leasing ---------------------------------------------------------
 
@@ -132,7 +184,16 @@ class Shard:
         account.slot = slot
         account.status = "active"
         self.sessions[slot] = session
+        if self._recovery_armed:
+            # Membership changed: force an epoch so a later restore
+            # brings the new resident back with everyone else.
+            self._take_epoch()
         return session
+
+    def install_chaos(self, events: List[ChaosEvent]) -> None:
+        """Arm this shard's slice of the chaos campaign (front end)."""
+        self._chaos = list(events)
+        self._chaos_idx = 0
 
     # -- the pump -------------------------------------------------------------
 
@@ -144,6 +205,12 @@ class Shard:
         """
         if self.dead or not self.sessions:
             return []
+        if self._chaos_idx < len(self._chaos):
+            displaced = self._fire_chaos()
+            if displaced is not None:
+                return displaced
+            if self.dead or not self.sessions:
+                return []
         resident = [self.sessions[s] for s in sorted(self.sessions)]
         cycle = self.sim.clock_value
         for sess in resident:
@@ -152,7 +219,7 @@ class Shard:
         try:
             self.sim.clock()
         except WatchdogError as exc:
-            return self._retire_shard(f"watchdog: {exc}")
+            return self._crash(f"watchdog: {exc}", status="watchdog")
         for sess in resident:
             if sess.failed:
                 continue
@@ -163,6 +230,11 @@ class Shard:
             acct.responses += received
             acct.errors += errors
             acct.latencies.extend(latencies)
+            deadline = sess.spec.deadline_cycles
+            if deadline:
+                acct.deadline_misses += sum(
+                    1 for lat in latencies if lat > deadline
+                )
         self._attribute_faults(resident)
         degraded = any(
             st.health is not LinkHealth.FULL
@@ -176,7 +248,15 @@ class Shard:
             if degraded:
                 sess.account.degraded_cycles += 1
         self.cycles_pumped += 1
-        return self._retire_finished()
+        completed = self._retire_finished()
+        if self._recovery_armed and (
+            completed
+            or self.cycles_pumped % self.config.checkpoint_interval == 0
+        ):
+            # Retirement forces an epoch: completed work is durable and
+            # can never be resurrected (and re-billed) by a restore.
+            self._take_epoch()
+        return completed
 
     def _send_phase(self, sess: Session, cycle: int) -> None:
         """Inject as many of *sess*'s requests as the gates allow."""
@@ -199,7 +279,19 @@ class Shard:
                 eligible = self.port.admit(cycle)
                 acct.network_delay_cycles += eligible - cycle
                 sess._pending = item
+                sess._pending_since = cycle
                 sess._eligible_at = eligible
+                if self._journaling:
+                    sess._consumed.append(item)
+            deadline = sess.spec.deadline_cycles
+            if deadline and cycle - sess._pending_since > deadline:
+                # The head request aged out before it could inject
+                # (fabric backlog / stalls): an E_DEADLINE drop, billed
+                # as a miss.  It was never injected, so conservation
+                # (requests == responses + lost_inflight) is untouched.
+                acct.deadline_misses += 1
+                sess._pending = None
+                continue
             if cycle < sess._eligible_at:
                 break  # still crossing the fabric
             cmd, addr, payload = sess._pending
@@ -269,6 +361,185 @@ class Shard:
                 self.unattributed_retries += d_ir
                 self.unattributed_degradations += d_deg
 
+    # -- chaos injection ------------------------------------------------------
+
+    def _fire_chaos(self) -> Optional[List[Session]]:
+        """Fire every due chaos event (exactly once each).
+
+        Returns a displaced-session list when a crash-kind event ended
+        the pump (empty when the crash was recovered in place), or
+        ``None`` when pumping should continue normally.
+        """
+        while self._chaos_idx < len(self._chaos):
+            ev = self._chaos[self._chaos_idx]
+            if ev.at > self.cycles_pumped:
+                return None
+            self._chaos_idx += 1
+            fired = ev.as_dict()
+            fired["fired_at"] = self.cycles_pumped
+            self.chaos_fired.append(fired)
+            if ev.kind == "shard_crash":
+                return self._crash("chaos: shard_crash", status="crashed")
+            if ev.kind == "watchdog_trip":
+                return self._crash("chaos: watchdog_trip", status="watchdog")
+            if ev.kind == "link_kill":
+                self._chaos_kill_link(ev)
+            elif ev.kind == "link_degrade":
+                self._chaos_degrade_link(ev)
+            elif ev.kind == "latency_spike":
+                self.port.spike(
+                    ev.extra_delay, self.sim.clock_value + ev.duration
+                )
+        return None
+
+    def _chaos_link_state(self, dev: int, link: int):
+        """The in-band state covering (dev, link), attaching a clean
+        one when the link is configured but unarmed; None when the
+        event targets a link this topology does not have."""
+        state = self.sim._link_faults.get((dev, link))
+        if state is not None:
+            return state
+        if self.sim.link_peer(dev, link) is None:
+            return None
+        from repro.faults.link_model import LinkFaultModel
+
+        return self.sim.attach_link_fault(
+            dev, link, LinkFaultModel(ber=0.0, drop_rate=0.0, seed=1)
+        )
+
+    def _chaos_kill_link(self, ev: ChaosEvent) -> None:
+        state = self._chaos_link_state(ev.dev, ev.link)
+        if state is None or state.health is LinkHealth.FAILED:
+            return
+        state.fail()
+        self.sim._note_link_failure(state)
+
+    def _chaos_degrade_link(self, ev: ChaosEvent) -> None:
+        state = self._chaos_link_state(ev.dev, ev.link)
+        if state is None:
+            return
+        state.force_degrade(self.sim.clock_value, self.sim.tracer)
+        if state.health is LinkHealth.FAILED:
+            self.sim._note_link_failure(state)
+
+    # -- epoch checkpointing & crash recovery ---------------------------------
+
+    def _take_epoch(self) -> None:
+        """Checkpoint everything a restore needs to resume this shard.
+
+        The sim and the per-slot hosts are pickled in one bundle (so
+        restored hosts share the restored sim); everything else —
+        session cursors, account countables, shard counters — is copied
+        as plain data.  Request iterators are generators and cannot be
+        pickled: the journal marks recorded here are what makes them
+        resumable.
+        """
+        sessions: Dict[int, dict] = {}
+        accounts: Dict[int, dict] = {}
+        hosts: Dict[int, Host] = {}
+        for slot, sess in self.sessions.items():
+            hosts[slot] = sess.host
+            sessions[slot] = {
+                "pending": sess._pending,
+                "pending_since": sess._pending_since,
+                "eligible_at": sess._eligible_at,
+                "exhausted": sess._exhausted,
+                "bucket": (sess._bucket.tokens, sess._bucket.last_cycle),
+                "mark": len(sess._consumed),
+            }
+            snap = {f: getattr(sess.account, f) for f in _ACCT_EPOCH_FIELDS}
+            snap["latencies"] = list(sess.account.latencies)
+            accounts[slot] = snap
+        self._epoch = {
+            "blob": snapshot_bundle(self.sim, hosts),
+            "sessions": sessions,
+            "accounts": accounts,
+            "cycles_pumped": self.cycles_pumped,
+            "active_session_cycles": self.active_session_cycles,
+            "unattributed_retries": self.unattributed_retries,
+            "unattributed_degradations": self.unattributed_degradations,
+            "fault_base": list(self._fault_base),
+            "rr": self._rr,
+            "port": self.port.state(),
+            "free_slots": list(self.free_slots),
+            "dead_slots": list(self.dead_slots),
+        }
+
+    def _crash(self, reason: str, status: str = "crashed") -> List[Session]:
+        """The shard lost its volatile state.
+
+        With recovery armed and budget left: restore the last epoch and
+        resume (the granted-request journal replays deterministically);
+        otherwise retire terminally, displacing every resident session
+        with *status* so the front end can fail them over.
+        """
+        self.crashes += 1
+        if (
+            self._recovery_armed
+            and self._epoch is not None
+            and self.recoveries < self.config.max_shard_recoveries
+        ):
+            self._restore_epoch(reason)
+            return []
+        return self._retire_shard(reason, status=status)
+
+    def _restore_epoch(self, reason: str) -> None:
+        ep = self._epoch
+        lost_cycles = self.cycles_pumped - ep["cycles_pumped"]
+        sim, (hosts,) = restore_bundle(ep["blob"])
+        self.sim = sim
+        replayed_total = 0
+        for slot in sorted(self.sessions):
+            sess = self.sessions[slot]
+            st = ep["sessions"][slot]
+            sess.host = hosts[slot]
+            sess._bucket.tokens, sess._bucket.last_cycle = st["bucket"]
+            sess._pending = st["pending"]
+            sess._pending_since = st["pending_since"]
+            sess._eligible_at = st["eligible_at"]
+            sess._exhausted = st["exhausted"]
+            # A session failed between the epoch and the crash (e.g. a
+            # link died the same pump the watchdog tripped) resumes
+            # with everyone else: the restore healed its world.
+            sess.failed = False
+            sess.done = False
+            mark = st["mark"]
+            replay = sess._consumed[mark:]
+            if replay:
+                # Re-feed the post-epoch journal ahead of the original
+                # iterator; the truncated journal regrows identically
+                # as the replay is re-consumed.
+                sess._it = chain(iter(replay), sess._it)
+                del sess._consumed[mark:]
+            acct = sess.account
+            snap = ep["accounts"][slot]
+            for f in _ACCT_EPOCH_FIELDS:
+                setattr(acct, f, snap[f])
+            acct.latencies[:] = snap["latencies"]
+            acct.replayed_requests += len(replay)
+            acct.replay_cycles += lost_cycles
+            acct.crash_recoveries += 1
+            replayed_total += len(replay)
+        self.cycles_pumped = ep["cycles_pumped"]
+        self.active_session_cycles = ep["active_session_cycles"]
+        self.unattributed_retries = ep["unattributed_retries"]
+        self.unattributed_degradations = ep["unattributed_degradations"]
+        self._fault_base = list(ep["fault_base"])
+        self._rr = ep["rr"]
+        self.port.restore_state(ep["port"])
+        self.free_slots = list(ep["free_slots"])
+        self.dead_slots = list(ep["dead_slots"])
+        self.recoveries += 1
+        self.recovery_events.append({
+            "kind": "crash_recovered",
+            "reason": reason,
+            "at_cycle": ep["cycles_pumped"] + lost_cycles,
+            "restored_to": ep["cycles_pumped"],
+            "replay_cycles": lost_cycles,
+            "replayed_requests": replayed_total,
+            "recovery": self.recoveries,
+        })
+
     # -- retirement -----------------------------------------------------------
 
     def _fail_session(self, sess: Session, status: str) -> None:
@@ -276,18 +547,24 @@ class Shard:
         sess.done = True
         sess.account.status = status
 
-    def _retire_shard(self, reason: str) -> List[Session]:
-        """Watchdog tripped: the whole shard is retired, sessions fail."""
+    def _retire_shard(self, reason: str, status: str = "watchdog") -> List[Session]:
+        """Terminal: the whole shard is retired, sessions are displaced."""
         self.dead = True
         self.dead_reason = reason
         completed: List[Session] = []
         for slot in sorted(self.sessions):
             sess = self.sessions[slot]
-            self._fail_session(sess, "watchdog")
+            self._fail_session(sess, status)
             self.dead_slots.append(slot)
             completed.append(sess)
         self.sessions.clear()
         self.free_slots.clear()
+        self.recovery_events.append({
+            "kind": "shard_retired",
+            "reason": reason,
+            "at_cycle": self.cycles_pumped,
+            "displaced": len(completed),
+        })
         return completed
 
     def _retire_finished(self) -> List[Session]:
@@ -348,7 +625,13 @@ class Shard:
                 "admitted": self.port.admitted,
                 "queued_cycles": self.port.queued_cycles,
             },
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
         }
+        if self.recovery_events:
+            out["recovery_events"] = list(self.recovery_events)
+        if self.chaos_fired:
+            out["chaos_fired"] = list(self.chaos_fired)
         if self.sim._link_fault_states:
             out["links"] = {
                 f"dev{st.endpoints[0][0]}.link{st.endpoints[0][1]}":

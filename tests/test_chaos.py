@@ -1,0 +1,166 @@
+"""Chaos engine unit tests: validation, ordering, construction paths.
+
+The schedule itself is pure data — these tests pin its determinism and
+its typed-error surface; the end-to-end campaign behaviour lives in
+tests/test_service_recovery.py.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import InitError
+from repro.faults.chaos import CHAOS_KINDS, ChaosEvent, ChaosSchedule
+
+
+class TestChaosEvent:
+    def test_valid_kinds_are_canonical(self):
+        assert set(CHAOS_KINDS) == {
+            "shard_crash", "watchdog_trip", "link_kill",
+            "link_degrade", "latency_spike",
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InitError, match="kind"):
+            ChaosEvent(at=10, kind="meteor_strike")
+
+    def test_negative_at_rejected(self):
+        with pytest.raises(InitError, match="'at'"):
+            ChaosEvent(at=-1, kind="shard_crash")
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(InitError, match="'shard'"):
+            ChaosEvent(at=0, kind="shard_crash", shard=-2)
+
+    def test_negative_link_rejected(self):
+        with pytest.raises(InitError, match="dev/link"):
+            ChaosEvent(at=0, kind="link_kill", link=-1)
+
+    def test_latency_spike_needs_positive_fields(self):
+        with pytest.raises(InitError, match="extra_delay"):
+            ChaosEvent(at=0, kind="latency_spike", duration=8)
+        with pytest.raises(InitError, match="duration"):
+            ChaosEvent(at=0, kind="latency_spike", extra_delay=8)
+
+    def test_as_dict_round_trips_through_from_spec(self):
+        ev = ChaosEvent(at=5, kind="latency_spike", shard=1,
+                        extra_delay=16, duration=64)
+        rebuilt = ChaosSchedule.from_spec([ev.as_dict()]).events[0]
+        assert rebuilt == ev
+
+
+class TestChaosSchedule:
+    def test_events_sorted_canonically(self):
+        sched = ChaosSchedule([
+            ChaosEvent(at=20, kind="shard_crash", shard=0),
+            ChaosEvent(at=10, kind="link_kill", shard=1),
+            ChaosEvent(at=10, kind="shard_crash", shard=0),
+        ])
+        keys = [ev.sort_key for ev in sched]
+        assert keys == sorted(keys)
+        assert sched.events[0].at == 10 and sched.events[0].shard == 0
+
+    def test_same_stamp_orders_by_kind(self):
+        # Two events on the same shard at the same cycle: canonical
+        # kind order breaks the tie, so construction order is irrelevant.
+        a = ChaosEvent(at=5, kind="link_kill", shard=0)
+        b = ChaosEvent(at=5, kind="shard_crash", shard=0)
+        assert ChaosSchedule([a, b]).events == ChaosSchedule([b, a]).events
+
+    def test_for_shard_slices(self):
+        sched = ChaosSchedule([
+            ChaosEvent(at=1, kind="shard_crash", shard=0),
+            ChaosEvent(at=2, kind="shard_crash", shard=1),
+            ChaosEvent(at=3, kind="link_kill", shard=0),
+        ])
+        assert [ev.at for ev in sched.for_shard(0)] == [1, 3]
+        assert [ev.at for ev in sched.for_shard(2)] == []
+
+    def test_non_event_items_rejected(self):
+        with pytest.raises(InitError, match="ChaosEvent"):
+            ChaosSchedule([{"at": 1, "kind": "shard_crash"}])
+
+
+class TestFromSpec:
+    def test_bare_list_and_wrapped_dict_agree(self):
+        events = [{"at": 4, "kind": "shard_crash"}]
+        a = ChaosSchedule.from_spec(events)
+        b = ChaosSchedule.from_spec({"events": events})
+        assert a.events == b.events
+
+    def test_seed_recorded(self):
+        sched = ChaosSchedule.from_spec({"events": [], "seed": 42})
+        assert sched.seed == 42
+        assert sched.as_dict() == {"events": [], "seed": 42}
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(InitError, match="unknown keys"):
+            ChaosSchedule.from_spec({"events": [], "surprise": 1})
+
+    def test_unknown_event_key_rejected(self):
+        with pytest.raises(InitError, match="unknown keys"):
+            ChaosSchedule.from_spec([{"at": 1, "kind": "shard_crash",
+                                      "sev": 9}])
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(InitError, match="'at' and 'kind'"):
+            ChaosSchedule.from_spec([{"kind": "shard_crash"}])
+
+    def test_non_integer_field_rejected(self):
+        with pytest.raises(InitError, match="non-integer"):
+            ChaosSchedule.from_spec([{"at": "soon", "kind": "shard_crash"}])
+
+    def test_wrong_container_type_rejected(self):
+        with pytest.raises(InitError, match="dict or a list"):
+            ChaosSchedule.from_spec("chaos")
+
+
+class TestFromJson:
+    def test_round_trip(self, tmp_path):
+        spec = {"events": [{"at": 8, "kind": "shard_crash", "shard": 1}],
+                "seed": 7}
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps(spec))
+        sched = ChaosSchedule.from_json(str(path))
+        assert sched.as_dict() == spec
+
+    def test_missing_file_raises_init_error(self, tmp_path):
+        with pytest.raises(InitError, match="cannot read"):
+            ChaosSchedule.from_json(str(tmp_path / "absent.json"))
+
+    def test_bad_json_raises_init_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(InitError, match="not valid JSON"):
+            ChaosSchedule.from_json(str(path))
+
+
+class TestGenerate:
+    def test_same_seed_same_campaign(self):
+        a = ChaosSchedule.generate(seed=9, shards=3, crashes=4,
+                                   link_kills=2, latency_spikes=2)
+        b = ChaosSchedule.generate(seed=9, shards=3, crashes=4,
+                                   link_kills=2, latency_spikes=2)
+        assert a.as_dict() == b.as_dict()
+
+    def test_different_seed_different_campaign(self):
+        a = ChaosSchedule.generate(seed=9, shards=3, crashes=4)
+        b = ChaosSchedule.generate(seed=10, shards=3, crashes=4)
+        assert a.as_dict() != b.as_dict()
+
+    def test_counts_and_bounds(self):
+        sched = ChaosSchedule.generate(
+            seed=1, shards=2, horizon=512, crashes=3, link_kills=2,
+            link_degrades=1, latency_spikes=2, first_at=64,
+        )
+        assert len(sched) == 8
+        kinds = [ev.kind for ev in sched]
+        assert kinds.count("shard_crash") == 3
+        assert all(64 <= ev.at < 512 for ev in sched)
+        assert all(0 <= ev.shard < 2 for ev in sched)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InitError, match="shards"):
+            ChaosSchedule.generate(seed=1, shards=0)
+        with pytest.raises(InitError, match="horizon"):
+            ChaosSchedule.generate(seed=1, horizon=32, first_at=64)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.occupancy import OccupancySampler, sample_run
 from repro.core.checkpoint import (
+    MAGIC,
     load,
     restore,
     restore_bundle,
@@ -12,6 +13,7 @@ from repro.core.checkpoint import (
     snapshot,
     snapshot_bundle,
 )
+from repro.core.errors import CheckpointError
 from repro.core.simulator import HMCSim
 from repro.host.host import Host
 from repro.packets.commands import CMD
@@ -162,5 +164,59 @@ class TestCheckpoint:
 
     def test_restore_rejects_garbage(self):
         import pickle
-        with pytest.raises(TypeError):
+        with pytest.raises(CheckpointError):
             restore(pickle.dumps({"not": "a sim"}))
+
+
+class TestBlobHeader:
+    """Satellite: versioned magic header + typed CheckpointError."""
+
+    def test_snapshot_starts_with_magic(self):
+        assert snapshot(mk_sim()).startswith(MAGIC)
+        assert snapshot_bundle(mk_sim()).startswith(MAGIC)
+
+    def test_restore_rejects_missing_magic(self):
+        import pickle
+        with pytest.raises(CheckpointError, match="bad magic"):
+            restore(pickle.dumps(mk_sim.__name__))
+
+    def test_restore_rejects_wrong_version(self):
+        blob = snapshot(mk_sim())
+        bad = MAGIC[:-1] + bytes([MAGIC[-1] + 1]) + blob[len(MAGIC):]
+        with pytest.raises(CheckpointError, match="version"):
+            restore(bad)
+
+    def test_restore_rejects_truncated_payload(self):
+        blob = snapshot(mk_sim())
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            restore(blob[: len(blob) // 2])
+
+    def test_restore_rejects_short_blob(self):
+        with pytest.raises(CheckpointError, match="truncated"):
+            restore(MAGIC[:4])
+
+    def test_restore_rejects_non_bytes(self):
+        with pytest.raises(CheckpointError, match="expected bytes"):
+            restore({"not": "bytes"})
+
+    def test_restore_bundle_rejects_non_bundle(self):
+        # A valid *snapshot* blob is not a valid *bundle* blob.
+        with pytest.raises(CheckpointError, match="bundle"):
+            restore_bundle(snapshot(mk_sim()))
+
+    def test_wrong_payload_type_is_checkpoint_error(self):
+        import pickle
+        with pytest.raises(CheckpointError, match="HMCSim"):
+            restore(MAGIC + pickle.dumps({"not": "a sim"}))
+
+    def test_checkpoint_error_is_typed(self):
+        from repro.core.errors import E_INVAL, HMCError
+        assert issubclass(CheckpointError, HMCError)
+        assert CheckpointError.errno == E_INVAL
+
+    def test_save_load_round_trips_header(self, tmp_path):
+        sim = mk_sim()
+        path = tmp_path / "ckpt.bin"
+        save(sim, str(path))
+        assert path.read_bytes().startswith(MAGIC)
+        assert load(str(path)).clock_value == sim.clock_value

@@ -1,0 +1,126 @@
+"""Property-based tests for the admission layer (Hypothesis).
+
+Two QoS invariants that example-based tests can only sample:
+
+* a :class:`TokenBucket` never goes meaningfully negative and never
+  grants more than its budget — ``burst + rate * elapsed`` — however
+  the ready/consume calls interleave over time;
+* the admission controller always grants strictly in ``(priority,
+  arrival)`` order, for any fleet composition.
+
+Skipped cleanly when Hypothesis is not installed (it is in CI).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.service import (  # noqa: E402
+    AdmissionController,
+    PriorityClass,
+    ServiceConfig,
+    TenantSpec,
+    TokenBucket,
+)
+
+#: Tolerance for float rounding in the budget bound.
+_EPS = 1e-9
+
+
+@st.composite
+def bucket_runs(draw):
+    """A bucket shape plus a monotone sequence of poll cycles."""
+    rate = draw(st.floats(min_value=0.0, max_value=4.0,
+                          allow_nan=False, allow_infinity=False))
+    burst = draw(st.floats(min_value=1.0, max_value=32.0,
+                           allow_nan=False, allow_infinity=False))
+    steps = draw(st.lists(st.integers(min_value=0, max_value=7),
+                          min_size=1, max_size=200))
+    return rate, burst, steps
+
+
+class TestTokenBucketProperties:
+    @given(bucket_runs())
+    @settings(max_examples=200, deadline=None)
+    def test_tokens_never_negative(self, run):
+        rate, burst, steps = run
+        bucket = TokenBucket(rate, burst)
+        cycle = 0
+        for gap in steps:
+            cycle += gap
+            if bucket.ready(cycle):
+                bucket.consume(cycle)
+            # A consume is gated on ready(), so the balance can dip at
+            # most a rounding hair below zero.
+            assert bucket.tokens >= -_EPS
+            assert bucket.tokens <= bucket.burst + _EPS
+
+    @given(bucket_runs())
+    @settings(max_examples=200, deadline=None)
+    def test_grants_conserve_budget(self, run):
+        rate, burst, steps = run
+        bucket = TokenBucket(rate, burst)
+        if bucket.rate <= 0:
+            return  # unlimited mode: no budget to conserve
+        granted = 0
+        cycle = 0
+        for gap in steps:
+            cycle += gap
+            if bucket.ready(cycle):
+                bucket.consume(cycle)
+                granted += 1
+            budget = bucket.burst + bucket.rate * cycle
+            assert granted <= budget + _EPS
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=100, deadline=None)
+    def test_idle_refill_caps_at_burst(self, start, gap):
+        bucket = TokenBucket(rate=2.0, burst=8.0)
+        bucket.consume(start)
+        assert bucket.ready(start + gap) or gap == 0
+        assert bucket.tokens <= bucket.burst + _EPS
+
+
+def _fleet_strategy():
+    klass = st.sampled_from(list(PriorityClass))
+    return st.lists(klass, min_size=1, max_size=40)
+
+
+class TestAdmissionOrderProperties:
+    @given(_fleet_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_grant_order_monotone_in_priority_then_arrival(self, fleet):
+        config = ServiceConfig()
+        adm = AdmissionController(config)
+        for i, klass in enumerate(fleet):
+            spec = TenantSpec(tenant_id=f"t{i}", requests=iter(()),
+                              klass=klass)
+            adm.register(spec, tick=0)
+        order = []
+        while True:
+            ticket = adm.next_grant(tick=1)
+            if ticket is None:
+                break
+            order.append((int(ticket.spec.klass), ticket.seq))
+        assert order == sorted(order)
+        assert len(order) == len(fleet)
+
+    @given(_fleet_strategy(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_queue_rejections_balance(self, fleet, max_waiting):
+        config = ServiceConfig(max_waiting=max_waiting)
+        adm = AdmissionController(config)
+        for i, klass in enumerate(fleet):
+            spec = TenantSpec(tenant_id=f"t{i}", requests=iter(()),
+                              klass=klass)
+            adm.register(spec, tick=0)
+        granted = 0
+        while adm.next_grant(tick=1) is not None:
+            granted += 1
+        assert adm.registered == granted + adm.rejected
+        assert adm.rejected == max(0, len(fleet) - max_waiting)
