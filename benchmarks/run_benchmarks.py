@@ -20,15 +20,28 @@ Two scenario suites, selected with ``--suite``:
     latency, and multi-tenant ``serve`` throughput at 1 / 16 / 128
     tenants under both schedulers — writes ``BENCH_service.json``.
 
-Every scenario runs under both schedulers and asserts cycle-count
-equivalence (the bit-identical contract that
+``parallel``
+    The multi-process suite: each Table I cell on the sharded cycle
+    engine at 1 / 2 / 4 workers (asserting bit-identical cycle
+    counts), plus the whole Table I batch fanned across a
+    ``ParallelSimRunner`` pool vs run inline — writes
+    ``BENCH_parallel.json`` with the host's CPU budget recorded
+    (speedups are meaningless without it: sharding cannot beat the
+    usable core count).
+
+Every scenario runs under both schedulers (or both worker counts) and
+asserts cycle-count equivalence (the bit-identical contract that
 tests/test_scheduler_equivalence.py enforces in depth).
 
 Regression gate: ``--compare <baseline.json>`` re-reads a previous
 report and exits non-zero when any matching (scenario, scheduler)
-throughput regressed more than ``--compare-threshold`` (default 10%).
-``--baseline <baseline.json>`` embeds a previous report's numbers and
-per-scenario speedups into the output instead of gating.
+throughput regressed more than the wall-clock noise threshold.  The
+threshold is per-suite (run-level fan-out and service runs are noisier
+than single-process engine loops) with ``--compare-threshold``
+overriding; a *cycle-count* mismatch against the baseline is a hard
+failure at any threshold — wall time is noisy, simulated time never
+is.  ``--baseline <baseline.json>`` embeds a previous report's numbers
+and per-scenario speedups into the output instead of gating.
 
 Usage::
 
@@ -72,6 +85,19 @@ from repro.workloads.random_access import (  # noqa: E402
 )
 
 SCHEDULERS = ("naive", "active")
+
+# Wall-clock noise tolerance for the --compare gate, per suite.  The
+# engine/loaded suites are tight single-process loops; the service and
+# parallel suites add fork/pickle/IPC costs that wobble much more on
+# shared hosts.  --compare-threshold overrides all of these.
+SUITE_COMPARE_THRESHOLDS = {
+    "engine": 0.10,
+    "loaded": 0.10,
+    "service": 0.25,
+    "parallel": 0.35,
+}
+
+WORKER_COUNTS = (1, 2, 4)
 
 
 def _git_rev() -> str:
@@ -450,11 +476,120 @@ def run_service_suite(smoke: bool, repeat: int, report: dict) -> int:
     return failures
 
 
-def _compare_reports(report: dict, baseline: dict, threshold: float) -> int:
-    """Count (scenario, scheduler) pairs slower than baseline by more
-    than *threshold* (fractional cycles/sec drop)."""
+def run_parallel_suite(smoke: bool, repeat: int, report: dict) -> int:
+    """Parallel suite: in-run sharding and run-level fan-out.
+
+    Each Table I cell runs on the sharded cycle engine at 1 / 2 / 4
+    workers (simulated cycle counts must be bit-identical — that is the
+    engine's contract), then the whole Table I batch is fanned across a
+    ``ParallelSimRunner`` pool and compared against running it inline.
+
+    Returns the number of worker-equivalence failures.  Wall-clock
+    speedups are bounded by ``report["cpu"]["usable_cpus"]``: on a host
+    with a single usable core the sharded runs are *expected* to be
+    slower than serial (IPC overhead with no parallel hardware), and
+    only the equivalence columns are meaningful.
+    """
+    import os
+
+    from repro.parallel import ParallelSimRunner, RunSpec, run_spec, table1_specs
+
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        usable = os.cpu_count() or 1
+    report["cpu"] = {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+        "note": "sharded speedup is bounded by usable_cpus; with one "
+                "usable core only cycle equivalence is meaningful",
+    }
+    reqs = 256 if smoke else 4096
+    failures = 0
+
+    # -- in-run sharding: each Table I cell at 1 / 2 / 4 workers.
+    for label, device in PAPER_CONFIGS.items():
+        row = {"name": f"sharded_table1[{label}]", "runs": {}}
+        cycles_seen = {}
+        for workers in WORKER_COUNTS:
+            spec = RunSpec(
+                label=label, device=device, num_requests=reqs,
+                workers=workers,
+            )
+            wall, cycles = _timed(lambda s=spec: run_spec(s)["cycles"], repeat)
+            cycles_seen[workers] = cycles
+            row["runs"][f"workers{workers}"] = {
+                "wall_s": round(wall, 4),
+                "cycles": cycles,
+                "cycles_per_sec": round(cycles / wall, 1) if wall else None,
+            }
+        row["cycles_match"] = len(set(cycles_seen.values())) == 1
+        if not row["cycles_match"]:
+            failures += 1
+            print(f"FAIL {row['name']}: worker cycle mismatch {cycles_seen}",
+                  file=sys.stderr)
+        w1 = row["runs"]["workers1"]["wall_s"]
+        w2 = row["runs"]["workers2"]["wall_s"]
+        row["speedup_2w_vs_serial"] = round(w1 / w2, 2) if w2 else None
+        report["scenarios"].append(row)
+        print(
+            f"{row['name']:42s} 1w {w1:8.3f}s  2w {w2:8.3f}s  "
+            f"speedup {row['speedup_2w_vs_serial']}x  "
+            f"cycles={cycles_seen[1]}"
+        )
+
+    # -- run-level fan-out: the whole Table I batch, inline vs pooled.
+    specs = table1_specs(num_requests=reqs)
+
+    def run_inline() -> int:
+        return sum(run_spec(s)["cycles"] for s in specs)
+
+    def run_pooled() -> int:
+        with ParallelSimRunner(processes=4) as runner:
+            return sum(r["cycles"] for r in runner.run_many(specs))
+
+    row = {"name": "table1_batch_fanout", "runs": {}}
+    cycles_seen = {}
+    for mode, fn in (("inline", run_inline), ("pool4", run_pooled)):
+        wall, cycles = _timed(fn, repeat)
+        cycles_seen[mode] = cycles
+        row["runs"][mode] = {
+            "wall_s": round(wall, 4),
+            "cycles": cycles,
+            "cycles_per_sec": round(cycles / wall, 1) if wall else None,
+        }
+    row["cycles_match"] = len(set(cycles_seen.values())) == 1
+    if not row["cycles_match"]:
+        failures += 1
+        print(f"FAIL {row['name']}: pool cycle mismatch {cycles_seen}",
+              file=sys.stderr)
+    inline_w = row["runs"]["inline"]["wall_s"]
+    pool_w = row["runs"]["pool4"]["wall_s"]
+    row["speedup_pool_vs_inline"] = (
+        round(inline_w / pool_w, 2) if pool_w else None
+    )
+    report["scenarios"].append(row)
+    print(
+        f"{row['name']:42s} inline {inline_w:8.3f}s  pool4 {pool_w:8.3f}s  "
+        f"speedup {row['speedup_pool_vs_inline']}x  "
+        f"cycles={cycles_seen['inline']}"
+    )
+    return failures
+
+
+def _compare_reports(report: dict, baseline: dict, threshold: float):
+    """Compare against a baseline report.
+
+    Returns ``(regressions, cycle_mismatches)``: regressions are
+    (scenario, run) pairs slower than baseline by more than *threshold*
+    (fractional cycles/sec drop); cycle mismatches are pairs whose
+    simulated cycle count changed at all.  The caller treats the latter
+    as a hard failure at any threshold — wall time is noisy, simulated
+    time never is.
+    """
     base_rows = {r["name"]: r for r in baseline.get("scenarios", [])}
     regressions = 0
+    cycle_mismatches = 0
     for row in report["scenarios"]:
         base = base_rows.get(row["name"])
         if base is None:
@@ -463,6 +598,16 @@ def _compare_reports(report: dict, baseline: dict, threshold: float) -> int:
             bres = base.get("runs", {}).get(sched)
             if not bres:
                 continue
+            cur_cycles = run.get("cycles")
+            base_cycles = bres.get("cycles")
+            if (cur_cycles is not None and base_cycles is not None
+                    and cur_cycles != base_cycles):
+                cycle_mismatches += 1
+                print(
+                    f"CYCLE MISMATCH {row['name']} [{sched}]: baseline "
+                    f"{base_cycles} -> {cur_cycles} simulated cycles",
+                    file=sys.stderr,
+                )
             cur_cps = run.get("cycles_per_sec")
             base_cps = bres.get("cycles_per_sec")
             if not cur_cps or not base_cps:
@@ -476,7 +621,7 @@ def _compare_reports(report: dict, baseline: dict, threshold: float) -> int:
                     f"({drop:.0%} slower, threshold {threshold:.0%})",
                     file=sys.stderr,
                 )
-    return regressions
+    return regressions, cycle_mismatches
 
 
 def _embed_baseline(report: dict, baseline: dict) -> None:
@@ -503,9 +648,11 @@ def main(argv=None) -> int:
         help="small request counts for CI (seconds, not minutes)",
     )
     ap.add_argument(
-        "--suite", choices=("engine", "loaded", "service"), default="engine",
+        "--suite", choices=("engine", "loaded", "service", "parallel"),
+        default="engine",
         help="scenario suite: clock-engine set, loaded-path "
-        "(traced/untraced Table I) set, or the multi-tenant service set",
+        "(traced/untraced Table I) set, the multi-tenant service set, "
+        "or the multi-process sharding set",
     )
     ap.add_argument(
         "--out", type=Path, default=None,
@@ -523,9 +670,11 @@ def main(argv=None) -> int:
         "scenario's throughput regressed beyond the threshold",
     )
     ap.add_argument(
-        "--compare-threshold", type=float, default=0.10,
+        "--compare-threshold", type=float, default=None,
         help="fractional cycles/sec drop that counts as a regression "
-        "for --compare (default 0.10 = 10%%)",
+        "for --compare (default: per-suite, 10%% for engine/loaded, "
+        "higher for the IPC-noisy service/parallel suites; cycle-count "
+        "mismatches fail at any threshold)",
     )
     ap.add_argument(
         "--baseline", type=Path, default=None,
@@ -534,11 +683,16 @@ def main(argv=None) -> int:
     )
     args = ap.parse_args(argv)
     repeat = args.repeat if args.repeat is not None else (1 if args.smoke else 3)
+    threshold = (
+        args.compare_threshold if args.compare_threshold is not None
+        else SUITE_COMPARE_THRESHOLDS[args.suite]
+    )
     if args.out is None:
         args.out = REPO_ROOT / {
             "engine": "BENCH_clock_engine.json",
             "loaded": "BENCH_loaded_path.json",
             "service": "BENCH_service.json",
+            "parallel": "BENCH_parallel.json",
         }[args.suite]
 
     report = {
@@ -546,6 +700,7 @@ def main(argv=None) -> int:
             "engine": "clock_engine",
             "loaded": "loaded_path",
             "service": "service",
+            "parallel": "parallel_sharding",
         }[args.suite],
         "git_rev": _git_rev(),
         "python": platform.python_version(),
@@ -557,56 +712,41 @@ def main(argv=None) -> int:
     }
     if args.suite == "service":
         failures = run_service_suite(args.smoke, repeat, report)
-        if args.baseline is not None:
-            _embed_baseline(report, json.loads(args.baseline.read_text()))
-        args.out.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {args.out}")
-        if failures:
-            print(f"{failures} scenario(s) broke scheduler equivalence",
-                  file=sys.stderr)
-            return 1
-        if args.compare is not None:
-            regressions = _compare_reports(
-                report, json.loads(args.compare.read_text()),
-                args.compare_threshold,
+    elif args.suite == "parallel":
+        failures = run_parallel_suite(args.smoke, repeat, report)
+    else:
+        scenarios = (
+            build_loaded_scenarios(args.smoke) if args.suite == "loaded"
+            else build_scenarios(args.smoke)
+        )
+        failures = 0
+        for name, scenario in scenarios:
+            row = {"name": name, "runs": {}}
+            cycles_seen = {}
+            for sched in SCHEDULERS:
+                wall, cycles = _timed(lambda s=sched: scenario(s), repeat)
+                cycles_seen[sched] = cycles
+                row["runs"][sched] = {
+                    "wall_s": round(wall, 4),
+                    "cycles": cycles,
+                    "cycles_per_sec": round(cycles / wall, 1) if wall else None,
+                }
+            row["cycles_match"] = len(set(cycles_seen.values())) == 1
+            if not row["cycles_match"]:
+                failures += 1
+                print(f"FAIL {name}: scheduler cycle mismatch {cycles_seen}",
+                      file=sys.stderr)
+            naive_w = row["runs"]["naive"]["wall_s"]
+            active_w = row["runs"]["active"]["wall_s"]
+            row["speedup_active_vs_naive"] = (
+                round(naive_w / active_w, 2) if active_w else None
             )
-            if regressions:
-                print(f"{regressions} throughput regression(s) beyond "
-                      f"{args.compare_threshold:.0%}", file=sys.stderr)
-                return 2
-        return 0
-    scenarios = (
-        build_loaded_scenarios(args.smoke) if args.suite == "loaded"
-        else build_scenarios(args.smoke)
-    )
-    failures = 0
-    for name, scenario in scenarios:
-        row = {"name": name, "runs": {}}
-        cycles_seen = {}
-        for sched in SCHEDULERS:
-            wall, cycles = _timed(lambda s=sched: scenario(s), repeat)
-            cycles_seen[sched] = cycles
-            row["runs"][sched] = {
-                "wall_s": round(wall, 4),
-                "cycles": cycles,
-                "cycles_per_sec": round(cycles / wall, 1) if wall else None,
-            }
-        row["cycles_match"] = len(set(cycles_seen.values())) == 1
-        if not row["cycles_match"]:
-            failures += 1
-            print(f"FAIL {name}: scheduler cycle mismatch {cycles_seen}",
-                  file=sys.stderr)
-        naive_w = row["runs"]["naive"]["wall_s"]
-        active_w = row["runs"]["active"]["wall_s"]
-        row["speedup_active_vs_naive"] = (
-            round(naive_w / active_w, 2) if active_w else None
-        )
-        report["scenarios"].append(row)
-        print(
-            f"{name:42s} naive {naive_w:8.3f}s  active {active_w:8.3f}s  "
-            f"speedup {row['speedup_active_vs_naive']}x  "
-            f"cycles={cycles_seen['active']}"
-        )
+            report["scenarios"].append(row)
+            print(
+                f"{name:42s} naive {naive_w:8.3f}s  active {active_w:8.3f}s  "
+                f"speedup {row['speedup_active_vs_naive']}x  "
+                f"cycles={cycles_seen['active']}"
+            )
 
     if args.baseline is not None:
         _embed_baseline(report, json.loads(args.baseline.read_text()))
@@ -618,16 +758,20 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     if failures:
-        print(f"{failures} scenario(s) broke scheduler equivalence",
+        print(f"{failures} scenario(s) broke run equivalence",
               file=sys.stderr)
         return 1
     if args.compare is not None:
-        regressions = _compare_reports(
-            report, json.loads(args.compare.read_text()), args.compare_threshold
+        regressions, cycle_mismatches = _compare_reports(
+            report, json.loads(args.compare.read_text()), threshold
         )
+        if cycle_mismatches:
+            print(f"{cycle_mismatches} simulated-cycle mismatch(es) vs "
+                  f"baseline (hard failure)", file=sys.stderr)
+            return 1
         if regressions:
             print(f"{regressions} throughput regression(s) beyond "
-                  f"{args.compare_threshold:.0%}", file=sys.stderr)
+                  f"{threshold:.0%}", file=sys.stderr)
             return 2
     return 0
 

@@ -2,23 +2,28 @@
 
 Cycle simulation is serial within one run but embarrassingly parallel
 across runs — Table I is four independent simulations, ablations are
-dozens.  This module fans sweep points out over a process pool (each
-worker gets its own interpreter; the simulator is deterministic and
-self-contained, so results are identical to serial execution and
-ordering is preserved).
+dozens.  This module fans sweep points out over the shared
+:class:`repro.parallel.pool.WorkerPool` (each worker gets its own
+interpreter; the simulator is deterministic and self-contained, so
+results are identical to serial execution and ordering is preserved).
 
 Sweep points must be picklable; the worker function is imported by
 path, so lambdas are rejected up front with a clear error instead of a
 pickle traceback from the pool.
+
+A raising sweep point is a hard error: the failure surfaces as
+:class:`repro.parallel.channels.RemoteError` carrying the point's task
+index and the **original worker-side traceback** — never a silent
+serial re-run and never an opaque "process pool died".
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import DeviceConfig, PAPER_CONFIGS
+from repro.parallel.pool import WorkerPool
 from repro.workloads.random_access import RandomAccessConfig, run_random_access
 
 
@@ -66,14 +71,19 @@ def run_sweep(
 
     Results return in *points* order.  ``processes=1`` (or a single
     point) runs inline — handy under debuggers and coverage tools.
+
+    A worker exception aborts the sweep with :class:`repro.parallel.
+    channels.RemoteError` naming the failing task and embedding its
+    worker-side traceback; already-dispatched points finish first so
+    the failure is never hidden by pool teardown.
     """
     _check_picklable_callable(fn)
     points = list(points)
     n = processes if processes is not None else default_workers()
     if n <= 1 or len(points) <= 1:
         return [fn(p) for p in points]
-    with ProcessPoolExecutor(max_workers=min(n, len(points))) as pool:
-        return list(pool.map(fn, points))
+    with WorkerPool(processes=min(n, len(points))) as pool:
+        return pool.map(fn, points)
 
 
 # ---------------------------------------------------------------------------

@@ -226,6 +226,69 @@ class ClockEngine:
 
     # ------------------------------------------------------------------
 
+    def _stage34_fused(
+        self,
+        cycle: int,
+        window: int,
+        width: int,
+        busy: int,
+        row_timing,
+        tracer,
+    ):
+        """Fused stage-3/4 pass over every vault with queued requests.
+
+        Only called when SUBCYCLE markers are off (:meth:`tick` falls
+        back to the split recognize/process stages otherwise).  The
+        visit order is identical under both schedulers: devices in id
+        order, non-empty vaults in ascending vault id (the naive walk
+        visits empty vaults too, but ``Vault.stage34`` is a strict no-op
+        there).  Returns ``(conflicts, issued)``.
+
+        This is the sharding seam: the parallel engine
+        (:class:`repro.parallel.engine.ParallelClockEngine`) overrides
+        it to delegate the per-vault work to worker processes while
+        every other stage keeps running in this process.
+        """
+        sim = self.sim
+        conflicts = 0
+        issued = 0
+        if self._active:
+            for dev in sim.devices:
+                act = dev.act_vault_rqst
+                if not act:
+                    continue
+                vaults = dev.vaults
+                amap = dev.amap
+                dev_id = dev.dev_id
+                for vid in sorted(act):
+                    c, i = vaults[vid].stage34(
+                        cycle, amap, window, width, busy, tracer,
+                        dev_id, row_timing=row_timing,
+                    )
+                    conflicts += c
+                    issued += i
+        else:
+            for dev in sim.devices:
+                amap = dev.amap
+                dev_id = dev.dev_id
+                for vault in dev.vaults:
+                    c, i = vault.stage34(
+                        cycle, amap, window, width, busy, tracer,
+                        dev_id, row_timing=row_timing,
+                    )
+                    conflicts += c
+                    issued += i
+        return conflicts, issued
+
+    def shutdown(self) -> None:
+        """Release engine-held OS resources.
+
+        The single-process engine holds none; the sharded engine
+        overrides this to stop its worker processes.  Called by
+        :meth:`HMCSim.free` / :meth:`HMCSim.reset` and safe to call
+        repeatedly.
+        """
+
     def tick(self) -> None:
         """Run one full clock cycle (all six sub-cycle stages)."""
         self._sync_topology()
@@ -303,32 +366,9 @@ class ClockEngine:
             # sharing queue setup and busy state.  Events keep their
             # per-vault order; only cross-vault interleaving within the
             # cycle changes, identically under both schedulers.
-            if active:
-                for dev in sim.devices:
-                    act = dev.act_vault_rqst
-                    if not act:
-                        continue
-                    vaults = dev.vaults
-                    amap = dev.amap
-                    dev_id = dev.dev_id
-                    for vid in sorted(act):
-                        c, i = vaults[vid].stage34(
-                            cycle, amap, window, width, busy, tracer,
-                            dev_id, row_timing=row_timing,
-                        )
-                        conflicts += c
-                        issued += i
-            else:
-                for dev in sim.devices:
-                    amap = dev.amap
-                    dev_id = dev.dev_id
-                    for vault in dev.vaults:
-                        c, i = vault.stage34(
-                            cycle, amap, window, width, busy, tracer,
-                            dev_id, row_timing=row_timing,
-                        )
-                        conflicts += c
-                        issued += i
+            conflicts, issued = self._stage34_fused(
+                cycle, window, width, busy, row_timing, tracer
+            )
             self.stage_counts[3] += conflicts
             self.stage_counts[4] += issued
             if prof is not None:

@@ -1,0 +1,427 @@
+"""The sharded multi-process cycle engine (master side).
+
+:class:`ParallelClockEngine` is a drop-in :class:`~repro.core.clock.
+ClockEngine` replacement selected by ``SimConfig.workers > 1``.  It
+keeps the six-sub-cycle protocol running in this process — link
+crossbars, refresh bookkeeping, response registration, registers,
+tracer, watchdog, idle fast-forward — and delegates only the fused
+stage-3/4 vault pass (:meth:`ClockEngine._stage34_fused`, the dominant
+cost of a loaded run) to shard worker processes
+(:mod:`repro.parallel.worker`).
+
+Determinism is the contract: cycle counts, trace streams, statistics
+and register state are bit-identical to the single-process engine
+(tests/test_scheduler_equivalence.py runs the same oracle against
+``workers=2``).  The mechanisms:
+
+* the master ships each shard an explicit **visit list** every barrier
+  cycle — the exact vaults, in the exact order, the serial engine
+  would have visited — so no cross-process set-iteration order leaks
+  into execution order;
+* workers return per-vault **effect logs** (trace emissions, queue
+  removals, response packets, MODE requests) that the master replays
+  in global visit order, re-drawing response serials from its own
+  counter so serial allocation matches the serial engine exactly;
+* the cycle barrier is conservative: one barrier per real tick, which
+  is always at least as tight as the topology's minimum cross-shard
+  latency (``ShardPlan.lookahead`` ≥ :data:`repro.core.link.
+  MIN_LINK_TRAVERSAL_CYCLES`), so no cross-shard message can ever be
+  missed;
+* quiescent windows are fast-forwarded by the master alone (the
+  ``active`` scheduler's closed-form skip); workers catch up lazily
+  because all bank timing is kept in absolute cycles.
+
+Engine-level fallbacks keep every feature working: ECC configurations
+never construct this engine (the RAS sub-step reads bank storage every
+tick — see :meth:`HMCSim.__init__`), SUBCYCLE stage tracing absorbs
+worker state and reverts to the serial path permanently, and the
+device ``poke``/``peek`` storage backdoors synchronize shard state
+before touching banks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clock import ClockEngine, _EV_SUBCYCLE
+from repro.core.device import HMCDevice
+from repro.packets import packet as packet_mod
+from repro.parallel.channels import PULL, RSLT, STAT, STEP, STOP, Channel
+from repro.parallel.partition import ShardPlan, plan_shards
+from repro.parallel.worker import apply_vault_state, shard_worker_main
+
+#: Engines with a live worker pool; consulted by the poke/peek guards.
+_ACTIVE_ENGINES: "weakref.WeakSet[ParallelClockEngine]" = weakref.WeakSet()
+
+_orig_poke = HMCDevice.poke
+_orig_peek = HMCDevice.peek
+_backdoor_guards_installed = False
+
+
+def _engine_owning(dev: HMCDevice) -> Optional["ParallelClockEngine"]:
+    for eng in list(_ACTIVE_ENGINES):
+        if eng._started and not eng._fallback:
+            for d in eng.sim.devices:
+                if d is dev:
+                    return eng
+    return None
+
+
+def _guarded_poke(self, addr, words):
+    eng = _engine_owning(self)
+    if eng is not None:
+        # Absorb authoritative bank state, then retire the pool: the
+        # next stage-3/4 re-forks workers that inherit this write.
+        eng.sync_state()
+        eng.shutdown()
+    _orig_poke(self, addr, words)
+
+
+def _guarded_peek(self, addr, nwords=2):
+    eng = _engine_owning(self)
+    if eng is not None:
+        eng.sync_state()
+    return _orig_peek(self, addr, nwords)
+
+
+def _install_backdoor_guards() -> None:
+    """Route the direct-storage debug backdoors through shard sync.
+
+    Installed once, on the first pool start, so purely serial runs
+    (``workers=1`` never imports this module) keep the original
+    methods untouched.
+    """
+    global _backdoor_guards_installed
+    if _backdoor_guards_installed:
+        return
+    HMCDevice.poke = _guarded_poke
+    HMCDevice.peek = _guarded_peek
+    _backdoor_guards_installed = True
+
+
+class ParallelClockEngine(ClockEngine):
+    """Cycle-barrier sharded engine; see the module docstring."""
+
+    __slots__ = ("_workers", "_strategy", "_started", "_fallback",
+                 "_plan", "_owner", "_procs", "_chans",
+                 "_known_len", "_pending_pops", "__weakref__")
+
+    def __init__(self, sim) -> None:
+        super().__init__(sim)
+        self._workers = sim.config.workers
+        self._strategy = sim.config.shard_strategy
+        self._started = False
+        #: Permanent reversion to the serial path (SUBCYCLE tracing).
+        self._fallback = False
+        self._plan: Optional[ShardPlan] = None
+        self._owner: Optional[Dict[Tuple[int, int], int]] = None
+        self._procs: List[mp.process.BaseProcess] = []
+        self._chans: List[Channel] = []
+        #: Mirror request-queue length per vault at the last sync point;
+        #: entries beyond it are new pushes to ship with the next STEP.
+        self._known_len: Dict[Tuple[int, int], int] = {}
+        #: Stage-5 response pops not yet shipped, per vault.
+        self._pending_pops: Dict[Tuple[int, int], int] = {}
+
+    # -- pool lifecycle -------------------------------------------------
+
+    @property
+    def plan(self) -> Optional[ShardPlan]:
+        """The active shard plan (None until the pool first starts)."""
+        return self._plan
+
+    def _start_pool(self) -> None:
+        """Fork the shard workers from the current simulation state.
+
+        Deliberately called from inside the first real stage-3/4 pass:
+        at that point this cycle's crossbar pushes and refresh windows
+        are already part of the (copy-on-write) image every worker
+        inherits, so master mirror and worker replicas start exactly
+        convergent.
+        """
+        sim = self.sim
+        self._plan = plan_shards(sim, self._workers, self._strategy)
+        self._owner = self._plan.owner_of()
+        ctx = mp.get_context("fork")
+        start_cycle = sim.clock_value
+        self._procs = []
+        self._chans = []
+        for owned in self._plan.shards:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=shard_worker_main,
+                args=(child, sim, owned, start_cycle),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._chans.append(Channel(parent))
+        self._known_len = {
+            key: len(sim.devices[key[0]].vaults[key[1]].rqst._q)
+            for key in self._owner
+        }
+        self._pending_pops = {}
+        self._started = True
+        _install_backdoor_guards()
+        _ACTIVE_ENGINES.add(self)
+
+    def shutdown(self) -> None:
+        """Stop the worker pool; the engine stays usable (re-forks
+        lazily at the next stage-3/4 pass).  Safe to call repeatedly.
+
+        Note this does **not** absorb worker bank state — call
+        :meth:`sync_state` first when storage must be current (the
+        checkpoint layer and the poke/peek guards do).
+        """
+        if not self._started:
+            return
+        self._started = False
+        _ACTIVE_ENGINES.discard(self)
+        for chan in self._chans:
+            try:
+                chan.send(STOP)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for chan in self._chans:
+            chan.close()
+        self._procs = []
+        self._chans = []
+        self._plan = None
+        self._owner = None
+        self._known_len = {}
+        self._pending_pops = {}
+
+    def sync_state(self) -> None:
+        """Pull authoritative bank/vault state into the master mirror.
+
+        After this returns, direct storage reads (``peek``, checkpoint
+        pickling, analysis over ``bank._blocks``) observe exactly what
+        the workers hold.  The pool keeps running — the absorb is a
+        read, not a hand-over.
+        """
+        if not self._started:
+            return
+        sim = self.sim
+        for chan in self._chans:
+            chan.send(PULL)
+        for chan in self._chans:
+            state = chan.expect(STAT)
+            for (dev_id, vid), vstate in state.items():
+                apply_vault_state(sim.devices[dev_id].vaults[vid], vstate)
+
+    def sync_for_snapshot(self) -> None:
+        """Checkpoint hook (see :func:`repro.core.checkpoint.snapshot`)."""
+        self.sync_state()
+
+    def _enter_fallback(self) -> None:
+        """Absorb shard state and revert to the serial path for good."""
+        self.sync_state()
+        self.shutdown()
+        self._fallback = True
+
+    # -- engine overrides -----------------------------------------------
+
+    def tick(self) -> None:
+        if (
+            self._started
+            and not self._fallback
+            and self.sim.tracer.live_mask & _EV_SUBCYCLE
+        ):
+            # SUBCYCLE markers force the split recognize/process stages,
+            # which run on the master's (stale) bank mirror — absorb the
+            # authoritative state first and stay serial from here on.
+            self._enter_fallback()
+        super().tick()
+
+    def _stage34_fused(self, cycle, window, width, busy, row_timing, tracer):
+        if self._fallback:
+            return super()._stage34_fused(
+                cycle, window, width, busy, row_timing, tracer
+            )
+        if not self._started:
+            if mp.current_process().daemon:
+                # A restored snapshot ticking inside a daemonic worker
+                # (e.g. a WorkerPool lane) may not fork children: stay
+                # on the bit-identical serial path permanently.
+                self._fallback = True
+                return super()._stage34_fused(
+                    cycle, window, width, busy, row_timing, tracer
+                )
+            self._start_pool()
+        sim = self.sim
+        owner = self._owner
+        num_shards = self._plan.num_shards
+
+        # The global visit list: the exact per-vault order the serial
+        # engine uses (devices ascending, non-empty vaults ascending —
+        # the naive walk's extra visits to empty vaults are strict
+        # no-ops, so both schedulers reduce to this same list).
+        visits: List[Tuple[int, int]] = []
+        shard_visits: List[List[Tuple[int, int]]] = [
+            [] for _ in range(num_shards)
+        ]
+        if self._active:
+            for dev in sim.devices:
+                act = dev.act_vault_rqst
+                if not act:
+                    continue
+                dev_id = dev.dev_id
+                for vid in sorted(act):
+                    key = (dev_id, vid)
+                    visits.append(key)
+                    shard_visits[owner[key]].append(key)
+        else:
+            for dev in sim.devices:
+                dev_id = dev.dev_id
+                for vault in dev.vaults:
+                    if vault.rqst._q:
+                        key = (dev_id, vault.vault_id)
+                        visits.append(key)
+                        shard_visits[owner[key]].append(key)
+        if not visits:
+            return 0, 0
+
+        # One STEP per shard with work this cycle.  Shards without work
+        # are not contacted: their queues cannot have changed (a pushed
+        # vault is non-empty, hence visited), and deferred response
+        # pops stay pending until the next cycle that steps them.
+        live_mask = sim.tracer.live_mask
+        devices = sim.devices
+        known = self._known_len
+        pending_pops = self._pending_pops
+        stepped: List[int] = []
+        for si in range(num_shards):
+            if not shard_visits[si]:
+                continue
+            pushes: Dict[Tuple[int, int], tuple] = {}
+            pops: Dict[Tuple[int, int], int] = {}
+            for key in self._plan.shards[si]:
+                q = devices[key[0]].vaults[key[1]].rqst
+                n = known[key]
+                if len(q._q) > n:
+                    pkts = list(q._q)[n:]
+                    stamps = [q.stamp_at(i) for i in range(n, len(q._q))]
+                    pushes[key] = (pkts, stamps)
+                    known[key] = len(q._q)
+                npop = pending_pops.pop(key, None)
+                if npop:
+                    pops[key] = npop
+            self._chans[si].send(
+                STEP, (cycle, live_mask, shard_visits[si], pushes, pops)
+            )
+            stepped.append(si)
+
+        results: Dict[Tuple[int, int], tuple] = {}
+        for si in stepped:
+            results.update(self._chans[si].expect(RSLT))
+
+        # Replay every shard's effects in global visit order; this is
+        # where trace events reach the real tracer and response packets
+        # draw their master-side serials.
+        conflicts = 0
+        issued = 0
+        for key in visits:
+            log, c, i, deltas, bank_deltas = results[key]
+            conflicts += c
+            issued += i
+            dev_id, vid = key
+            vault = devices[dev_id].vaults[vid]
+            for tag, payload in log:
+                if tag == "T":
+                    tracer.emit_fast(*payload)
+                elif tag == "E":
+                    ev, kw = payload
+                    tracer.event(ev, cycle, **kw)
+                elif tag == "P":
+                    pkt = payload
+                    pkt.serial = next(packet_mod._packet_serial)
+                    ok = vault.rsp.push(pkt, cycle)
+                    assert ok, "mirror response push diverged from worker"
+                elif tag == "M":
+                    # Re-execute the MODE access against the live
+                    # register file; every MODE command expects a
+                    # response, so this pushes exactly one packet —
+                    # matching the worker's placeholder slot.
+                    before = len(vault.rsp._q)
+                    vault._do_mode(payload, cycle, tracer, dev_id)
+                    assert len(vault.rsp._q) == before + 1, (
+                        "MODE replay pushed an unexpected response count"
+                    )
+                elif tag == "R":
+                    positions, scanned = payload
+                    vault.rqst.remove_positions(positions, scanned)
+            vault.rd_count += deltas[0]
+            vault.wr_count += deltas[1]
+            vault.atomic_count += deltas[2]
+            vault.conflict_count += deltas[3]
+            vault.issue_stall_cycles += deltas[4]
+            vault.rsp_stall_count += deltas[5]
+            banks = vault.banks
+            for bid, bd in bank_deltas:
+                bank = banks[bid]
+                bank.reads += bd[0]
+                bank.writes += bd[1]
+                bank.atomics += bd[2]
+                bank.conflicts += bd[3]
+                bank.column_fetches += bd[4]
+                bank.dram_access_count += bd[5]
+                bank.row_hits += bd[6]
+                bank.row_misses += bd[7]
+            known[key] = len(vault.rqst._q)
+        return conflicts, issued
+
+    def _register_device_responses(self, dev, cycle, active=False):
+        if not self._started or self._fallback:
+            return super()._register_device_responses(dev, cycle, active)
+        # Record how many responses stage 5 pops from each mirror vault
+        # response queue, to replicate on the owning shard's mirror.
+        vaults = dev.vaults
+        if active:
+            watch = [
+                (vid, len(vaults[vid].rsp._q)) for vid in dev.act_vault_rsp
+            ]
+        else:
+            watch = [
+                (v.vault_id, len(v.rsp._q)) for v in vaults if v.rsp._q
+            ]
+        moved = super()._register_device_responses(dev, cycle, active)
+        if watch:
+            dev_id = dev.dev_id
+            pops = self._pending_pops
+            for vid, before in watch:
+                diff = before - len(vaults[vid].rsp._q)
+                if diff > 0:
+                    key = (dev_id, vid)
+                    pops[key] = pops.get(key, 0) + diff
+        return moved
+
+    # -- pickling (checkpoints capture the engine via HMCSim) -----------
+
+    def __getstate__(self):
+        state = {}
+        for cls in type(self).__mro__:
+            for name in getattr(cls, "__slots__", ()):
+                if name != "__weakref__" and hasattr(self, name):
+                    state[name] = getattr(self, name)
+        # OS resources never travel: a restored engine re-forks lazily
+        # from the restored (already synchronized) simulation state.
+        state["_started"] = False
+        state["_procs"] = []
+        state["_chans"] = []
+        state["_plan"] = None
+        state["_owner"] = None
+        state["_known_len"] = {}
+        state["_pending_pops"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)

@@ -1,0 +1,120 @@
+"""Shard planning for the parallel cycle engine.
+
+Decides which ``(dev_id, vault_id)`` pairs each worker process owns.
+Strategies (``SimConfig.shard_strategy``):
+
+``"device"``
+    Whole devices per shard — the natural cut for chained topologies,
+    where cross-shard traffic is confined to the boundary chain links
+    (:func:`repro.topology.partition.boundary_links`).
+
+``"vault"``
+    Quad-aligned vault groups per shard within each device — the cut
+    for single large devices, where the crossbar→vault queue hand-off
+    is the shard boundary.
+
+``"auto"``
+    ``"device"`` when the simulation has more than one device and at
+    least as many devices as workers, else ``"vault"``.
+
+Every strategy covers each vault exactly once; the planner also
+reports the conservative lookahead bound (cycles a shard may run ahead
+of the barrier without missing a cross-shard message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.topology.partition import (
+    device_groups,
+    min_boundary_latency,
+    quad_groups,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import HMCSim
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full partition: one vault list per worker, plus metadata."""
+
+    #: ``shards[i]`` = sorted ``(dev_id, vault_id)`` pairs of worker i.
+    shards: Tuple[Tuple[Tuple[int, int], ...], ...]
+    #: Strategy actually used after ``auto`` resolution.
+    strategy: str
+    #: Conservative lookahead bound in cycles (≥ 1): no cross-shard
+    #: message sent at cycle t can matter to a peer before t + bound.
+    lookahead: int
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def owner_of(self) -> Dict[Tuple[int, int], int]:
+        """Map every owned ``(dev_id, vault_id)`` to its shard index."""
+        out: Dict[Tuple[int, int], int] = {}
+        for si, shard in enumerate(self.shards):
+            for key in shard:
+                out[key] = si
+        return out
+
+
+def plan_shards(sim: "HMCSim", workers: int, strategy: str = "auto") -> ShardPlan:
+    """Partition *sim* into at most *workers* shards.
+
+    The shard count may come out below *workers* (never above): a
+    4-quad device cannot feed more than 4 vault shards, a 2-device
+    chain no more than 2 device shards.  Every vault of every device is
+    owned by exactly one shard.
+    """
+    num_devs = len(sim.devices)
+    num_vaults = sim.config.device.num_vaults
+    if strategy == "auto":
+        strategy = "device" if 1 < num_devs and num_devs >= workers else "vault"
+
+    shards: List[List[Tuple[int, int]]]
+    if strategy == "device":
+        groups = device_groups(num_devs, workers)
+        shards = [
+            [(dev, v) for dev in group for v in range(num_vaults)]
+            for group in groups
+        ]
+        lookahead = min_boundary_latency(sim, groups)
+    else:
+        vgroups = quad_groups(num_vaults, workers)
+        shards = [
+            [(dev, v) for dev in range(num_devs) for v in group]
+            for group in vgroups
+        ]
+        # Vault shards exchange through the crossbar's registered input:
+        # one structural hop, the global latency floor.
+        lookahead = min_boundary_latency(sim, [list(range(num_devs))])
+
+    shards = [sorted(s) for s in shards if s]
+    _check_cover(shards, num_devs, num_vaults)
+    return ShardPlan(
+        shards=tuple(tuple(s) for s in shards),
+        strategy=strategy,
+        lookahead=lookahead,
+    )
+
+
+def _check_cover(
+    shards: List[List[Tuple[int, int]]], num_devs: int, num_vaults: int
+) -> None:
+    seen: Dict[Tuple[int, int], int] = {}
+    for si, shard in enumerate(shards):
+        for key in shard:
+            if key in seen:
+                raise AssertionError(
+                    f"vault {key} owned by shards {seen[key]} and {si}"
+                )
+            seen[key] = si
+    want = num_devs * num_vaults
+    if len(seen) != want:
+        raise AssertionError(
+            f"partition covers {len(seen)} vaults, expected {want}"
+        )

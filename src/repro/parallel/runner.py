@@ -1,0 +1,147 @@
+"""`ParallelSimRunner`: one facade over both parallelism granularities.
+
+The framework parallelizes at two levels, and paper-scale Table I runs
+(§V, 2**25 requests per configuration) want both:
+
+* **across runs** — independent configurations fan out over a
+  :class:`~repro.parallel.pool.WorkerPool`, one process per run.  This
+  is the coarse-grained, near-linear axis: four Table I cells on four
+  cores finish in the time of the slowest cell.
+* **within a run** — a single simulation shards its stage-3/4 vault
+  work across worker processes via :class:`~repro.parallel.engine.
+  ParallelClockEngine` (``RunSpec.workers > 1``), bit-identical to the
+  serial engine.
+
+Worker lifecycle and error propagation are owned here: the pool is
+started once, reused across :meth:`ParallelSimRunner.run_many` calls,
+shut down deterministically, and a raising run surfaces as
+:class:`~repro.parallel.channels.RemoteError` with the original
+worker-side traceback — never a silent serial fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.config import DeviceConfig, PAPER_CONFIGS, SimConfig
+from repro.parallel.pool import WorkerPool
+from repro.workloads.random_access import (
+    RandomAccessConfig,
+    run_random_access,
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run: a Table I-style cell plus engine knobs."""
+
+    label: str
+    device: DeviceConfig
+    num_requests: int = 1 << 14
+    seed: int = 1
+    #: Scheduler for the run ("active" idle fast-forward by default).
+    scheduler: str = "active"
+    #: Shard workers *inside* this run (1 = serial engine).
+    workers: int = 1
+    shard_strategy: str = "auto"
+    #: Extra RandomAccessConfig fields (read_fraction, request_bytes…).
+    workload: Dict[str, Any] = field(default_factory=dict)
+
+    def sim_config(self) -> SimConfig:
+        return SimConfig(
+            device=self.device,
+            scheduler=self.scheduler,
+            workers=self.workers,
+            shard_strategy=self.shard_strategy,
+        )
+
+
+def run_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Execute one :class:`RunSpec`; module-level so pools can pickle it.
+
+    Returns a plain-data summary (label, cycles, throughput, wall time)
+    rather than the full result object: pool results cross a pipe, and
+    the simulation object itself should not.
+    """
+    cfg = RandomAccessConfig(
+        num_requests=spec.num_requests, seed=spec.seed, **spec.workload
+    )
+    result = run_random_access(spec.device, cfg, sim_config=spec.sim_config())
+    return {
+        "label": spec.label,
+        "cycles": result.cycles,
+        "requests": spec.num_requests,
+        "requests_per_cycle": result.requests_per_cycle,
+        "wall_seconds": result.wall_seconds,
+        "workers": spec.workers,
+        "scheduler": spec.scheduler,
+    }
+
+
+def table1_specs(
+    num_requests: int = 1 << 14,
+    seed: int = 1,
+    workers: int = 1,
+    scheduler: str = "active",
+) -> List[RunSpec]:
+    """The four paper Table I cells as run specs."""
+    return [
+        RunSpec(
+            label=label,
+            device=device,
+            num_requests=num_requests,
+            seed=seed,
+            workers=workers,
+            scheduler=scheduler,
+        )
+        for label, device in PAPER_CONFIGS.items()
+    ]
+
+
+class ParallelSimRunner:
+    """Run :class:`RunSpec` batches across a reusable process pool.
+
+    ``processes=1`` executes inline (no pool, no forks) — the zero-
+    overhead path for debuggers and single-core machines.  Use as a
+    context manager or call :meth:`close` to retire the pool.
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        self.processes = processes
+        self._pool: Optional[WorkerPool] = None
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(processes=self.processes)
+        return self._pool
+
+    def run(self, spec: RunSpec) -> Dict[str, Any]:
+        """Run one spec in this process (sharding still applies)."""
+        return run_spec(spec)
+
+    def run_many(self, specs: Sequence[RunSpec]) -> List[Dict[str, Any]]:
+        """Run *specs* across the pool; results in spec order.
+
+        A failing run raises :class:`~repro.parallel.channels.
+        RemoteError` naming the spec index, with the worker traceback
+        attached; in-flight runs complete first so the pool survives
+        for the next batch.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if (self.processes or 0) == 1 or len(specs) == 1:
+            return [run_spec(s) for s in specs]
+        return self._ensure_pool().map(run_spec, specs)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSimRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,306 @@
+"""Shard worker process: authoritative stage-3/4 execution for a
+vault partition.
+
+The master (:class:`repro.parallel.engine.ParallelClockEngine`) forks
+each worker with a complete copy of the simulation, then keeps the
+copies convergent with a strict division of authority:
+
+* the **worker** owns bank storage, bank busy windows and the issue
+  decisions of its vaults — it runs the real ``Vault.stage34`` every
+  barrier cycle;
+* the **master** owns everything else (crossbars, links, registers,
+  tracer, the packet serial counter) and mirrors the vault queues by
+  replaying the worker-reported *effects*: queue removals, response
+  packets, trace emissions and counter deltas, in the exact per-vault
+  order they happened.
+
+Three worker-side seams keep the replay exact:
+
+* a :class:`CaptureTracer` records ``emit_fast`` tuples and ``event``
+  calls instead of emitting them — no event inside stage 3/4
+  references a response serial (only request serials, which the master
+  assigned before shipping the packet down), so the log replays
+  verbatim on the master tracer;
+* ``PacketQueue.remove_positions`` is wrapped to log its arguments, so
+  the master applies the identical batched removal to its mirror;
+* ``Vault._do_mode`` is stubbed out: MODE packets touch the device
+  register file, which only the master holds authoritatively.  The
+  stub keeps the control flow (one response slot consumed, FIFO scan
+  order preserved) and logs an ``"M"`` entry; the master re-executes
+  the real ``_do_mode`` against the live registers at the same log
+  position, producing the authoritative response, serial and events.
+
+Response packets built by the worker carry worker-local serials; the
+master renumbers them from its own counter in log order, which lands
+on exactly the serials the single-process engine would have drawn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.queueing import PacketQueue
+from repro.core.vault import Vault
+from repro.parallel.channels import (
+    PULL,
+    RSLT,
+    STAT,
+    STEP,
+    STOP,
+    Channel,
+    ChannelClosed,
+    encode_exception,
+)
+
+#: Vault counters mirrored per step as (before/after) deltas.  The
+#: refresh counter is absent on purpose: the master executes the
+#: refresh bookkeeping itself each tick (the worker only applies the
+#: bank busy windows), and ``mode_count`` moves on the master side when
+#: it re-executes ``_do_mode``.
+VAULT_COUNTERS = (
+    "rd_count", "wr_count", "atomic_count",
+    "conflict_count", "issue_stall_cycles", "rsp_stall_count",
+)
+
+#: Bank counters mirrored per step (storage itself stays worker-side
+#: until a PULL).
+BANK_COUNTERS = (
+    "reads", "writes", "atomics", "conflicts",
+    "column_fetches", "dram_access_count", "row_hits", "row_misses",
+)
+
+
+class CaptureTracer:
+    """Tracer stand-in recording emissions for master-side replay."""
+
+    __slots__ = ("live_mask", "log")
+
+    def __init__(self, live_mask: int = 0) -> None:
+        self.live_mask = live_mask
+        self.log: Optional[list] = None
+
+    def emit_fast(self, *args) -> None:
+        self.log.append(("T", args))
+
+    def event(self, ev, cycle, **kw) -> None:
+        self.log.append(("E", (ev, kw)))
+
+
+# -- worker-side method seams -------------------------------------------
+
+#: Active capture log while a stage34 call runs (worker process only).
+_capture: CaptureTracer = None
+
+_orig_remove_positions = PacketQueue.remove_positions
+_orig_push_response = Vault._push_response
+
+
+def _logged_remove_positions(self, positions, scanned=None):
+    cap = _capture
+    if cap is not None and cap.log is not None:
+        cap.log.append(("R", (list(positions), scanned)))
+    _orig_remove_positions(self, positions, scanned)
+
+
+def _logged_push_response(self, rsp, request, cycle):
+    _orig_push_response(self, rsp, request, cycle)
+    cap = _capture
+    if cap is not None and cap.log is not None:
+        cap.log.append(("P", rsp))
+
+
+def _stub_do_mode(self, pkt, cycle, tracer, dev_id):
+    """Control-flow-equivalent MODE handling without register access.
+
+    Consumes exactly one response-queue slot (the real ``_do_mode``
+    always pushes exactly one response — success and error paths both
+    respond) using the request itself as a placeholder; content never
+    escapes the worker because the master pushes the authoritative
+    response into its mirror instead.
+    """
+    cap = _capture
+    if cap is not None and cap.log is not None:
+        cap.log.append(("M", pkt))
+    ok = self.rsp.push(pkt, cycle)
+    assert ok, "MODE placeholder push after capacity check"
+
+
+def _install_worker_seams() -> None:
+    """Patch the shard seams in (and only in) the worker process."""
+    PacketQueue.remove_positions = _logged_remove_positions
+    Vault._push_response = _logged_push_response
+    Vault._do_mode = _stub_do_mode
+
+
+# -- authoritative-state transfer ---------------------------------------
+
+def export_vault_state(vault: Vault) -> tuple:
+    """Authoritative worker-side state the master's mirror lacks."""
+    return (
+        vault._busy_mask,
+        vault._next_free,
+        [
+            (
+                dict(b._blocks), b.busy_until, b.open_row,
+                tuple(getattr(b, name) for name in BANK_COUNTERS),
+            )
+            for b in vault.banks
+        ],
+    )
+
+
+def apply_vault_state(vault: Vault, state: tuple) -> None:
+    """Inverse of :func:`export_vault_state` (master-side absorb)."""
+    busy_mask, next_free, banks = state
+    vault._busy_mask = busy_mask
+    vault._next_free = next_free
+    for bank, (blocks, busy_until, open_row, counters) in zip(
+        vault.banks, banks
+    ):
+        bank._blocks = dict(blocks)
+        bank.busy_until = busy_until
+        bank.open_row = open_row
+        for name, value in zip(BANK_COUNTERS, counters):
+            setattr(bank, name, value)
+
+
+# -- the worker process --------------------------------------------------
+
+class _ShardState:
+    """Per-process bookkeeping for one shard worker."""
+
+    __slots__ = ("sim", "owned", "last_cycle", "capture")
+
+    def __init__(self, sim, owned, start_cycle: int) -> None:
+        self.sim = sim
+        self.owned: List[Tuple[int, int]] = list(owned)
+        self.last_cycle = start_cycle
+        self.capture = CaptureTracer()
+
+
+def _catch_up_refresh(state: _ShardState, cycle: int) -> None:
+    """Apply refresh busy-windows the master ticked while this shard
+    had no work (the master skips the STEP message entirely then).
+
+    Only the latest due refresh per vault matters: ``Bank.occupy``
+    overwrites ``busy_until``, so intermediate refreshes in the gap
+    leave no trace once a later one lands — exactly as in the serial
+    engine, where the vault was equally idle in between.
+    """
+    cfg = state.sim.config
+    interval = cfg.refresh_interval
+    if not interval:
+        return
+    last = state.last_cycle
+    refresh_cycles = cfg.refresh_cycles
+    devices = state.sim.devices
+    for dev_id, vid in state.owned:
+        r = cycle - ((cycle + vid) % interval)
+        if r > last:
+            for bank in devices[dev_id].vaults[vid].banks:
+                bank.occupy(r, refresh_cycles)
+
+
+def _process_step(state: _ShardState, payload) -> dict:
+    """One barrier cycle: sync queues, run stage34, report effects."""
+    cycle, live_mask, visits, pushes, pops = payload
+    sim = state.sim
+    devices = sim.devices
+
+    # Mirror maintenance happens outside any capture window.
+    for (dev_id, vid), n in pops.items():
+        rsp = devices[dev_id].vaults[vid].rsp
+        for _ in range(n):
+            rsp.pop()
+    for (dev_id, vid), (pkts, stamps) in pushes.items():
+        rqst = devices[dev_id].vaults[vid].rqst
+        for pkt, stamp in zip(pkts, stamps):
+            ok = rqst.push(pkt, stamp)
+            assert ok, "shard request push overflowed a synced queue"
+
+    _catch_up_refresh(state, cycle)
+    state.last_cycle = cycle
+
+    cfg = sim.config
+    window = cfg.conflict_window
+    width = cfg.vault_issue_width
+    busy = cfg.bank_busy_cycles
+    row_timing = (
+        (cfg.row_hit_cycles, cfg.row_miss_cycles)
+        if cfg.row_policy == "open"
+        else None
+    )
+    cap = state.capture
+    cap.live_mask = live_mask
+
+    global _capture
+    results: Dict[Tuple[int, int], tuple] = {}
+    for dev_id, vid in visits:
+        dev = devices[dev_id]
+        vault = dev.vaults[vid]
+        log: list = []
+        cap.log = log
+        _capture = cap
+        before = tuple(getattr(vault, n) for n in VAULT_COUNTERS)
+        bank_before = [
+            tuple(getattr(b, n) for n in BANK_COUNTERS) for b in vault.banks
+        ]
+        try:
+            c, i = vault.stage34(
+                cycle, dev.amap, window, width, busy, cap, dev_id,
+                row_timing=row_timing,
+            )
+        finally:
+            _capture = None
+            cap.log = None
+        deltas = tuple(
+            getattr(vault, n) - b for n, b in zip(VAULT_COUNTERS, before)
+        )
+        bank_deltas = []
+        for bank, prev in zip(vault.banks, bank_before):
+            now = tuple(getattr(bank, n) for n in BANK_COUNTERS)
+            if now != prev:
+                bank_deltas.append(
+                    (bank.bank_id, tuple(a - b for a, b in zip(now, prev)))
+                )
+        results[(dev_id, vid)] = (log, c, i, deltas, bank_deltas)
+    return results
+
+
+def _process_pull(state: _ShardState) -> dict:
+    return {
+        key: export_vault_state(state.sim.devices[key[0]].vaults[key[1]])
+        for key in state.owned
+    }
+
+
+def shard_worker_main(conn, sim, owned, start_cycle: int) -> None:
+    """Entry point of a shard worker (child of a ``fork``).
+
+    The forked *sim* is this process's private replica; *owned* lists
+    the ``(dev_id, vault_id)`` pairs whose stage-3/4 this worker
+    executes authoritatively.
+    """
+    _install_worker_seams()
+    chan = Channel(conn)
+    state = _ShardState(sim, owned, start_cycle)
+    while True:
+        try:
+            tag, payload = conn.recv()
+        except (EOFError, OSError):
+            return
+        try:
+            if tag == STOP:
+                return
+            if tag == STEP:
+                chan.send(RSLT, _process_step(state, payload))
+            elif tag == PULL:
+                chan.send(STAT, _process_pull(state))
+        except ChannelClosed:
+            return
+        except BaseException as exc:  # noqa: BLE001 - shipped to master
+            try:
+                chan.send("ERR", encode_exception(exc))
+            except ChannelClosed:
+                pass
+            return

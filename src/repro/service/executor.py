@@ -1,0 +1,81 @@
+"""Pluggable execution backends for the shard pump.
+
+The deterministic pump in :mod:`repro.service.shard` advances its
+simulation one cycle per call.  *How* that cycle is computed is an
+execution detail — in this process, or sharded across worker processes
+by :class:`~repro.parallel.engine.ParallelClockEngine` — and this
+module is the seam that keeps the pump logic independent of it:
+
+* :class:`InlineShardExecutor` — the default.  ``clock()`` is a direct
+  ``sim.clock()`` call, exactly what the pump did before the seam
+  existed; chaos/recovery tests run against it with zero behavioural
+  change and no extra processes.
+* :class:`ProcessShardExecutor` — for shards whose sims were built
+  with ``ServiceConfig.workers > 1``.  The cycle itself is still
+  ``sim.clock()`` (the parallel engine hides the barrier protocol
+  behind the same call), but retirement shuts the worker pool down
+  eagerly instead of leaving that to garbage collection.
+
+Both backends preserve the service determinism contract: the parallel
+engine is bit-identical to the serial one, so a ``workers > 1``
+service run produces the same per-tenant accounting as ``workers=1``.
+
+Tests may subclass :class:`ShardExecutor` to instrument or fault-inject
+the pump (count cycles, raise mid-pump) without monkeypatching the
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.simulator import HMCSim
+    from repro.service.config import ServiceConfig
+
+
+class ShardExecutor:
+    """How a shard advances its simulation by one cycle.
+
+    Subclass hooks:
+
+    ``clock(sim)``
+        Advance exactly one simulated cycle.  Must propagate engine
+        exceptions (:class:`~repro.core.errors.WatchdogError` drives
+        crash recovery) unchanged.
+    ``retire(sim)``
+        The shard is done with *sim* (terminal retirement, or an old
+        sim replaced by an epoch restore).  Release any resources the
+        backend holds for it.
+    """
+
+    def clock(self, sim: "HMCSim") -> None:
+        sim.clock()
+
+    def retire(self, sim: "HMCSim") -> None:
+        pass
+
+
+class InlineShardExecutor(ShardExecutor):
+    """In-process execution — the default backend, no extra processes."""
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Backend for worker-process shard sims (``workers > 1``).
+
+    ``clock()`` is inherited: the sharded engine is driven through the
+    same ``sim.clock()`` entry point.  Retirement shuts the engine's
+    worker pool down deterministically (the serial engine's
+    ``shutdown`` is a no-op, but retired shards here hold real child
+    processes).
+    """
+
+    def retire(self, sim: "HMCSim") -> None:
+        sim.engine.shutdown()
+
+
+def make_shard_executor(config: "ServiceConfig") -> ShardExecutor:
+    """The executor matching *config*: inline unless workers are armed."""
+    if config.workers > 1:
+        return ProcessShardExecutor()
+    return InlineShardExecutor()

@@ -1,0 +1,120 @@
+"""Topology-aware shard partitioning helpers (repro.parallel support).
+
+The sharded cycle engine splits a simulation into groups of vaults that
+one worker process advances.  Two natural cut surfaces exist:
+
+* **device groups** — on chained topologies, whole devices form shards
+  and the only cross-shard traffic rides the chain links between
+  groups;
+* **vault groups** — on a single device, quad-aligned vault groups form
+  shards and cross-shard traffic is the crossbar→vault queue hand-off.
+
+Either way the conservative-lookahead bound of the barrier protocol is
+the minimum latency of any structural boundary crossing, never less
+than :data:`repro.core.link.MIN_LINK_TRAVERSAL_CYCLES`: no packet can
+influence a foreign shard sooner than that, so a shard may safely run
+up to the barrier one bound ahead of its peers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.core.link import MIN_LINK_TRAVERSAL_CYCLES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import HMCSim
+
+#: A shard assignment: the ``(dev_id, vault_id)`` pairs one worker owns.
+ShardSpec = List[Tuple[int, int]]
+
+
+def device_groups(num_devs: int, shards: int) -> List[List[int]]:
+    """Partition device ids into at most *shards* contiguous groups.
+
+    Contiguity matters on chains: it keeps every group's boundary down
+    to the two chain links at its ends, so the cross-shard channel
+    count (and with it barrier traffic) stays O(shards), not O(devs).
+    """
+    if num_devs <= 0:
+        return []
+    shards = max(1, min(shards, num_devs))
+    base, extra = divmod(num_devs, shards)
+    groups: List[List[int]] = []
+    start = 0
+    for s in range(shards):
+        size = base + (1 if s < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+def quad_groups(num_vaults: int, shards: int) -> List[List[int]]:
+    """Partition vault ids into at most *shards* quad-aligned groups.
+
+    Quads are kept whole (4 vaults each): MODE traffic targets the
+    quad closest to its ingress link and the crossbar's locality
+    penalty is quad-relative, so splitting a quad would buy nothing
+    and scatter related queues across processes.
+    """
+    if num_vaults <= 0:
+        return []
+    quads = max(1, num_vaults // 4) if num_vaults % 4 == 0 else 1
+    if num_vaults % 4 != 0:
+        # Non-quad-aligned vault counts cannot occur under the config
+        # validator; fall back to one indivisible group if they do.
+        return [list(range(num_vaults))]
+    shards = max(1, min(shards, quads))
+    groups: List[List[int]] = [[] for _ in range(shards)]
+    for q in range(quads):
+        groups[q % shards].extend(range(q * 4, q * 4 + 4))
+    return groups
+
+
+def boundary_links(
+    sim: "HMCSim", groups: Sequence[Sequence[int]]
+) -> List[Tuple[int, int]]:
+    """Chain links whose two endpoints fall in different device groups.
+
+    Returned as ``(dev_id, link_id)`` for the lower-group side.  These
+    are the only structural paths a packet can take between shards on a
+    device-partitioned topology, so their minimum latency bounds the
+    barrier lookahead.
+    """
+    group_of: Dict[int, int] = {}
+    for gi, g in enumerate(groups):
+        for dev in g:
+            group_of[dev] = gi
+    out: List[Tuple[int, int]] = []
+    for (dev, link), peer in sim._link_peers.items():
+        if peer == "host" or not isinstance(peer, tuple):
+            continue
+        peer_dev, _ = peer
+        ga = group_of.get(dev)
+        gb = group_of.get(peer_dev)
+        if ga is None or gb is None or ga == gb:
+            continue
+        if ga < gb:
+            out.append((dev, link))
+    return sorted(out)
+
+
+def min_boundary_latency(
+    sim: "HMCSim", groups: Sequence[Sequence[int]]
+) -> int:
+    """Conservative lookahead bound for a device partition, in cycles.
+
+    The minimum over every boundary link of its
+    :attr:`~repro.core.link.Link.min_latency_cycles`; with no boundary
+    links (single group) the floor
+    :data:`~repro.core.link.MIN_LINK_TRAVERSAL_CYCLES` still applies —
+    the crossbar→vault hand-off inside one device costs a cycle too.
+    """
+    bound = None
+    for dev, link in boundary_links(sim, groups):
+        lat = sim.devices[dev].links[link].min_latency_cycles
+        if bound is None or lat < bound:
+            bound = lat
+    if bound is None:
+        return MIN_LINK_TRAVERSAL_CYCLES
+    return max(bound, MIN_LINK_TRAVERSAL_CYCLES)
