@@ -15,6 +15,12 @@ Two scenario suites, selected with ``--suite``:
     and batched trace pipeline target — writes
     ``BENCH_loaded_path.json``.
 
+``hotcore``
+    The flat-hot-core suite: the untraced Table I configurations with
+    packets/sec and packet-arena allocation counters (pooled vs fresh
+    builds) captured around each timed window — writes
+    ``BENCH_hot_core.json``.
+
 ``service``
     The disaggregated memory service suite: warm vs cold shard spin-up
     latency, and multi-tenant ``serve`` throughput at 1 / 16 / 128
@@ -93,6 +99,7 @@ SCHEDULERS = ("naive", "active")
 SUITE_COMPARE_THRESHOLDS = {
     "engine": 0.10,
     "loaded": 0.10,
+    "hotcore": 0.10,
     "service": 0.25,
     "parallel": 0.35,
 }
@@ -476,6 +483,88 @@ def run_service_suite(smoke: bool, repeat: int, report: dict) -> int:
     return failures
 
 
+def run_hotcore_suite(smoke: bool, repeat: int, report: dict) -> int:
+    """Flat-hot-core suite: loaded Table I plus allocation accounting.
+
+    The untraced Table I configurations (the packet arena + paged bank
+    storage's target workload) under both schedulers, with packets/sec
+    and the arena's allocation counters captured around each timed
+    window — ``pooled_builds`` vs ``fresh_builds`` shows how much
+    construction traffic the arena absorbed (a healthy steady state is
+    ~100% pooled).  Returns the number of equivalence failures.
+    """
+    from repro.packets.arena import ARENA
+
+    reqs = 256 if smoke else 8192
+    failures = 0
+    for label, device in PAPER_CONFIGS.items():
+        row = {"name": f"hotcore_notrace[{label}]", "runs": {}}
+        cycles_seen = {}
+        for sched in SCHEDULERS:
+            state = {}
+
+            def run_once(device=device, sched=sched, state=state):
+                scfg = SimConfig(device=device, scheduler=sched)
+                sim = HMCSim(scfg)
+                for link in range(device.num_links):
+                    sim.attach_host(0, link)
+                host = Host(sim)
+                cfg = RandomAccessConfig(num_requests=reqs)
+                before = ARENA.stats()
+                res = host.run(
+                    random_access_requests(device.capacity_bytes, cfg), cub=0
+                )
+                after = ARENA.stats()
+                state["packets"] = sim.packets_sent + sim.packets_received
+                state["arena_before"] = before
+                state["arena_after"] = after
+                return res.cycles
+
+            wall, cycles = _timed(run_once, repeat)
+            cycles_seen[sched] = cycles
+            before = state["arena_before"]
+            after = state["arena_after"]
+            pooled = after["pooled_builds"] - before["pooled_builds"]
+            fresh = after["fresh_builds"] - before["fresh_builds"]
+            released = after["released"] - before["released"]
+            packets = state["packets"]
+            row["runs"][sched] = {
+                "wall_s": round(wall, 4),
+                "cycles": cycles,
+                "cycles_per_sec": round(cycles / wall, 1) if wall else None,
+                "packets": packets,
+                "packets_per_sec": round(packets / wall, 1) if wall else None,
+                "arena": {
+                    "pooled_builds": pooled,
+                    "fresh_builds": fresh,
+                    "released": released,
+                    "pooled_fraction": (
+                        round(pooled / (pooled + fresh), 4)
+                        if pooled + fresh else None
+                    ),
+                },
+            }
+        row["cycles_match"] = len(set(cycles_seen.values())) == 1
+        if not row["cycles_match"]:
+            failures += 1
+            print(f"FAIL {row['name']}: scheduler cycle mismatch {cycles_seen}",
+                  file=sys.stderr)
+        naive_w = row["runs"]["naive"]["wall_s"]
+        active_w = row["runs"]["active"]["wall_s"]
+        row["speedup_active_vs_naive"] = (
+            round(naive_w / active_w, 2) if active_w else None
+        )
+        arena = row["runs"]["active"]["arena"]
+        report["scenarios"].append(row)
+        print(
+            f"{row['name']:42s} naive {naive_w:8.3f}s  active {active_w:8.3f}s  "
+            f"pkt/s {row['runs']['active']['packets_per_sec']:,.0f}  "
+            f"pooled {arena['pooled_fraction']:.0%}  "
+            f"cycles={cycles_seen['active']}"
+        )
+    return failures
+
+
 def run_parallel_suite(smoke: bool, repeat: int, report: dict) -> int:
     """Parallel suite: in-run sharding and run-level fan-out.
 
@@ -648,11 +737,13 @@ def main(argv=None) -> int:
         help="small request counts for CI (seconds, not minutes)",
     )
     ap.add_argument(
-        "--suite", choices=("engine", "loaded", "service", "parallel"),
+        "--suite",
+        choices=("engine", "loaded", "hotcore", "service", "parallel"),
         default="engine",
         help="scenario suite: clock-engine set, loaded-path "
-        "(traced/untraced Table I) set, the multi-tenant service set, "
-        "or the multi-process sharding set",
+        "(traced/untraced Table I) set, the flat-hot-core set (untraced "
+        "Table I with packet/allocation accounting), the multi-tenant "
+        "service set, or the multi-process sharding set",
     )
     ap.add_argument(
         "--out", type=Path, default=None,
@@ -691,6 +782,7 @@ def main(argv=None) -> int:
         args.out = REPO_ROOT / {
             "engine": "BENCH_clock_engine.json",
             "loaded": "BENCH_loaded_path.json",
+            "hotcore": "BENCH_hot_core.json",
             "service": "BENCH_service.json",
             "parallel": "BENCH_parallel.json",
         }[args.suite]
@@ -699,6 +791,7 @@ def main(argv=None) -> int:
         "benchmark": {
             "engine": "clock_engine",
             "loaded": "loaded_path",
+            "hotcore": "hot_core",
             "service": "service",
             "parallel": "parallel_sharding",
         }[args.suite],
@@ -714,6 +807,8 @@ def main(argv=None) -> int:
         failures = run_service_suite(args.smoke, repeat, report)
     elif args.suite == "parallel":
         failures = run_parallel_suite(args.smoke, repeat, report)
+    elif args.suite == "hotcore":
+        failures = run_hotcore_suite(args.smoke, repeat, report)
     else:
         scenarios = (
             build_loaded_scenarios(args.smoke) if args.suite == "loaded"

@@ -36,6 +36,91 @@ STAGE_LABELS = {
 }
 
 
+class AllocationProfiler:
+    """Allocation statistics over a run window (tracemalloc + arena).
+
+    Wraps :mod:`tracemalloc` snapshots around the profiled region and
+    pairs them with the packet arena's build counters, so a ``--profile``
+    run reports both *where* residual allocations come from (top-N
+    source lines by net size) and *how much* construction traffic the
+    flat hot core absorbed (pooled vs fresh packet builds).
+
+    Tracing costs roughly 2x wall time — it is attached only on
+    explicit request and never in benchmark timing paths.
+    """
+
+    def __init__(self, top_n: int = 10) -> None:
+        self.top_n = top_n
+        self.started = False
+        self.stopped = False
+        self._owns_tracing = False
+        self._snap0 = None
+        self.top: List[Dict[str, Any]] = []
+        self.traced_kb = 0.0
+        self.peak_kb = 0.0
+        self.arena_before: Dict[str, int] = {}
+        self.arena_after: Dict[str, int] = {}
+
+    @staticmethod
+    def _arena_stats() -> Dict[str, int]:
+        from repro.packets.arena import ARENA
+
+        return ARENA.stats()
+
+    def start(self) -> "AllocationProfiler":
+        import tracemalloc
+
+        self.arena_before = self._arena_stats()
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracing = True
+        self._snap0 = tracemalloc.take_snapshot()
+        self.started = True
+        return self
+
+    def stop(self) -> None:
+        """Snapshot the window end; idempotent."""
+        if not self.started or self.stopped:
+            return
+        import tracemalloc
+
+        snap1 = tracemalloc.take_snapshot()
+        traced, peak = tracemalloc.get_traced_memory()
+        if self._owns_tracing:
+            tracemalloc.stop()
+        self.traced_kb = traced / 1024.0
+        self.peak_kb = peak / 1024.0
+        self.top = []
+        for stat in snap1.compare_to(self._snap0, "lineno")[: self.top_n]:
+            frame = stat.traceback[0]
+            self.top.append(
+                {
+                    "site": f"{frame.filename}:{frame.lineno}",
+                    "size_kb": stat.size_diff / 1024.0,
+                    "count": stat.count_diff,
+                }
+            )
+        self.arena_after = self._arena_stats()
+        self.stopped = True
+
+    def arena_delta(self) -> Dict[str, int]:
+        """Packet-arena counter movement across the window."""
+        out = {}
+        for key in ("pooled_builds", "fresh_builds", "released"):
+            out[key] = self.arena_after.get(key, 0) - self.arena_before.get(key, 0)
+        return out
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (statdump's ``allocations`` section)."""
+        return {
+            "traced_kb": self.traced_kb,
+            "peak_kb": self.peak_kb,
+            "top": self.top,
+            "arena": self.arena_after,
+            "arena_delta": self.arena_delta(),
+        }
+
+
 class EngineProfiler:
     """Accumulates per-stage wall time from :class:`ClockEngine.tick`.
 
@@ -43,6 +128,9 @@ class EngineProfiler:
     and ``ras_ns`` cover the optional sub-steps between stages 2/3 and
     4/5; ``ff_cycles`` counts cycles skipped by the active scheduler's
     quiescent fast-forward (those never run stages at all).
+
+    ``alloc`` optionally carries an :class:`AllocationProfiler` for the
+    same window (``attach(sim, allocations=True)``).
     """
 
     def __init__(self) -> None:
@@ -51,6 +139,7 @@ class EngineProfiler:
         self.ras_ns = 0
         self.ticks = 0
         self.ff_cycles = 0
+        self.alloc: Optional[AllocationProfiler] = None
         self._t0 = perf_counter_ns()
 
     @property
@@ -79,12 +168,22 @@ class EngineProfiler:
             out["stages"][str(i)] = entry
         out["refresh_ms"] = self.refresh_ns / 1e6
         out["ras_ms"] = self.ras_ns / 1e6
+        if self.alloc is not None:
+            self.alloc.stop()
+            out["allocations"] = self.alloc.report()
         return out
 
 
-def attach(sim) -> EngineProfiler:
-    """Attach a fresh profiler to *sim*'s clock engine and return it."""
+def attach(sim, allocations: bool = False, top_n: int = 10) -> EngineProfiler:
+    """Attach a fresh profiler to *sim*'s clock engine and return it.
+
+    With ``allocations=True`` an :class:`AllocationProfiler` window opens
+    at attach time; it is closed by the first ``report()``/``render()``
+    (or an explicit ``prof.alloc.stop()``).
+    """
     prof = EngineProfiler()
+    if allocations:
+        prof.alloc = AllocationProfiler(top_n=top_n).start()
     sim.engine.profiler = prof
     return prof
 
@@ -121,4 +220,32 @@ def render(prof: EngineProfiler, stage_counts: Optional[List[int]] = None) -> st
     lines.append(
         f"  {'total (staged work)':<36} {total / 1e6:>10.2f} {'100.0%':>7}"
     )
+    if prof.alloc is not None:
+        prof.alloc.stop()
+        lines.append("")
+        lines.append(render_allocations(prof.alloc))
+    return "\n".join(lines)
+
+
+def render_allocations(alloc: AllocationProfiler) -> str:
+    """Fixed-width allocation summary (tracemalloc top-N + arena)."""
+    alloc.stop()
+    delta = alloc.arena_delta()
+    total_builds = delta["pooled_builds"] + delta["fresh_builds"]
+    pooled_pct = 100.0 * delta["pooled_builds"] / total_builds if total_builds else 0.0
+    lines = [
+        "allocation profile "
+        f"(traced {alloc.traced_kb:,.0f} KiB net, peak {alloc.peak_kb:,.0f} KiB):",
+        f"  packet arena: {delta['pooled_builds']:,} pooled / "
+        f"{delta['fresh_builds']:,} fresh builds "
+        f"({pooled_pct:.1f}% pooled), {delta['released']:,} released, "
+        f"{alloc.arena_after.get('live_records', 0):,} live records",
+        f"  top allocation sites (net growth over the window):",
+    ]
+    if not alloc.top:
+        lines.append("    (none)")
+    for entry in alloc.top:
+        lines.append(
+            f"    {entry['size_kb']:>9.1f} KiB {entry['count']:>9,}  {entry['site']}"
+        )
     return "\n".join(lines)

@@ -66,7 +66,13 @@ def _add_link_fault_args(p: argparse.ArgumentParser) -> None:
 def _add_profile_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--profile", action="store_true",
                    help="attach the engine profiler and print per-stage "
-                        "wall time after the run")
+                        "wall time plus allocation statistics "
+                        "(tracemalloc top sites, packet-arena counters) "
+                        "after the run")
+    p.add_argument("--profile-alloc-top", type=int, default=10,
+                   metavar="N",
+                   help="number of allocation sites the --profile "
+                        "summary lists (default 10)")
 
 
 def _add_workers_args(p: argparse.ArgumentParser) -> None:
@@ -86,7 +92,11 @@ def _maybe_profile(args, sim):
     if getattr(args, "profile", False):
         from repro.analysis.profiling import attach
 
-        return attach(sim)
+        return attach(
+            sim,
+            allocations=True,
+            top_n=getattr(args, "profile_alloc_top", 10),
+        )
     return None
 
 

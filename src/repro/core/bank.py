@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 #: Addressable atom: one 16-byte block = two 64-bit words.
 ATOM_BYTES = 16
 ATOM_WORDS = 2
@@ -27,8 +29,17 @@ COLUMN_FETCH_BYTES = 32
 
 _MASK64 = (1 << 64) - 1
 
-#: Shared default for sparse-store misses (untouched blocks read zero).
-_ZERO_ATOM = (0, 0)
+#: Page granularity of the array-backed store: 256 atoms = 4 KiB of
+#: payload per page.  Small enough that materialising a page on first
+#: touch stays cheap under uniform random access (the paper's harness
+#: touches most pages exactly once per run), large enough that strided
+#: and sequential workloads stay within a handful of pages.  Banks
+#: smaller than one page get a single page sized to their capacity.
+PAGE_ATOMS = 256
+_PAGE_WORDS = PAGE_ATOMS * ATOM_WORDS
+
+#: Pages per zeroed backing slab (see :meth:`Bank._materialize`).
+_SLAB_PAGES = 32
 
 
 class DRAM:
@@ -54,14 +65,24 @@ class DRAM:
 
 
 class Bank:
-    """A memory bank: sparse 16-byte-block storage plus busy tracking.
+    """A memory bank: sparse paged array storage plus busy tracking.
 
     The busy window models the bank occupancy after a column access;
     two requests addressing the same bank within the window conflict
     (paper §IV.C.3/4) — the second cannot issue until the bank frees.
+
+    Storage is a sparse dict of numpy ``uint64`` pages (64 KiB of
+    payload each), materialised on first write, with a per-page
+    touched-atom bitmap so ``touched_atoms`` / patrol scrub observe
+    exactly the atoms demand traffic wrote — bit-identical to the
+    historical dict-of-atoms store, including atoms written as zero.
+    A dirty-page set records pages modified since the last
+    :meth:`clear_dirty`, giving checkpoint/IPC layers a cheap delta.
     """
 
-    __slots__ = ("bank_id", "capacity_bytes", "drams", "_blocks",
+    __slots__ = ("bank_id", "capacity_bytes", "drams", "_pages",
+                 "_touched", "_dirty", "_page_words",
+                 "_chunk", "_tchunk", "_chunk_used",
                  "busy_until", "reads", "writes", "atomics", "conflicts",
                  "column_fetches", "open_row", "row_hits", "row_misses",
                  "ras", "dram_access_count", "_owner")
@@ -77,8 +98,19 @@ class Bank:
         self.drams: List[DRAM] = [DRAM(i, self) for i in range(num_drams)]
         #: Accesses seen by each DRAM slice (all slices move together).
         self.dram_access_count = 0
-        # Sparse storage: atom index -> (word0, word1).
-        self._blocks: Dict[int, Tuple[int, int]] = {}
+        # Sparse paged storage: page index -> uint64 word array, with a
+        # parallel touched-atom bitmap and a modified-since-sync set.
+        self._page_words = min(_PAGE_WORDS, capacity_bytes // 8)
+        self._pages: Dict[int, np.ndarray] = {}
+        self._touched: Dict[int, np.ndarray] = {}
+        self._dirty: set = set()
+        # Page-backing slab: pages are carved out of a shared zeroed
+        # allocation so a fresh page costs a slice view, not an
+        # allocator round trip (uniform random workloads touch nearly
+        # every page exactly once).
+        self._chunk = None
+        self._tchunk = None
+        self._chunk_used = 0
         #: First cycle at which the bank is free again.
         self.busy_until = 0
         #: Currently open DRAM row (-1 = all rows closed).  Only used
@@ -166,6 +198,25 @@ class Bank:
         # data width of the bank).
         self.dram_access_count += 1
 
+    def _materialize(self, pg: int) -> np.ndarray:
+        """Allocate (zeroed) page *pg* and its touched bitmap.
+
+        Pages and touched bitmaps are views into slab allocations of
+        ``_SLAB_PAGES`` pages each; zeroing happens once per slab.
+        """
+        used = self._chunk_used
+        pw = self._page_words
+        ta = pw // ATOM_WORDS
+        if self._chunk is None or used >= _SLAB_PAGES:
+            self._chunk = np.zeros(pw * _SLAB_PAGES, dtype=np.uint64)
+            self._tchunk = np.zeros(ta * _SLAB_PAGES, dtype=bool)
+            used = 0
+        page = self._chunk[used * pw : (used + 1) * pw]
+        self._pages[pg] = page
+        self._touched[pg] = self._tchunk[used * ta : (used + 1) * ta]
+        self._chunk_used = used + 1
+        return page
+
     def read(self, byte_addr: int, nbytes: int) -> List[int]:
         """Read *nbytes* from bank-relative *byte_addr* as 64-bit words."""
         # _check, inlined (hot path).
@@ -183,13 +234,26 @@ class Bank:
         atom0 = byte_addr // ATOM_BYTES
         if self.ras is not None:
             return self.ras.read_atoms(atom0, nbytes // ATOM_BYTES)
+        nw = nbytes // 8
+        page_words = self._page_words
+        pg, off = divmod(atom0 * ATOM_WORDS, page_words)
+        if off + nw <= page_words:
+            page = self._pages.get(pg)
+            if page is None:
+                return [0] * nw
+            return page[off : off + nw].tolist()
+        # Page-crossing access (unaligned multi-atom read): stitch.
         out: List[int] = []
-        append = out.append
-        get = self._blocks.get
-        for i in range(nbytes // ATOM_BYTES):
-            w0, w1 = get(atom0 + i, _ZERO_ATOM)
-            append(w0)
-            append(w1)
+        while nw > 0:
+            take = min(nw, page_words - off)
+            page = self._pages.get(pg)
+            if page is None:
+                out.extend([0] * take)
+            else:
+                out.extend(page[off : off + take].tolist())
+            nw -= take
+            pg += 1
+            off = 0
         return out
 
     def write(self, byte_addr: int, words: List[int]) -> None:
@@ -211,12 +275,27 @@ class Bank:
         self.column_fetches += (nbytes + COLUMN_FETCH_BYTES - 1) // COLUMN_FETCH_BYTES
         self.dram_access_count += 1
         atom0 = byte_addr // ATOM_BYTES
-        blocks = self._blocks
-        for i in range(nwords // ATOM_WORDS):
-            blocks[atom0 + i] = (
-                words[2 * i] & _MASK64,
-                words[2 * i + 1] & _MASK64,
-            )
+        page_words = self._page_words
+        pg, off = divmod(atom0 * ATOM_WORDS, page_words)
+        if off + nwords <= page_words:
+            page = self._pages.get(pg)
+            if page is None:
+                page = self._materialize(pg)
+            try:
+                page[off : off + nwords] = words
+            except (OverflowError, ValueError, TypeError):
+                # Out-of-range payload values (negative / >= 2**64):
+                # preserve the historical wraparound semantics.
+                page[off : off + nwords] = [w & _MASK64 for w in words]
+            a0 = off // ATOM_WORDS
+            self._touched[pg][a0 : a0 + nwords // ATOM_WORDS] = True
+            self._dirty.add(pg)
+        else:
+            # Page-crossing write: atom-by-atom through the slow helper.
+            for i in range(nwords // ATOM_WORDS):
+                self.set_atom_words(
+                    atom0 + i, words[2 * i] & _MASK64, words[2 * i + 1] & _MASK64
+                )
         if self.ras is not None:
             self.ras.on_write(atom0, [w & _MASK64 for w in words])
 
@@ -238,16 +317,20 @@ class Bank:
         self.writes += 1
         self._count_fetches(ATOM_BYTES)
         self._touch_drams(ATOM_BYTES)
-        old = list(self._blocks.get(atom, (0, 0)))
-        word = old[half]
+        pg, off = divmod(atom * ATOM_WORDS, self._page_words)
+        page = self._pages.get(pg)
+        if page is None:
+            page = self._materialize(pg)
+        word = int(page[off + half])
         for b in range(8):
             if byte_mask & (1 << b):
                 shift = 8 * b
                 word = (word & ~(0xFF << shift)) | (data & (0xFF << shift))
-        old[half] = word & _MASK64
-        self._blocks[atom] = (old[0], old[1])
+        page[off + half] = word & _MASK64
+        self._touched[pg][off // ATOM_WORDS] = True
+        self._dirty.add(pg)
         if self.ras is not None:
-            self.ras.on_write(atom, [old[0], old[1]])
+            self.ras.on_write(atom, [int(page[off]), int(page[off + 1])])
 
     def atomic_add16(self, byte_addr: int, operands: List[int]) -> List[int]:
         """ADD16: add a 16-byte operand to the block, return the old value.
@@ -263,15 +346,20 @@ class Bank:
         self._count_fetches(ATOM_BYTES)
         self._touch_drams(ATOM_BYTES)
         atom = byte_addr // ATOM_BYTES
-        old = self._blocks.get(atom, (0, 0))
-        new = (
-            (old[0] + operands[0]) & _MASK64,
-            (old[1] + operands[1]) & _MASK64,
-        )
-        self._blocks[atom] = new
+        pg, off = divmod(atom * ATOM_WORDS, self._page_words)
+        page = self._pages.get(pg)
+        if page is None:
+            page = self._materialize(pg)
+        old0, old1 = int(page[off]), int(page[off + 1])
+        new0 = (old0 + operands[0]) & _MASK64
+        new1 = (old1 + operands[1]) & _MASK64
+        page[off] = new0
+        page[off + 1] = new1
+        self._touched[pg][off // ATOM_WORDS] = True
+        self._dirty.add(pg)
         if self.ras is not None:
-            self.ras.on_write(atom, [new[0], new[1]])
-        return [old[0], old[1]]
+            self.ras.on_write(atom, [new0, new1])
+        return [old0, old1]
 
     def atomic_2add8(self, byte_addr: int, operands: List[int]) -> List[int]:
         """TWOADD8: two independent 8-byte adds within one atom."""
@@ -283,7 +371,11 @@ class Bank:
 
     def atom_words(self, atom: int) -> Tuple[int, int]:
         """Stored 64-bit word pair of *atom* (zeros when untouched)."""
-        return self._blocks.get(atom, (0, 0))
+        pg, off = divmod(atom * ATOM_WORDS, self._page_words)
+        page = self._pages.get(pg)
+        if page is None:
+            return (0, 0)
+        return (int(page[off]), int(page[off + 1]))
 
     def set_atom_words(self, atom: int, w0: int, w1: int) -> None:
         """Replace *atom*'s stored words without access accounting.
@@ -291,18 +383,118 @@ class Bank:
         Used by the ECC layer's correct-and-writeback path; demand
         traffic must go through :meth:`read` / :meth:`write`.
         """
-        self._blocks[atom] = (w0 & _MASK64, w1 & _MASK64)
+        pg, off = divmod(atom * ATOM_WORDS, self._page_words)
+        page = self._pages.get(pg)
+        if page is None:
+            page = self._materialize(pg)
+        page[off] = w0 & _MASK64
+        page[off + 1] = w1 & _MASK64
+        self._touched[pg][off // ATOM_WORDS] = True
+        self._dirty.add(pg)
 
     def touched_atoms(self) -> List[int]:
-        """Sorted indices of materialised atoms (patrol scrub order)."""
-        return sorted(self._blocks)
+        """Sorted indices of written atoms (patrol scrub order).
+
+        Exactly the atoms demand traffic has stored — zero-valued
+        writes count, untouched slots of a materialised page do not —
+        preserving the dict-of-atoms semantics the RAS scrubber and
+        fingerprinting tools rely on.
+        """
+        page_atoms = self._page_words // ATOM_WORDS
+        out: List[int] = []
+        for pg in sorted(self._touched):
+            base = pg * page_atoms
+            out.extend(int(a) + base for a in np.nonzero(self._touched[pg])[0])
+        return out
+
+    # -- page-level access (checkpoint / IPC / diagnostics) -------------------
+
+    def dirty_pages(self) -> List[int]:
+        """Page indices modified since the last :meth:`clear_dirty`."""
+        return sorted(self._dirty)
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
+
+    def export_storage(self) -> list:
+        """Compact storage image: ``[(page, words, touched), ...]``.
+
+        Numpy arrays are copied, so the export is a stable snapshot;
+        pickling it for IPC is one binary buffer per page instead of a
+        Python dict entry per atom.
+        """
+        return [
+            (pg, self._pages[pg].copy(), self._touched[pg].copy())
+            for pg in sorted(self._pages)
+        ]
+
+    def import_storage(self, image: list) -> None:
+        """Inverse of :meth:`export_storage` (replaces all contents)."""
+        self._pages = {pg: np.array(words, dtype=np.uint64)
+                       for pg, words, _ in image}
+        self._touched = {pg: np.array(touched, dtype=bool)
+                         for pg, _, touched in image}
+        self._dirty = set(self._pages)
+
+    # -- versioned pickling ---------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in ("_pages", "_touched", "_dirty",
+                            "_chunk", "_tchunk", "_chunk_used")
+        }
+        # v2 storage codec: raw page bytes + bit-packed touched maps.
+        state["_storage_v2"] = [
+            (pg, self._pages[pg].tobytes(),
+             np.packbits(self._touched[pg]).tobytes())
+            for pg in sorted(self._pages)
+        ]
+        return state
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):
+            # Default slots-object pickle protocol: (dict_state, slots).
+            state = {**(state[0] or {}), **(state[1] or {})}
+        else:
+            state = dict(state)
+        storage = state.pop("_storage_v2", None)
+        blocks = state.pop("_blocks", None)
+        for name, value in state.items():
+            setattr(self, name, value)
+        if "_page_words" not in state:
+            # Pre-flat-core blob: the slot didn't exist yet.
+            self._page_words = min(_PAGE_WORDS, self.capacity_bytes // 8)
+        self._pages = {}
+        self._touched = {}
+        self._dirty = set()
+        self._chunk = None
+        self._tchunk = None
+        self._chunk_used = 0
+        if storage is not None:
+            page_atoms = self._page_words // ATOM_WORDS
+            for pg, words, touched in storage:
+                self._pages[pg] = np.frombuffer(
+                    words, dtype=np.uint64
+                ).copy()
+                self._touched[pg] = np.unpackbits(
+                    np.frombuffer(touched, dtype=np.uint8)
+                )[:page_atoms].astype(bool)
+        elif blocks:
+            # Pre-flat-core blob: dict-of-atoms storage; replay it into
+            # pages so old checkpoints restore into the new layout.
+            for atom, (w0, w1) in blocks.items():
+                self.set_atom_words(atom, w0, w1)
 
     # -- diagnostics ----------------------------------------------------------
 
     @property
     def touched_bytes(self) -> int:
-        """Bytes of storage actually materialised."""
-        return len(self._blocks) * ATOM_BYTES
+        """Bytes of storage actually written."""
+        return ATOM_BYTES * sum(
+            int(np.count_nonzero(t)) for t in self._touched.values()
+        )
 
     @property
     def total_accesses(self) -> int:
@@ -310,7 +502,9 @@ class Bank:
 
     def reset(self) -> None:
         """Clear contents, busy state and statistics (device reset)."""
-        self._blocks.clear()
+        self._pages.clear()
+        self._touched.clear()
+        self._dirty.clear()
         self.busy_until = 0
         owner = self._owner
         if owner is not None:

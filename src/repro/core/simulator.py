@@ -374,6 +374,18 @@ class HMCSim:
         if len(rq._q) >= rq.depth:
             self.send_stalls += 1
             raise StallError(f"crossbar request queue full on dev {dev} link {link}")
+        if not (self._retry_sessions or self._tokens or self._link_faults):
+            # Hot lane: no link-error machinery configured — inject
+            # directly (identical bookkeeping to the general path below).
+            cycle = self.clock_value
+            pkt.injected_at = cycle
+            pkt.ingress_link = link
+            pkt.src_cub = self.host_cub
+            pkt.route_stack = [(dev, link)]
+            device.links[link].count_rx(pkt.num_flits)
+            rq.push(pkt, cycle)
+            self.packets_sent += 1
+            return
         session = (
             self._retry_sessions.get((dev, link)) if self._retry_sessions else None
         )

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, List, Optional
 from repro.addressing.address_map import AddressMap
 from repro.core.bank import Bank
 from repro.core.queueing import PacketQueue
+from repro.packets.arena import ARENA as _ARENA
 from repro.packets.commands import CMD, REQUEST_DATA_BYTES, CommandClass
 from repro.packets.packet import ErrStat, Packet, build_response
 from repro.trace.events import EventType
@@ -215,6 +216,8 @@ class Vault:
             return 0, 0
         banks = self.banks
         busy_mask = self._busy_state(cycle)
+        rsp_q = self.rsp._q
+        rsp_depth = self.rsp.depth
         if amap.__class__ is AddressMap:
             bs, bmask, bank_of = amap._bs, amap._bank_mask, None
         else:
@@ -259,9 +262,8 @@ class Vault:
             return conflicts, 0
         issued = 0
         removed: list = []
+        consumed: list = []
         blocked = busy_mask
-        rsp_q = self.rsp._q
-        rsp_depth = self.rsp.depth
         stall_trace = tracer.live_mask & _EV_VAULT_RSP_STALL
         closed = 0
         pos = -1
@@ -304,11 +306,20 @@ class Vault:
                 blocked |= bit
                 issued += 1
                 removed.append(pos)
+                consumed.append(pkt)
             closed += 1
             if closed >= free and not specials:
                 break
         if removed:
             rqst.remove_positions(removed, pos + 1)
+            if consumed:
+                # Executed memory requests are out of the system: their
+                # response (if any) is already built and queued, nothing
+                # downstream references the request object again.  Hand
+                # arena records straight back (no-op for foreign packets).
+                release = _ARENA.release
+                for p in consumed:
+                    release(p)
         if issued == 0 and rqst._q:
             self.issue_stall_cycles += 1
         return conflicts, issued
@@ -360,6 +371,7 @@ class Vault:
         # is provably side-effect-free, so skipping it is exact.
         issued = 0
         removed: list = []
+        consumed: list = []
         blocked = busy_mask  # banks that may not issue this scan
         rsp = self.rsp
         rsp_q = rsp._q
@@ -419,6 +431,14 @@ class Vault:
                 break
         if removed:
             rqst.remove_positions(removed, pos + 1)
+            if consumed:
+                # Executed memory requests are out of the system: their
+                # response (if any) is already built and queued, nothing
+                # downstream references the request object again.  Hand
+                # arena records straight back (no-op for foreign packets).
+                release = _ARENA.release
+                for p in consumed:
+                    release(p)
         if issued == 0 and rqst._q:
             self.issue_stall_cycles += 1
         return issued
@@ -516,7 +536,7 @@ class Vault:
                     (("addr", pkt.addr), ("bwr", True)),
                 )
             if pkt.expects_response:
-                self._push_response(build_response(pkt), pkt, cycle)
+                self._push_response(_ARENA.build_reply(pkt), pkt, cycle)
         elif cls is CommandClass.READ:
             data = bank.read(rel, nbytes)
             self.rd_count += 1
@@ -526,10 +546,10 @@ class Vault:
                     self.vault_id, bank_id, -1, pkt.serial,
                     (("addr", pkt.addr),),
                 )
-            rsp = build_response(pkt, data=data)
+            rsp = _ARENA.build_reply(pkt, data)
             self._push_response(rsp, pkt, cycle)
         elif cls in (CommandClass.WRITE, CommandClass.POSTED_WRITE):
-            bank.write(rel, list(pkt.payload))
+            bank.write(rel, pkt.payload)
             self.wr_count += 1
             if tracer.live_mask & _EV_RQST_WRITE:
                 tracer.emit_fast(
@@ -538,7 +558,7 @@ class Vault:
                     (("addr", pkt.addr),),
                 )
             if pkt.expects_response:
-                rsp = build_response(pkt)
+                rsp = _ARENA.build_reply(pkt)
                 self._push_response(rsp, pkt, cycle)
         elif cls in (CommandClass.ATOMIC, CommandClass.POSTED_ATOMIC):
             ops = list(pkt.payload[:2]) if pkt.payload else [0, 0]
@@ -554,7 +574,7 @@ class Vault:
                     (("addr", pkt.addr),),
                 )
             if pkt.expects_response:
-                rsp = build_response(pkt, data=old)
+                rsp = _ARENA.build_reply(pkt, old)
                 self._push_response(rsp, pkt, cycle)
         else:  # pragma: no cover - guarded by caller
             self._error_response(pkt, ErrStat.INVALID_CMD, cycle, tracer, dev_id)

@@ -203,7 +203,7 @@ class ParallelClockEngine(ClockEngine):
         """Pull authoritative bank/vault state into the master mirror.
 
         After this returns, direct storage reads (``peek``, checkpoint
-        pickling, analysis over ``bank._blocks``) observe exactly what
+        pickling, analysis over bank storage) observe exactly what
         the workers hold.  The pool keeps running — the absorb is a
         read, not a hand-over.
         """

@@ -141,7 +141,7 @@ def export_vault_state(vault: Vault) -> tuple:
         vault._next_free,
         [
             (
-                dict(b._blocks), b.busy_until, b.open_row,
+                b.export_storage(), b.busy_until, b.open_row,
                 tuple(getattr(b, name) for name in BANK_COUNTERS),
             )
             for b in vault.banks
@@ -154,10 +154,10 @@ def apply_vault_state(vault: Vault, state: tuple) -> None:
     busy_mask, next_free, banks = state
     vault._busy_mask = busy_mask
     vault._next_free = next_free
-    for bank, (blocks, busy_until, open_row, counters) in zip(
+    for bank, (storage, busy_until, open_row, counters) in zip(
         vault.banks, banks
     ):
-        bank._blocks = dict(blocks)
+        bank.import_storage(storage)
         bank.busy_until = busy_until
         bank.open_row = open_row
         for name, value in zip(BANK_COUNTERS, counters):

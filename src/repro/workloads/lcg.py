@@ -18,10 +18,56 @@ specific address stream, not its statistics.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
 
 _M31 = 2147483647  # 2**31 - 1 (Lehmer modulus)
 _MASK32 = 0xFFFFFFFF
+
+_NP_MASK32 = np.uint64(_MASK32)
+
+#: Per-block-length LCG jump coefficients: length -> (a, c) arrays with
+#: ``state_{t+k} = (a[k-1] * state_t + c[k-1]) mod 2^32`` for k = 1..n.
+#: Derived from the scalar recurrence itself (a_{k+1} = A*a_k,
+#: c_{k+1} = A*c_k + C, all mod 2^32), so the closed form is the scalar
+#: stream by construction, not an approximation of it.
+_LCG_COEF: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _lcg_coefficients(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    coef = _LCG_COEF.get(n)
+    if coef is None:
+        a = np.empty(n, dtype=np.uint64)
+        c = np.empty(n, dtype=np.uint64)
+        ak, ck = LCG.A, LCG.C
+        for k in range(n):
+            a[k] = ak
+            c[k] = ck
+            ak = (ak * LCG.A) & _MASK32
+            ck = (ck * LCG.A + LCG.C) & _MASK32
+        _LCG_COEF[n] = coef = (a, c)
+    return coef
+
+
+#: Per-block-length GlibcRand coefficient matrices: length -> M with
+#: ``outputs = (M @ flattened_state) mod 2^32`` (see raw31_block).
+_GLIBC_COEF: Dict[int, np.ndarray] = {}
+
+
+def _glibc_matrix(n: int) -> np.ndarray:
+    M = _GLIBC_COEF.get(n)
+    if M is None:
+        deg, sep = GlibcRand.DEG, GlibcRand.SEP
+        hist = list(np.eye(deg, dtype=np.uint64))
+        M = np.empty((n, deg), dtype=np.uint64)
+        for t in range(n):
+            row = hist[-deg] + hist[-sep]
+            M[t] = row
+            hist.append(row)
+            del hist[0]
+        _GLIBC_COEF[n] = M
+    return M
 
 
 class GlibcRand:
@@ -98,6 +144,36 @@ class GlibcRand:
             for _ in range(n)
         ]
 
+    def raw31_block(self, n: int) -> np.ndarray:
+        """*n* consecutive 31-bit outputs as a uint64 array (block step).
+
+        The additive feedback is linear, so every output in a block is
+        a known integer combination of the 31 current state words:
+        ``v = (M @ state) mod 2^32`` with a cached per-block-length
+        coefficient matrix built from the recurrence itself
+        (``row_t = row_{t-31} + row_{t-3}``).  Coefficients wrap mod
+        2^64 in storage, which is harmless — reduction mod 2^32 is a
+        ring homomorphism from mod-2^64 arithmetic.  Identical to *n*
+        scalar :meth:`next` calls, ~10x faster.
+        """
+        if n <= 0:
+            return np.empty(0, dtype=np.uint64)
+        deg = self.DEG
+        s = self._state
+        f = self._f
+        # Flatten the ring into dependency order y[k] = s[(f+k) % deg]:
+        # the front pointer holds the lag-31 operand of the next step.
+        y0 = np.array([s[(f + k) % deg] for k in range(deg)], dtype=np.uint64)
+        raw = (_glibc_matrix(n) @ y0) & _NP_MASK32
+        # Fold the last `deg` flat values back into the ring and advance
+        # the pointers exactly as n scalar steps would have.
+        for k in range(deg):
+            i = n + k - deg
+            s[(f + n + k) % deg] = int(raw[i]) if i >= 0 else int(y0[n + k])
+        self._f = (f + n) % deg
+        self._r = (self._r + n) % deg
+        return raw >> np.uint64(1)
+
 
 class LCG:
     """glibc TYPE_0 ``rand()``: the textbook linear congruential method.
@@ -164,3 +240,20 @@ class LCG:
             append((a << 33) | (b << 2) | (s & 0x3))
         self._state = s
         return out
+
+    def raw31_block(self, n: int) -> np.ndarray:
+        """*n* consecutive 31-bit outputs as a uint64 array (block step).
+
+        Uses the cached jump coefficients: every state in the block is
+        an affine function of the current state, evaluated in one
+        vector expression.  Identical to *n* scalar :meth:`next` calls
+        (the third u64 draw's ``state & 3`` equals ``output & 3``, so
+        the 31-bit stream is sufficient for every consumer).
+        """
+        if n <= 0:
+            return np.empty(0, dtype=np.uint64)
+        a, c = _lcg_coefficients(n)
+        states = ((a * np.uint64(self._state)) & _NP_MASK32) + c
+        states &= _NP_MASK32
+        self._state = int(states[-1])
+        return states & np.uint64(0x7FFFFFFF)

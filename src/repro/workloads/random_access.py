@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.config import DeviceConfig, SimConfig
 from repro.core.simulator import HMCSim
@@ -97,17 +99,27 @@ class RandomAccessResult:
         )
 
 
-def random_access_requests(
+def request_batches(
     capacity_bytes: int,
     cfg: RandomAccessConfig,
-) -> Iterator[Tuple[CMD, int, Optional[list]]]:
-    """Generate the randomized request stream of the paper's harness.
+    batch_draws: int = 8192,
+) -> Iterator[List[Tuple[CMD, int, Optional[list]]]]:
+    """Generate the paper's request stream in vectorized batches.
 
     Addresses are uniform over the device capacity, aligned to the
     request block; the read/write decision consumes one PRNG draw, the
     address another, and writes carry PRNG-generated payload data — so
     "the resulting memory pattern is similar to a parallel random
     number sort" of the device contents.
+
+    The PRNG advances in blocks (:meth:`~repro.workloads.lcg.LCG.
+    raw31_block`) and every per-draw derivation — the read/write cut,
+    the multiply-shift address, the three-draw 64-bit payload packing —
+    is computed for a whole block with numpy before a cheap cursor walk
+    slices requests out of the precomputed lists.  The draw stream and
+    its per-request consumption order are exactly the scalar harness's,
+    so the emitted requests are bit-identical to the historical
+    one-call-per-request generator.
     """
     rng = GlibcRand(cfg.seed) if cfg.use_glibc_rand else LCG(cfg.seed)
     blocks = capacity_bytes // cfg.request_bytes
@@ -115,18 +127,48 @@ def random_access_requests(
     wr_cmd = WRITE_CMD_FOR_BYTES[cfg.request_bytes]
     payload_words = cfg.request_bytes // 8
     # Map the read fraction onto the 31-bit draw range.
-    read_cut = int(cfg.read_fraction * 0x8000_0000)
-    nxt = rng.next
-    below = rng.next_below
-    u64s = rng.next_u64_list
+    read_cut = np.uint64(int(cfg.read_fraction * 0x8000_0000))
     request_bytes = cfg.request_bytes
-    for _ in range(cfg.num_requests):
-        is_read = nxt() < read_cut
-        addr = below(blocks) * request_bytes
-        if is_read:
-            yield (rd_cmd, addr, None)
-        else:
-            yield (wr_cmd, addr, u64s(payload_words))
+    # Worst-case draws per request: decision + address + 3 per payload
+    # word (writes).  The cursor never reads past p + worst - 1, so a
+    # refill happens while every precomputed index is still in range.
+    worst = 2 + 3 * payload_words
+    batch_draws = max(batch_draws, 4 * worst)
+    remaining = cfg.num_requests
+    tail = np.empty(0, dtype=np.uint64)
+    while remaining > 0:
+        o = np.concatenate([tail, rng.raw31_block(batch_draws)])
+        n = len(o)
+        is_read = (o < read_cut).tolist()
+        addrs = (((o * np.uint64(blocks)) >> np.uint64(31))
+                 * np.uint64(request_bytes)).tolist()
+        # u64[k] packs draws k, k+1, k+2 — one entry per possible start.
+        u64 = ((o[:-2] << np.uint64(33))
+               | (o[1:-1] << np.uint64(2))
+               | (o[2:] & np.uint64(3))).tolist()
+        out: List[Tuple[CMD, int, Optional[list]]] = []
+        p = 0
+        while p + worst <= n and remaining > 0:
+            if is_read[p]:
+                out.append((rd_cmd, addrs[p + 1], None))
+                p += 2
+            else:
+                out.append(
+                    (wr_cmd, addrs[p + 1], u64[p + 2 : p + 2 + 3 * payload_words : 3])
+                )
+                p += worst
+            remaining -= 1
+        tail = o[p:]
+        yield out
+
+
+def random_access_requests(
+    capacity_bytes: int,
+    cfg: RandomAccessConfig,
+) -> Iterator[Tuple[CMD, int, Optional[list]]]:
+    """Per-request view of :func:`request_batches` (same stream)."""
+    for batch in request_batches(capacity_bytes, cfg):
+        yield from batch
 
 
 def run_random_access(
